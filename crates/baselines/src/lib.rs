@@ -1,0 +1,29 @@
+//! Comparator systems for the LogGrep evaluation (§6).
+//!
+//! The paper compares LogGrep against three systems, each reimplemented
+//! here from first principles:
+//!
+//! * [`ggrep`] — **gzip+grep**, Alibaba Cloud's default for near-line logs:
+//!   compress the block with a DEFLATE-class codec; to query, decompress
+//!   everything and scan line by line.
+//! * [`clp`] — **CLP** (Rodrigues et al., OSDI '21): log types + variable
+//!   dictionaries + order-preserving encoded segments with a segment-level
+//!   inverted index; queries filter segments, then decompress and scan them.
+//! * [`es`] — **MiniEs**, an ElasticSearch-like engine: a full inverted
+//!   index over tokens with Lucene-style segment merging, plus compressed
+//!   stored fields; queries intersect postings and verify against stored
+//!   lines.
+//!
+//! All systems implement [`LogSystem`]/[`LogArchive`] and share exact query
+//! semantics (the [`loggrep::query::lang`] oracle), so the benchmark harness
+//! can compare latencies on identical result sets.
+
+pub mod clp;
+pub mod es;
+pub mod ggrep;
+pub mod system;
+
+pub use clp::Clp;
+pub use es::MiniEs;
+pub use ggrep::GzipGrep;
+pub use system::{LogArchive, LogGrepSystem, LogSystem};

@@ -1,0 +1,105 @@
+//! The common interface every evaluated system implements, plus the
+//! LogGrep/LogGrep-SP adapters.
+
+use loggrep::{LogGrep, LogGrepConfig};
+
+/// A log compression + query system under evaluation.
+pub trait LogSystem {
+    /// Display name used in experiment tables.
+    fn name(&self) -> String;
+
+    /// Compresses one raw log block into this system's storage bytes
+    /// (everything needed to answer queries: data + indexes).
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, String>;
+
+    /// Opens stored bytes for querying.
+    fn open(&self, bytes: &[u8]) -> Result<Box<dyn LogArchive>, String>;
+}
+
+/// An opened, queryable compressed block.
+pub trait LogArchive {
+    /// Executes a query command (the shared `and`/`or`/`not` language) and
+    /// returns matching lines in original order.
+    fn query(&self, command: &str) -> Result<Vec<Vec<u8>>, String>;
+}
+
+/// LogGrep (or an ablation of it) behind the common interface.
+pub struct LogGrepSystem {
+    engine: LogGrep,
+    label: String,
+}
+
+impl LogGrepSystem {
+    /// The full system.
+    pub fn full() -> Self {
+        Self::with_config("LogGrep", LogGrepConfig::default())
+    }
+
+    /// LogGrep-SP (static patterns only, §2.2).
+    pub fn sp() -> Self {
+        Self::with_config("LogGrep-SP", LogGrepConfig::sp())
+    }
+
+    /// Any configuration under a custom label (ablations).
+    pub fn with_config(label: &str, config: LogGrepConfig) -> Self {
+        Self {
+            engine: LogGrep::new(config),
+            label: label.to_string(),
+        }
+    }
+
+    /// The inner engine (for stats-aware callers).
+    pub fn engine(&self) -> &LogGrep {
+        &self.engine
+    }
+}
+
+impl LogSystem for LogGrepSystem {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, String> {
+        self.engine
+            .compress(raw)
+            .map(|b| b.to_bytes())
+            .map_err(|e| e.to_string())
+    }
+
+    fn open(&self, bytes: &[u8]) -> Result<Box<dyn LogArchive>, String> {
+        let boxed = loggrep::CapsuleBox::from_bytes(bytes).map_err(|e| e.to_string())?;
+        Ok(Box::new(LogGrepArchive {
+            archive: self.engine.open(boxed),
+        }))
+    }
+}
+
+struct LogGrepArchive {
+    archive: loggrep::Archive,
+}
+
+impl LogArchive for LogGrepArchive {
+    fn query(&self, command: &str) -> Result<Vec<Vec<u8>>, String> {
+        self.archive
+            .query(command)
+            .map(|r| r.lines)
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loggrep_adapter_roundtrip() {
+        let sys = LogGrepSystem::full();
+        let raw = b"alpha 1 ok\nbeta 2 err\nalpha 3 ok\n";
+        let bytes = sys.compress(raw).unwrap();
+        let archive = sys.open(&bytes).unwrap();
+        assert_eq!(archive.query("alpha").unwrap().len(), 2);
+        assert_eq!(archive.query("err").unwrap().len(), 1);
+        assert_eq!(sys.name(), "LogGrep");
+        assert_eq!(LogGrepSystem::sp().name(), "LogGrep-SP");
+    }
+}

@@ -1,0 +1,7 @@
+//! Figure 3: distribution of single- and multi-pattern variable vectors
+//! with respect to duplication rate, over all 37 log types.
+
+fn main() {
+    let logs = workloads::all_logs();
+    bench::experiments::fig3(&logs);
+}

@@ -1,0 +1,7 @@
+//! Figure 7(a,b,c): query latency, compression ratio, compression speed on
+//! the 21 production-style logs, for all five systems.
+
+fn main() {
+    let logs = workloads::production_logs();
+    let _ = bench::experiments::fig7(&logs, "Figure 7: 21 production logs");
+}

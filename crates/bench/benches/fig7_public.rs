@@ -1,0 +1,7 @@
+//! §6.2: query latency, compression ratio, compression speed on the 16
+//! public-style logs, for all five systems.
+
+fn main() {
+    let logs = workloads::public_logs();
+    let _ = bench::experiments::fig7(&logs, "Section 6.2: 16 public logs");
+}

@@ -1,0 +1,12 @@
+//! Figure 8(a,b): overall cost per TB under Equation 1, with per-component
+//! breakdown and the ES break-even query frequency of §6.1/§6.2.
+
+fn main() {
+    let prod = workloads::production_logs();
+    let m = bench::experiments::fig7(&prod, "Figure 8(a) inputs: production logs");
+    bench::experiments::fig8(&m, "Figure 8(a): overall cost, production logs");
+
+    let public = workloads::public_logs();
+    let m = bench::experiments::fig7(&public, "Figure 8(b) inputs: public logs");
+    bench::experiments::fig8(&m, "Figure 8(b): overall cost, public logs");
+}

@@ -1,0 +1,7 @@
+//! Figure 9: effect of each individual technique (§6.3), plus the padding
+//! vs compression-ratio check.
+
+fn main() {
+    let logs = workloads::production_logs();
+    bench::experiments::fig9(&logs);
+}

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the codec substrate: the gzip/zstd/LZMA
+//! speed-vs-ratio ordering the evaluation depends on.
+
+use codec::{Cm1, Codec, Deflate, FastLz, LzmaLite};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn log_text(bytes: usize) -> Vec<u8> {
+    let spec = workloads::by_name("Log A").expect("catalog has Log A");
+    spec.generate(7, bytes)
+}
+
+fn codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(FastLz::default()),
+        Box::new(Deflate::default()),
+        Box::new(LzmaLite::default()),
+        Box::new(Cm1),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = log_text(256 * 1024);
+    let mut g = c.benchmark_group("codec_compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for codec in codecs() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &data,
+            |b, data| b.iter(|| codec.compress(data)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = log_text(256 * 1024);
+    let mut g = c.benchmark_group("codec_decompress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for codec in codecs() {
+        let packed = codec.compress(&data);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(codec.name()),
+            &packed,
+            |b, packed| b.iter(|| codec.decompress(packed).expect("valid")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+    targets = bench_compress, bench_decompress
+}
+criterion_main!(benches);

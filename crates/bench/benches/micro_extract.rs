@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for runtime-pattern extraction (§4.1): the
+//! O(n) tree-expanding path, the O(n log n) pattern-merging path, and the
+//! full per-block compression pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loggrep::extract::{nominal, real};
+use loggrep::{LogGrep, LogGrepConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn real_values(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("blk_{:08x}F8{:04x}", i * 2654435761u64 as usize, i % 65536).into_bytes())
+        .collect()
+}
+
+fn nominal_values(n: usize) -> Vec<Vec<u8>> {
+    let dict = ["SUC#1604", "ERR#1623", "SUC#1611", "ERR#404", "TIMEOUT"];
+    (0..n).map(|i| dict[i % dict.len()].as_bytes().to_vec()).collect()
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let config = LogGrepConfig::default();
+    let mut g = c.benchmark_group("extract");
+    for n in [1_000usize, 10_000] {
+        let rv = real_values(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("tree_expanding", n), &rv, |b, rv| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                real::extract(rv, &config, &mut rng).expect("pattern")
+            })
+        });
+        let nv = nominal_values(n);
+        g.bench_with_input(BenchmarkId::new("pattern_merging", n), &nv, |b, nv| {
+            b.iter(|| nominal::extract(nv))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compression_pipeline(c: &mut Criterion) {
+    let spec = workloads::by_name("Log A").expect("catalog has Log A");
+    let raw = spec.generate(3, 512 * 1024);
+    let mut g = c.benchmark_group("compress_block");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    for (label, config) in [
+        ("full", LogGrepConfig::default()),
+        ("sp", LogGrepConfig::sp()),
+    ] {
+        let engine = LogGrep::new(config);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &raw, |b, raw| {
+            b.iter(|| engine.compress(raw).expect("clean input"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+    targets = bench_extraction, bench_compression_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the query engine (§5): hit and miss
+//! queries against a compressed block, full system vs ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loggrep::{Archive, LogGrep, LogGrepConfig};
+
+fn archive_for(config: LogGrepConfig, raw: &[u8]) -> Archive {
+    let mut engine_config = config;
+    // Benchmark raw matching work, not the cache.
+    engine_config.use_query_cache = false;
+    LogGrep::new(engine_config)
+        .compress_to_archive(raw)
+        .expect("clean input")
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let spec = workloads::by_name("Log A").expect("catalog has Log A");
+    let raw = spec.generate(5, 2 << 20);
+    let configs = [
+        ("full", LogGrepConfig::default()),
+        ("sp", LogGrepConfig::sp()),
+        ("no_stamp", LogGrepConfig::without_stamps()),
+        ("no_fixed", LogGrepConfig::without_fixed()),
+    ];
+    let queries = [
+        ("rare_hit", "ERROR and state:REQ_ST_CLOSED and 20012"),
+        ("miss", "zz-absent-keyword"),
+        ("subvar_probe", "reqId:5E9D21AD0F"),
+    ];
+    for (qlabel, q) in queries {
+        let mut g = c.benchmark_group(format!("query_{qlabel}"));
+        g.sample_size(20);
+        for (clabel, config) in &configs {
+            let archive = archive_for(config.clone(), &raw);
+            g.bench_with_input(BenchmarkId::from_parameter(clabel), &archive, |b, a| {
+                b.iter(|| a.query(q).expect("valid query").lines.len())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+    targets = bench_query_paths
+}
+criterion_main!(benches);

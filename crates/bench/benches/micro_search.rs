@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the string-search substrate: the §5.2
+//! Boyer-Moore vs KMP comparison on fixed-width capsule buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strsearch::fixed::{pad_values, Mode};
+use strsearch::{BoyerMoore, FixedRows, Kmp};
+
+/// A padded capsule-like buffer of hex ids plus a rare needle.
+fn capsule(rows: usize, width: usize) -> Vec<u8> {
+    let values: Vec<Vec<u8>> = (0..rows)
+        .map(|i| {
+            if i == rows - 7 {
+                b"DEADBEEF".to_vec()
+            } else {
+                format!("{:08X}", (i as u64).wrapping_mul(0x9E3779B9) & 0xFFFF_FFFF).into_bytes()
+            }
+        })
+        .collect();
+    pad_values(values.iter(), width, 0)
+}
+
+fn bench_raw_search(c: &mut Criterion) {
+    let buf = capsule(100_000, 8);
+    let needle = b"DEADBEEF";
+    let mut g = c.benchmark_group("raw_search");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("boyer-moore"), &buf, |b, buf| {
+        let bm = BoyerMoore::new(needle);
+        b.iter(|| bm.find_all(buf).len())
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("kmp"), &buf, |b, buf| {
+        let kmp = Kmp::new(needle);
+        b.iter(|| kmp.find_all(buf).len())
+    });
+    g.finish();
+}
+
+fn bench_fixed_vs_delimited(c: &mut Criterion) {
+    // The §5.2 ablation in miniature: fixed-width BM scan vs
+    // delimiter-counting KMP scan over the same values.
+    let rows = 100_000;
+    let padded = capsule(rows, 8);
+    let mut delimited = Vec::with_capacity(rows * 9);
+    for i in 0..rows {
+        let start = i * 8;
+        delimited.extend_from_slice(&padded[start..start + 8]);
+        delimited.push(b'\n');
+    }
+    let needle = b"DEADBEEF";
+
+    let mut g = c.benchmark_group("capsule_scan");
+    g.throughput(Throughput::Bytes(padded.len() as u64));
+    g.bench_function("fixed_width_bm", |b| {
+        let view = FixedRows::new(&padded, 8, 0);
+        b.iter(|| view.find(needle, Mode::Contains).len())
+    });
+    g.bench_function("delimited_kmp", |b| {
+        let kmp = Kmp::new(needle);
+        b.iter(|| kmp.find_records(&delimited, b'\n').len())
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15);
+    targets = bench_raw_search, bench_fixed_vs_delimited
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! §2.2/§2.3 strictness numbers: character-type groups and length variance
+//! at block, variable-vector and sub-variable granularity.
+
+fn main() {
+    let logs = workloads::all_logs();
+    bench::experiments::strictness(&logs);
+}

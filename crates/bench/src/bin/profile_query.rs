@@ -1,0 +1,16 @@
+fn main() {
+    let spec = workloads::by_name("Log A").unwrap();
+    let raw = spec.generate(42, 4 << 20);
+    let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig::default());
+    let (boxed, cstats) = engine.compress_with_stats(&raw).unwrap();
+    eprintln!("compress: ratio {:.1}, groups {}, capsules {}, real {} nominal {} plain {}",
+        cstats.ratio(), cstats.groups, cstats.capsules, cstats.real_vectors, cstats.nominal_vectors, cstats.plain_vectors);
+    let archive = engine.open(boxed);
+    for q in [&spec.queries[0], "ERROR", "zz-absent"] {
+        let t = std::time::Instant::now();
+        let r = archive.query(q).unwrap();
+        eprintln!("query `{q}`: {:?} hits {} caps_decomp {} bytes_decomp {} stamp_rej {} groups_skipped {} rows_verified {}",
+            t.elapsed(), r.lines.len(), r.stats.capsules_decompressed, r.stats.bytes_decompressed,
+            r.stats.stamp_rejections, r.stats.groups_skipped, r.stats.rows_verified);
+    }
+}

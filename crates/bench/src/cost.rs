@@ -1,0 +1,147 @@
+//! The overall-cost model of §6, Equation 1:
+//!
+//! ```text
+//! C_total = C_storage · Duration · Size / CompressionRatio
+//!         + C_cpu · Size / CompressionSpeed
+//!         + C_cpu · QueryLatency · QueryFrequency
+//! ```
+//!
+//! Constants follow the paper: storage $0.017/GB-month (erasure coding
+//! included), 6 months retention, CPU $0.016/hour, and a default query
+//! frequency of 100 over the retention period.
+
+/// The cost-model constants.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Storage price in $/GB-month.
+    pub storage_per_gb_month: f64,
+    /// Retention in months.
+    pub months: f64,
+    /// CPU price in $/hour (single core, as in §6's normalization).
+    pub cpu_per_hour: f64,
+    /// Queries over the retention period.
+    pub query_frequency: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            storage_per_gb_month: 0.017,
+            months: 6.0,
+            cpu_per_hour: 0.016,
+            query_frequency: 100.0,
+        }
+    }
+}
+
+/// Cost breakdown for one system on 1 TB of logs, in dollars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemCost {
+    /// Storage cost over the retention period.
+    pub storage: f64,
+    /// One-time compression CPU cost.
+    pub compression: f64,
+    /// Query CPU cost over the retention period.
+    pub query: f64,
+}
+
+impl SystemCost {
+    /// Total cost.
+    pub fn total(&self) -> f64 {
+        self.storage + self.compression + self.query
+    }
+}
+
+impl CostModel {
+    /// Computes the per-TB cost of a system from its measured
+    /// characteristics: compression ratio, compression speed (MB/s, one
+    /// core) and query latency (seconds per TB of raw logs, one core).
+    pub fn cost_per_tb(
+        &self,
+        compression_ratio: f64,
+        compression_speed_mb_s: f64,
+        query_latency_s_per_tb: f64,
+    ) -> SystemCost {
+        let size_gb = 1000.0; // 1 TB in GB (decimal, matching $/GB pricing).
+        let storage = self.storage_per_gb_month * self.months * size_gb / compression_ratio.max(1e-9);
+        let compress_hours = size_gb * 1000.0 / compression_speed_mb_s.max(1e-9) / 3600.0;
+        let compression = self.cpu_per_hour * compress_hours;
+        let query_hours = query_latency_s_per_tb / 3600.0 * self.query_frequency;
+        let query = self.cpu_per_hour * query_hours;
+        SystemCost {
+            storage,
+            compression,
+            query,
+        }
+    }
+
+    /// The query frequency at which system `a` stops being cheaper than
+    /// system `b` (both given as per-TB measurements at frequency 0), i.e.
+    /// the §6.1 "ES break-even" computation. Returns `None` if `a` is never
+    /// cheaper or always cheaper.
+    pub fn break_even_frequency(
+        &self,
+        a: (f64, f64, f64), // (ratio, speed, latency s/TB)
+        b: (f64, f64, f64),
+    ) -> Option<f64> {
+        let base = CostModel {
+            query_frequency: 0.0,
+            ..*self
+        };
+        let fixed_a = base.cost_per_tb(a.0, a.1, a.2).total();
+        let fixed_b = base.cost_per_tb(b.0, b.1, b.2).total();
+        let per_query_a = self.cpu_per_hour * a.2 / 3600.0;
+        let per_query_b = self.cpu_per_hour * b.2 / 3600.0;
+        let fixed_gap = fixed_b - fixed_a; // How much cheaper b's fixed cost is when negative.
+        let slope_gap = per_query_a - per_query_b;
+        if slope_gap <= 0.0 {
+            return None; // a's queries are not more expensive; no crossover.
+        }
+        // a cheaper while fixed_a + f·pa < fixed_b + f·pb  ⇔  f < gap/slope.
+        let f = fixed_gap / slope_gap;
+        if f <= 0.0 {
+            None
+        } else {
+            Some(f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_dominates_low_ratio() {
+        let m = CostModel::default();
+        let poor = m.cost_per_tb(1.0, 100.0, 10.0);
+        let good = m.cost_per_tb(30.0, 2.0, 10.0);
+        assert!(poor.storage > good.storage * 20.0);
+        assert!(poor.total() > good.total());
+    }
+
+    #[test]
+    fn paper_scale_sanity() {
+        // gzip-like system: ratio ~12, 60 MB/s, 20-minute queries per TB.
+        let m = CostModel::default();
+        let c = m.cost_per_tb(12.0, 60.0, 1200.0);
+        // Storage: .017*6*1000/12 = 8.5 $/TB — the right order of magnitude
+        // for Figure 8's y-axis.
+        assert!((c.storage - 8.5).abs() < 0.01);
+        assert!(c.total() > 8.5 && c.total() < 20.0);
+    }
+
+    #[test]
+    fn break_even_exists_when_fixed_cheaper_but_queries_dearer() {
+        let m = CostModel::default();
+        // a: cheap storage, slow queries. b: pricey storage, instant queries.
+        let f = m
+            .break_even_frequency((30.0, 2.0, 60.0), (1.0, 1.0, 1.0))
+            .expect("crossover expected");
+        assert!(f > 100.0, "f = {f}");
+        // No crossover when a is better on both axes.
+        assert!(m
+            .break_even_frequency((30.0, 2.0, 1.0), (1.0, 1.0, 60.0))
+            .is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! The figure/table experiments, shared by the bench targets in `benches/`.
+
+use crate::cost::CostModel;
+use crate::runner::{measure_system, Measurement};
+use crate::table::{fmt, Table};
+use crate::{bench_bytes, bench_seed, geomean};
+use baselines::{Clp, GzipGrep, LogGrepSystem, LogSystem, MiniEs};
+use loggrep::LogGrepConfig;
+use workloads::LogSpec;
+
+/// The five systems of Figure 7/8, in paper order.
+pub fn systems() -> Vec<Box<dyn LogSystem>> {
+    vec![
+        Box::new(GzipGrep),
+        Box::new(Clp::default()),
+        Box::new(MiniEs::default()),
+        Box::new(LogGrepSystem::sp()),
+        Box::new(LogGrepSystem::full()),
+    ]
+}
+
+/// Figure 7 (a, b, c): query latency, compression ratio and compression
+/// speed per log for all five systems. Returns the raw measurements so
+/// Figure 8 can reuse them.
+pub fn fig7(logs: &[LogSpec], title: &str) -> Vec<Vec<Measurement>> {
+    let bytes = bench_bytes();
+    let seed = bench_seed();
+    println!("== {title} ==");
+    println!(
+        "block size: {} KiB per log, seed {seed} (LOGGREP_BENCH_BYTES / LOGGREP_BENCH_SEED)\n",
+        bytes / 1024
+    );
+
+    let mut all: Vec<Vec<Measurement>> = Vec::new();
+    for spec in logs {
+        let raw = spec.generate(seed, bytes);
+        let mut row = Vec::new();
+        for sys in systems() {
+            let m = measure_system(sys.as_ref(), &spec.name, &raw, &spec.queries[0], 3)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", sys.name(), spec.name));
+            row.push(m);
+        }
+        all.push(row);
+    }
+
+    let names: Vec<String> = systems().iter().map(|s| s.name()).collect();
+    let mut header = vec!["log".to_string()];
+    header.extend(names.iter().cloned());
+
+    println!("(a) query latency [ms] (lower is better)");
+    let mut t = Table::new(header.clone());
+    for row in &all {
+        let mut cells = vec![row[0].log.clone()];
+        cells.extend(row.iter().map(|m| fmt(m.query_secs * 1e3)));
+        t.row(cells);
+    }
+    t.print();
+    let lg = names.len() - 1;
+    for (i, name) in names.iter().enumerate().take(names.len() - 1) {
+        let speedups: Vec<f64> = all
+            .iter()
+            .map(|row| row[i].query_secs / row[lg].query_secs.max(1e-9))
+            .collect();
+        println!(
+            "  LogGrep vs {name}: {:.2}x lower latency (geomean; paper: ggrep ~30.6x/14.6x, CLP ~35.7x/13.7x, ES ~0.5-3x, LG-SP ~10.1x/7.0x)",
+            geomean(&speedups)
+        );
+    }
+
+    println!("\n(b) compression ratio (higher is better)");
+    let mut t = Table::new(header.clone());
+    for row in &all {
+        let mut cells = vec![row[0].log.clone()];
+        cells.extend(row.iter().map(|m| fmt(m.ratio())));
+        t.row(cells);
+    }
+    t.print();
+    for (i, name) in names.iter().enumerate().take(names.len() - 1) {
+        let gains: Vec<f64> = all
+            .iter()
+            .map(|row| row[lg].ratio() / row[i].ratio().max(1e-9))
+            .collect();
+        println!(
+            "  LogGrep vs {name}: {:.2}x higher ratio (geomean; paper: gzip ~2.6x/4.0x, CLP ~2.1x, ES ~23x/41x, LG-SP ~1x)",
+            geomean(&gains)
+        );
+    }
+
+    println!("\n(c) compression speed [MB/s] (higher is better)");
+    let mut t = Table::new(header);
+    for row in &all {
+        let mut cells = vec![row[0].log.clone()];
+        cells.extend(row.iter().map(|m| fmt(m.speed_mb_s())));
+        t.row(cells);
+    }
+    t.print();
+    for (i, name) in names.iter().enumerate().take(names.len() - 1) {
+        let rel: Vec<f64> = all
+            .iter()
+            .map(|row| row[lg].speed_mb_s() / row[i].speed_mb_s().max(1e-9))
+            .collect();
+        println!(
+            "  LogGrep vs {name}: {:.2}x the speed (geomean; paper: gzip ~0.10x/0.14x, CLP ~0.16x/0.35x, ES ~8.3x/11.2x, LG-SP ~0.86x)",
+            geomean(&rel)
+        );
+    }
+    println!();
+    all
+}
+
+/// Figure 8: overall cost per TB (Equation 1) with breakdown, plus the
+/// §6.1/§6.2 ES break-even query frequency.
+pub fn fig8(measurements: &[Vec<Measurement>], title: &str) {
+    let model = CostModel::default();
+    let names: Vec<String> = systems().iter().map(|s| s.name()).collect();
+    println!("== {title} ==");
+    println!(
+        "Equation 1 constants: ${}/GB-month x {} months, ${}/CPU-hour, {} queries\n",
+        model.storage_per_gb_month, model.months, model.cpu_per_hour, model.query_frequency
+    );
+
+    // Average the per-log characteristics per system.
+    let mut t = Table::new([
+        "system", "storage$", "compress$", "query$", "total $/TB",
+    ]);
+    let mut profiles = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let ratio = geomean(
+            &measurements
+                .iter()
+                .map(|row| row[i].ratio())
+                .collect::<Vec<_>>(),
+        );
+        let speed = geomean(
+            &measurements
+                .iter()
+                .map(|row| row[i].speed_mb_s())
+                .collect::<Vec<_>>(),
+        );
+        let lat = geomean(
+            &measurements
+                .iter()
+                .map(|row| row[i].query_secs_per_tb())
+                .collect::<Vec<_>>(),
+        );
+        let cost = model.cost_per_tb(ratio, speed, lat);
+        t.row([
+            name.clone(),
+            fmt(cost.storage),
+            fmt(cost.compression),
+            fmt(cost.query),
+            fmt(cost.total()),
+        ]);
+        profiles.push((name.clone(), ratio, speed, lat, cost));
+    }
+    t.print();
+
+    let lg = &profiles[profiles.len() - 1];
+    for p in profiles.iter().take(profiles.len() - 1) {
+        println!(
+            "  LogGrep cost = {:.0}% of {} (paper: ggrep 34%, CLP 36%/41%, ES 7%/5%, LG-SP 73%/74%)",
+            100.0 * lg.4.total() / p.4.total(),
+            p.0
+        );
+    }
+
+    // ES break-even (§6.1): frequency where ES beats LogGrep.
+    let es = &profiles[2];
+    match model.break_even_frequency((lg.1, lg.2, lg.3), (es.1, es.2, es.3)) {
+        Some(f) => println!(
+            "  ES becomes cheaper than LogGrep above ~{f:.0} queries (paper: 7.4k-542k prod, 17.7k-125k public)"
+        ),
+        None => println!("  ES never becomes cheaper than LogGrep at these measurements"),
+    }
+    println!();
+}
+
+/// Figure 9: effect of individual techniques. Ablated query latency
+/// normalized to the full system (higher = that technique mattered more).
+pub fn fig9(logs: &[LogSpec]) {
+    let bytes = bench_bytes();
+    let seed = bench_seed();
+    println!("== Figure 9: effects of individual techniques ==");
+    println!("block size: {} KiB per log\n", bytes / 1024);
+
+    let ablations: Vec<(&str, LogGrepConfig, f64)> = vec![
+        ("w/o real", LogGrepConfig::without_real(), 1.51),
+        ("w/o nomi", LogGrepConfig::without_nominal(), 4.03),
+        ("w/o stamp", LogGrepConfig::without_stamps(), 3.59),
+        ("w/o fixed", LogGrepConfig::without_fixed(), 1.89),
+    ];
+
+    let mut norm: Vec<Vec<f64>> = vec![Vec::new(); ablations.len() + 1];
+    for spec in logs {
+        let raw = spec.generate(seed, bytes);
+        let full = LogGrepSystem::full();
+        let base = measure_system(&full, &spec.name, &raw, &spec.queries[0], 3)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        for (i, (label, config, _)) in ablations.iter().enumerate() {
+            let sys = LogGrepSystem::with_config(label, config.clone());
+            let m = measure_system(&sys, &spec.name, &raw, &spec.queries[0], 3)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            norm[i].push(m.query_secs / base.query_secs.max(1e-9));
+        }
+        // "w/o cache" is evaluated in refining mode: the second identical
+        // query hits the cache in the full system and re-executes without.
+        let archive_cached = full.engine().compress_to_archive(&raw).unwrap();
+        let _ = archive_cached.query(&spec.queries[0]).unwrap();
+        let t0 = std::time::Instant::now();
+        let _ = archive_cached.query(&spec.queries[0]).unwrap();
+        let cached = t0.elapsed().as_secs_f64();
+        let nocache_engine =
+            LogGrepSystem::with_config("w/o cache", LogGrepConfig::without_cache());
+        let archive_nc = nocache_engine.engine().compress_to_archive(&raw).unwrap();
+        let _ = archive_nc.query(&spec.queries[0]).unwrap();
+        let t1 = std::time::Instant::now();
+        let _ = archive_nc.query(&spec.queries[0]).unwrap();
+        let uncached = t1.elapsed().as_secs_f64();
+        norm[ablations.len()].push(uncached / cached.max(1e-9));
+    }
+
+    let mut t = Table::new(["version", "normalized latency (x)", "paper (x)"]);
+    t.row(["full", "1.00".to_string().as_str(), "1.00"]);
+    for (i, (label, _, paper)) in ablations.iter().enumerate() {
+        t.row([
+            label.to_string(),
+            format!("{:.2}", geomean(&norm[i])),
+            format!("{paper:.2}"),
+        ]);
+    }
+    t.row([
+        "w/o cache (refining)".to_string(),
+        format!("{:.2}", geomean(&norm[ablations.len()])),
+        "2.08".to_string(),
+    ]);
+    t.print();
+
+    // §6.3: padding's effect on compression ratio.
+    let mut rel = Vec::new();
+    for spec in logs {
+        let raw = spec.generate(seed, bytes);
+        let padded = LogGrepSystem::full().compress(&raw).unwrap().len();
+        let unpadded = LogGrepSystem::with_config("nf", LogGrepConfig::without_fixed())
+            .compress(&raw)
+            .unwrap()
+            .len();
+        rel.push(unpadded as f64 / padded as f64);
+    }
+    println!(
+        "\npadding vs no padding: ratio with padding is {:.3}x of without (paper: 0.99-1.10x, avg 1.04x)\n",
+        geomean(&rel)
+    );
+}
+
+/// Figure 3: distribution of single- vs multi-pattern variable vectors by
+/// duplication rate.
+pub fn fig3(logs: &[LogSpec]) {
+    use loggrep::extract::{duplication_rate, real};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let bytes = bench_bytes();
+    let seed = bench_seed();
+    println!("== Figure 3: single- vs multi-pattern vectors by duplication rate ==\n");
+
+    // Buckets of width 0.1 over [0, 1].
+    let mut single = [0usize; 10];
+    let mut multi = [0usize; 10];
+    let config = LogGrepConfig::default();
+    for spec in logs {
+        let raw = spec.generate(seed, bytes);
+        let lines: Vec<&[u8]> = loggrep::engine::split_lines(&raw);
+        let parser = logparse::Parser::train(&config.parser, lines.iter().copied());
+        let parsed = parser.parse_all(lines.iter().copied());
+        for group in &parsed.groups {
+            for values in &group.vars {
+                if values.len() < config.min_vector_for_patterns {
+                    continue;
+                }
+                let rate = duplication_rate(values);
+                let bucket = ((rate * 10.0) as usize).min(9);
+                // Single-pattern = one extracted pattern covers >= 90 %.
+                let mut rng = StdRng::seed_from_u64(7);
+                let is_single = real::extract(values, &config, &mut rng)
+                    .map(|ex| {
+                        ex.outlier_rows.len() as f64 <= values.len() as f64 * 0.1
+                    })
+                    .unwrap_or(false);
+                if is_single {
+                    single[bucket] += 1;
+                } else {
+                    multi[bucket] += 1;
+                }
+            }
+        }
+    }
+
+    let mut t = Table::new(["dup-rate bucket", "single-pattern", "multi-pattern"]);
+    for b in 0..10 {
+        t.row([
+            format!("{:.1}-{:.1}", b as f64 / 10.0, (b + 1) as f64 / 10.0),
+            single[b].to_string(),
+            multi[b].to_string(),
+        ]);
+    }
+    t.print();
+    let low_single: usize = single[..5].iter().sum();
+    let low_multi: usize = multi[..5].iter().sum();
+    println!(
+        "\nlow-duplication vectors that are single-pattern: {}/{} (paper: the bathtub's left side is overwhelmingly single-pattern)\n",
+        low_single,
+        low_single + low_multi
+    );
+}
+
+/// §2.2 strictness table: character-type groups and length variance at
+/// block / variable-vector / sub-variable granularity.
+pub fn strictness(logs: &[LogSpec]) {
+    use loggrep::extract::{extract_vector, Extraction};
+    use loggrep::typemask::TypeMask;
+
+    let bytes = bench_bytes();
+    let seed = bench_seed();
+    println!("== §2.2 / §2.3: summary strictness by granularity ==\n");
+
+    fn stats<'a, I: Iterator<Item = &'a [u8]> + Clone>(values: I) -> (f64, f64) {
+        let mut mask = TypeMask::EMPTY;
+        let mut n = 0usize;
+        let mut sum = 0f64;
+        for v in values.clone() {
+            mask.absorb(v);
+            sum += v.len() as f64;
+            n += 1;
+        }
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let mean = sum / n as f64;
+        let var = values
+            .map(|v| (v.len() as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        (mask.group_count() as f64, var)
+    }
+
+    let config = LogGrepConfig::default();
+    let (mut block_t, mut block_v, mut vec_t, mut vec_v, mut sub_t, mut sub_v) =
+        (vec![], vec![], vec![], vec![], vec![], vec![]);
+    for spec in logs {
+        let raw = spec.generate(seed, bytes);
+        let lines: Vec<&[u8]> = loggrep::engine::split_lines(&raw);
+        let parser = logparse::Parser::train(&config.parser, lines.iter().copied());
+        let parsed = parser.parse_all(lines.iter().copied());
+
+        // Block granularity: all variable values of the block together.
+        let all_values = parsed
+            .groups
+            .iter()
+            .flat_map(|g| g.vars.iter())
+            .flat_map(|v| v.iter().map(|x| x.as_slice()));
+        let (t, v) = stats(all_values);
+        block_t.push(t);
+        block_v.push(v);
+
+        for (gi, group) in parsed.groups.iter().enumerate() {
+            for (vi, values) in group.vars.iter().enumerate() {
+                if values.len() < config.min_vector_for_patterns {
+                    continue;
+                }
+                let (t, var) = stats(values.iter().map(|v| v.as_slice()));
+                vec_t.push(t);
+                vec_v.push(var);
+                match extract_vector(values, &config, (gi * 131 + vi) as u64) {
+                    Extraction::Real(ex) => {
+                        for sv in &ex.sub_values {
+                            let (t, var) = stats(sv.iter().copied());
+                            sub_t.push(t);
+                            sub_v.push(var);
+                        }
+                    }
+                    Extraction::Nominal(ex) => {
+                        let regions =
+                            loggrep::vector::VectorMeta::dict_regions(&ex.patterns);
+                        for r in &regions {
+                            let vals = &ex.dict_values
+                                [r.first_index as usize..(r.first_index + r.count) as usize];
+                            let (t, var) = stats(vals.iter().map(|v| v.as_slice()));
+                            sub_t.push(t);
+                            sub_v.push(var);
+                        }
+                    }
+                    Extraction::Plain => {}
+                }
+            }
+        }
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut t = Table::new(["granularity", "char-type groups", "length variance", "paper"]);
+    t.row([
+        "whole block".to_string(),
+        fmt(avg(&block_t)),
+        fmt(avg(&block_v)),
+        "5.8 / 198.5".to_string(),
+    ]);
+    t.row([
+        "variable vector".to_string(),
+        fmt(avg(&vec_t)),
+        fmt(avg(&vec_v)),
+        "3.1 / 66.1".to_string(),
+    ]);
+    t.row([
+        "sub-variable vector".to_string(),
+        fmt(avg(&sub_t)),
+        fmt(avg(&sub_v)),
+        "1.5 / 32.5".to_string(),
+    ]);
+    t.print();
+    println!();
+}

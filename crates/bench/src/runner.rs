@@ -1,0 +1,96 @@
+//! Measurement runner: compress + query one system on one workload.
+
+use baselines::LogSystem;
+use std::time::Instant;
+
+/// Measured characteristics of one system on one log.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// System display name.
+    pub system: String,
+    /// Workload name.
+    pub log: String,
+    /// Raw size in bytes.
+    pub raw_bytes: usize,
+    /// Stored (compressed + indexed) size in bytes.
+    pub stored_bytes: usize,
+    /// Compression wall time in seconds.
+    pub compress_secs: f64,
+    /// Primary-query latency in seconds (median of the runs).
+    pub query_secs: f64,
+    /// Number of lines the primary query returned.
+    pub query_hits: usize,
+}
+
+impl Measurement {
+    /// Compression ratio.
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.stored_bytes.max(1) as f64
+    }
+
+    /// Compression speed in MB/s.
+    pub fn speed_mb_s(&self) -> f64 {
+        self.raw_bytes as f64 / 1e6 / self.compress_secs.max(1e-9)
+    }
+
+    /// Query latency scaled linearly to one TB of raw logs, in seconds —
+    /// the normalization used when feeding Equation 1.
+    pub fn query_secs_per_tb(&self) -> f64 {
+        self.query_secs * (1e12 / self.raw_bytes.max(1) as f64)
+    }
+}
+
+/// Compresses `raw` with `sys`, then runs `query` `runs` times on a freshly
+/// opened archive each time (direct mode: no cross-run caching) and records
+/// the median latency.
+pub fn measure_system(
+    sys: &dyn LogSystem,
+    log: &str,
+    raw: &[u8],
+    query: &str,
+    runs: usize,
+) -> Result<Measurement, String> {
+    let t0 = Instant::now();
+    let stored = sys.compress(raw)?;
+    let compress_secs = t0.elapsed().as_secs_f64();
+
+    let mut lat = Vec::with_capacity(runs.max(1));
+    let mut hits = 0usize;
+    for _ in 0..runs.max(1) {
+        // Re-open per run so per-archive caches (query cache, decoded
+        // segments) cannot carry results across runs.
+        let archive = sys.open(&stored)?;
+        let t1 = Instant::now();
+        let result = archive.query(query)?;
+        lat.push(t1.elapsed().as_secs_f64());
+        hits = result.len();
+    }
+    lat.sort_by(f64::total_cmp);
+    Ok(Measurement {
+        system: sys.name(),
+        log: log.to_string(),
+        raw_bytes: raw.len(),
+        stored_bytes: stored.len(),
+        compress_secs,
+        query_secs: lat[lat.len() / 2],
+        query_hits: hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::GzipGrep;
+
+    #[test]
+    fn measurement_fields_are_sane() {
+        let spec = workloads::by_name("Log C").unwrap();
+        let raw = spec.generate(1, 64 * 1024);
+        let m = measure_system(&GzipGrep, "Log C", &raw, &spec.queries[0], 3).unwrap();
+        assert!(m.ratio() > 2.0, "ratio {}", m.ratio());
+        assert!(m.speed_mb_s() > 0.0);
+        assert!(m.query_secs > 0.0);
+        assert!(m.query_hits > 0);
+        assert!(m.query_secs_per_tb() > m.query_secs);
+    }
+}

@@ -1,0 +1,374 @@
+//! Implementation of the `loggrep` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `compress <input.log> <output.lgb>` — compress a log file into a
+//!   CapsuleBox (64 MiB blocks by default, compressed in parallel);
+//! * `query <archive.lgb> <command>` — run a grep-like query;
+//! * `stat <archive.lgb>` — print archive statistics;
+//! * `gen <log-name> <bytes> [seed]` — emit a synthetic workload log.
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); see [`run`].
+
+use loggrep::{Archive, CapsuleBox, LogGrep, LogGrepConfig};
+use std::io::{Read, Write};
+
+/// Multi-block container magic (a `.lgb` file is a sequence of
+/// length-prefixed CapsuleBoxes).
+const FILE_MAGIC: &[u8; 8] = b"LGBFILE1";
+
+/// Block size used by `compress` (the paper's 64 MB log blocks).
+pub const BLOCK_SIZE: usize = 64 << 20;
+
+/// Runs the CLI with the given arguments (excluding `argv[0]`).
+///
+/// Returns the process exit code; errors are printed to stderr.
+pub fn run(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("loggrep: {e}");
+            2
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("compress") => {
+            let [input, output] = two(&args[1..], "compress <input.log> <output.lgb>")?;
+            compress_file(input, output)
+        }
+        Some("query") => {
+            let [archive, command] = two(&args[1..], "query <archive.lgb> <command>")?;
+            query_file(archive, command)
+        }
+        Some("stat") => {
+            let archive = one(&args[1..], "stat <archive.lgb>")?;
+            stat_file(archive)
+        }
+        Some("explain") => {
+            let [archive, command] = two(&args[1..], "explain <archive.lgb> <command>")?;
+            explain_file(archive, command)
+        }
+        Some("gen") => gen_log(&args[1..]),
+        Some("help") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "loggrep — compress cloud logs and grep them without full decompression\n\
+     \n\
+     USAGE:\n\
+     \x20 loggrep compress <input.log> <output.lgb>   compress a log file\n\
+     \x20 loggrep query <archive.lgb> <command>       run a grep-like query\n\
+     \x20 loggrep stat <archive.lgb>                  print archive statistics\n\
+     \x20 loggrep explain <archive.lgb> <command>     show the query plan\n\
+     \x20 loggrep gen <log-name> <bytes> [seed]       print a synthetic log\n\
+     \n\
+     QUERY LANGUAGE:\n\
+     \x20 search strings joined by and / or / not (left-associative), e.g.\n\
+     \x20   loggrep query app.lgb 'ERROR and dst:11.8.* not state:503'\n\
+     \x20 a `*` wildcard matches within a single token only.\n"
+        .to_string()
+}
+
+fn one<'a>(args: &'a [String], usage: &str) -> Result<&'a str, String> {
+    match args {
+        [a] => Ok(a),
+        _ => Err(format!("expected arguments: {usage}")),
+    }
+}
+
+fn two<'a>(args: &'a [String], usage: &str) -> Result<[&'a str; 2], String> {
+    match args {
+        [a, b] => Ok([a, b]),
+        _ => Err(format!("expected arguments: {usage}")),
+    }
+}
+
+/// Compresses `input` into a multi-block `.lgb` archive, one CapsuleBox per
+/// 64 MiB of raw log, blocks compressed in parallel with crossbeam threads.
+pub fn compress_file(input: &str, output: &str) -> Result<(), String> {
+    let raw = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let blocks = split_blocks(&raw);
+    let engine = LogGrep::new(LogGrepConfig::default());
+
+    // Compress blocks in parallel, preserving order.
+    let mut boxes: Vec<Option<Vec<u8>>> = vec![None; blocks.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, block) in blocks.iter().enumerate() {
+            let engine = &engine;
+            handles.push((i, scope.spawn(move |_| engine.compress(block).map(|b| b.to_bytes()))));
+        }
+        for (i, h) in handles {
+            boxes[i] = Some(h.join().expect("compression thread panicked").map_err(|e| e.to_string()).unwrap_or_default());
+        }
+    })
+    .map_err(|_| "compression thread panicked".to_string())?;
+
+    let mut out = Vec::new();
+    out.extend_from_slice(FILE_MAGIC);
+    for b in boxes.into_iter().flatten() {
+        if b.is_empty() {
+            return Err("a block failed to compress".to_string());
+        }
+        out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        out.extend_from_slice(&b);
+    }
+    std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
+    println!(
+        "compressed {} -> {} ({:.2}x, {} block(s))",
+        human(raw.len()),
+        human(out.len()),
+        raw.len() as f64 / out.len().max(1) as f64,
+        blocks.len()
+    );
+    Ok(())
+}
+
+/// Splits raw logs into ~[`BLOCK_SIZE`] blocks on line boundaries.
+fn split_blocks(raw: &[u8]) -> Vec<&[u8]> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    while start < raw.len() {
+        let mut end = (start + BLOCK_SIZE).min(raw.len());
+        if end < raw.len() {
+            // Extend to the next newline so lines never straddle blocks.
+            while end < raw.len() && raw[end - 1] != b'\n' {
+                end += 1;
+            }
+        }
+        blocks.push(&raw[start..end]);
+        start = end;
+    }
+    if blocks.is_empty() {
+        blocks.push(&raw[0..0]);
+    }
+    blocks
+}
+
+/// Opens a `.lgb` file into its per-block archives.
+pub fn open_file(path: &str) -> Result<Vec<Archive>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    open_bytes(&bytes)
+}
+
+fn open_bytes(bytes: &[u8]) -> Result<Vec<Archive>, String> {
+    if bytes.len() < 8 || &bytes[..8] != FILE_MAGIC {
+        return Err("not a loggrep archive (bad magic)".to_string());
+    }
+    let mut archives = Vec::new();
+    let mut pos = 8usize;
+    while pos < bytes.len() {
+        if pos + 8 > bytes.len() {
+            return Err("truncated block header".to_string());
+        }
+        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes")) as usize;
+        pos += 8;
+        let end = pos.checked_add(len).filter(|&e| e <= bytes.len())
+            .ok_or_else(|| "truncated block".to_string())?;
+        archives.push(Archive::from_bytes(&bytes[pos..end]).map_err(|e| e.to_string())?);
+        pos = end;
+    }
+    Ok(archives)
+}
+
+fn query_file(path: &str, command: &str) -> Result<(), String> {
+    let archives = open_file(path)?;
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let mut total = 0usize;
+    for archive in &archives {
+        let result = archive.query(command).map_err(|e| e.to_string())?;
+        for line in &result.lines {
+            w.write_all(line).and_then(|_| w.write_all(b"\n"))
+                .map_err(|e| e.to_string())?;
+        }
+        total += result.lines.len();
+    }
+    eprintln!("({total} matching line(s))");
+    Ok(())
+}
+
+fn explain_file(path: &str, command: &str) -> Result<(), String> {
+    for (i, archive) in open_file(path)?.iter().enumerate() {
+        println!("-- block {i} --");
+        print!("{}", archive.explain(command).map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+fn stat_file(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let archives = open_bytes(&bytes)?;
+    let mut lines = 0u64;
+    let mut raw = 0u64;
+    let mut groups = 0usize;
+    let mut capsules = 0usize;
+    for a in &archives {
+        let b = a.capsule_box();
+        lines += b.total_lines as u64;
+        raw += b.raw_size;
+        groups += b.groups.len();
+        capsules += b.capsules.len();
+    }
+    println!("blocks:        {}", archives.len());
+    println!("lines:         {lines}");
+    println!("raw size:      {}", human(raw as usize));
+    println!("stored size:   {}", human(bytes.len()));
+    println!("ratio:         {:.2}x", raw as f64 / bytes.len().max(1) as f64);
+    println!("groups:        {groups}");
+    println!("capsules:      {capsules}");
+    Ok(())
+}
+
+fn gen_log(args: &[String]) -> Result<(), String> {
+    let (name, size, seed) = match args {
+        [n, s] => (n.as_str(), s, 42u64),
+        [n, s, seed] => (
+            n.as_str(),
+            s,
+            seed.parse().map_err(|_| "bad seed".to_string())?,
+        ),
+        _ => return Err("expected arguments: gen <log-name> <bytes> [seed]".to_string()),
+    };
+    let size: usize = size.parse().map_err(|_| "bad byte count".to_string())?;
+    let spec = workloads::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = workloads::all_logs().iter().map(|s| s.name.clone()).collect();
+        format!("unknown log `{name}`; available: {}", names.join(", "))
+    })?;
+    let raw = spec.generate(seed, size);
+    std::io::stdout()
+        .write_all(&raw)
+        .map_err(|e| e.to_string())
+}
+
+/// Reads all of stdin (used by tests that pipe data through the CLI).
+pub fn read_stdin() -> Result<Vec<u8>, String> {
+    let mut buf = Vec::new();
+    std::io::stdin()
+        .read_to_end(&mut buf)
+        .map_err(|e| e.to_string())?;
+    Ok(buf)
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.2} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// A multi-block queryable archive handle (library form of `query`).
+pub struct MultiArchive {
+    archives: Vec<Archive>,
+}
+
+impl MultiArchive {
+    /// Compresses raw logs in memory into a multi-block archive.
+    pub fn compress(raw: &[u8], config: LogGrepConfig) -> Result<Self, String> {
+        let engine = LogGrep::new(config);
+        let archives = split_blocks(raw)
+            .into_iter()
+            .map(|b| engine.compress(b).map(|boxed| engine.open(boxed)))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        Ok(Self { archives })
+    }
+
+    /// Runs a query across all blocks, concatenating results in block order.
+    pub fn query(&self, command: &str) -> Result<Vec<Vec<u8>>, String> {
+        let mut out = Vec::new();
+        for a in &self.archives {
+            out.extend(a.query(command).map_err(|e| e.to_string())?.lines);
+        }
+        Ok(out)
+    }
+
+    /// The per-block archives.
+    pub fn blocks(&self) -> &[Archive] {
+        &self.archives
+    }
+}
+
+/// Serializes a single CapsuleBox into the `.lgb` container format (used by
+/// examples that keep everything in memory).
+pub fn single_block_file(boxed: &CapsuleBox) -> Vec<u8> {
+    let body = boxed.to_bytes();
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(FILE_MAGIC);
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_splitting_respects_lines() {
+        let mut raw = Vec::new();
+        for i in 0..1000 {
+            raw.extend_from_slice(format!("line number {i} with some padding\n").as_bytes());
+        }
+        let blocks = split_blocks(&raw);
+        assert_eq!(blocks.len(), 1); // Small input: one block.
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, raw.len());
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("loggrep-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.log");
+        let output = dir.join("out.lgb");
+        let spec = workloads::by_name("Log C").unwrap();
+        std::fs::write(&input, spec.generate(5, 128 * 1024)).unwrap();
+
+        compress_file(input.to_str().unwrap(), output.to_str().unwrap()).unwrap();
+        let archives = open_file(output.to_str().unwrap()).unwrap();
+        assert_eq!(archives.len(), 1);
+        let hits = archives[0].query("finished batch").unwrap();
+        assert!(!hits.lines.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_archive_in_memory() {
+        let spec = workloads::by_name("Log H").unwrap();
+        let raw = spec.generate(9, 64 * 1024);
+        let multi = MultiArchive::compress(&raw, LogGrepConfig::default()).unwrap();
+        assert_eq!(multi.blocks().len(), 1);
+        let hits = multi.query("gc pause").unwrap();
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        assert!(open_bytes(b"definitely not an archive").is_err());
+        assert!(open_bytes(b"").is_err());
+        let mut bad = FILE_MAGIC.to_vec();
+        bad.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(open_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn usage_lists_subcommands() {
+        let u = usage();
+        for cmd in ["compress", "query", "stat", "explain", "gen"] {
+            assert!(u.contains(cmd), "missing {cmd}");
+        }
+    }
+}

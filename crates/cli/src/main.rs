@@ -1,0 +1,6 @@
+//! The `loggrep` binary. See [`cli::usage`] for the interface.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(cli::run(&args));
+}

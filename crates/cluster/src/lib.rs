@@ -1,0 +1,292 @@
+//! Distributed LogGrep — the scaling direction §8 names as future work.
+//!
+//! The paper's system compresses and queries one 64 MB block at a time on
+//! one machine. This crate scales that out, simulating a cluster in-process:
+//!
+//! * a [`Cluster`] owns N [`Node`]s; log blocks are sharded round-robin;
+//! * **ingest** compresses blocks on all nodes in parallel (compression is
+//!   embarrassingly parallel per block, as §6's normalization assumes);
+//! * **queries** scatter to every node, run against each block's CapsuleBox
+//!   independently, and gather in global line order (block order × the
+//!   per-block logical timestamps);
+//! * per-node query caches work exactly like the single-machine cache.
+//!
+//! Nodes are plain structs driven by crossbeam scoped threads, so the same
+//! code paths would back a real RPC deployment.
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::Cluster;
+//! use loggrep::LogGrepConfig;
+//!
+//! let mut cluster = Cluster::new(4, LogGrepConfig::default());
+//! cluster.ingest(b"a 1 ok\nb 2 err\na 3 ok\n", 2).unwrap();
+//! let hits = cluster.query("ok").unwrap();
+//! assert_eq!(hits.lines.len(), 2);
+//! ```
+
+use loggrep::{Archive, LogGrep, LogGrepConfig};
+use parking_lot::Mutex;
+
+/// One storage node: owns a set of blocks (opened archives).
+pub struct Node {
+    /// Node id (0-based).
+    pub id: usize,
+    /// `(global block number, archive)` pairs owned by this node.
+    blocks: Vec<(usize, Archive)>,
+}
+
+impl Node {
+    fn new(id: usize) -> Self {
+        Self {
+            id,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Number of blocks stored on this node.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Runs a query against every local block, returning
+    /// `(block number, line number within block, line)` triples.
+    fn query_local(&self, command: &str) -> Result<Vec<(usize, u32, Vec<u8>)>, String> {
+        let mut out = Vec::new();
+        for (block_no, archive) in &self.blocks {
+            let result = archive.query(command).map_err(|e| e.to_string())?;
+            for (lineno, line) in result.line_numbers.iter().zip(result.lines) {
+                out.push((*block_no, *lineno, line));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A query result gathered from the whole cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Matching lines in global log order.
+    pub lines: Vec<Vec<u8>>,
+    /// `(block, line-in-block)` of each hit, parallel to `lines`.
+    pub locations: Vec<(usize, u32)>,
+}
+
+/// An in-process LogGrep cluster.
+pub struct Cluster {
+    nodes: Vec<Node>,
+    engine: LogGrep,
+    next_block: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `nodes` empty nodes sharing one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, config: LogGrepConfig) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Self {
+            nodes: (0..nodes).map(Node::new).collect(),
+            engine: LogGrep::new(config),
+            next_block: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total blocks across the cluster.
+    pub fn block_count(&self) -> usize {
+        self.nodes.iter().map(Node::block_count).sum()
+    }
+
+    /// The nodes (for inspection in tests and examples).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Splits `raw` into blocks of at most `block_bytes` (on line
+    /// boundaries), compresses them in parallel, and shards them
+    /// round-robin across the nodes. Returns the number of blocks ingested.
+    pub fn ingest(&mut self, raw: &[u8], block_bytes: usize) -> Result<usize, String> {
+        let blocks = split_blocks(raw, block_bytes.max(1));
+        let n = blocks.len();
+        let engine = &self.engine;
+
+        // Parallel compression, order-preserving.
+        let slots: Vec<Mutex<Option<Result<Archive, String>>>> =
+            blocks.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for (i, block) in blocks.iter().enumerate() {
+                let slot = &slots[i];
+                scope.spawn(move |_| {
+                    let result = engine
+                        .compress(block)
+                        .map(|boxed| engine.open(boxed))
+                        .map_err(|e| e.to_string());
+                    *slot.lock() = Some(result);
+                });
+            }
+        })
+        .map_err(|_| "ingest worker panicked".to_string())?;
+
+        for slot in slots {
+            let archive = slot
+                .into_inner()
+                .expect("every slot filled")?;
+            let block_no = self.next_block;
+            self.next_block += 1;
+            let node = block_no % self.nodes.len();
+            self.nodes[node].blocks.push((block_no, archive));
+        }
+        Ok(n)
+    }
+
+    /// Scatter-gather query: every node evaluates the command against its
+    /// blocks in parallel; results merge in global order.
+    pub fn query(&self, command: &str) -> Result<ClusterResult, String> {
+        let partials: Vec<Mutex<Option<Result<Vec<(usize, u32, Vec<u8>)>, String>>>> =
+            self.nodes.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for (node, slot) in self.nodes.iter().zip(&partials) {
+                scope.spawn(move |_| {
+                    *slot.lock() = Some(node.query_local(command));
+                });
+            }
+        })
+        .map_err(|_| "query worker panicked".to_string())?;
+
+        let mut hits: Vec<(usize, u32, Vec<u8>)> = Vec::new();
+        for slot in partials {
+            hits.extend(slot.into_inner().expect("every slot filled")?);
+        }
+        // Global order: block number, then the per-block logical timestamp.
+        hits.sort_by_key(|(block, line, _)| (*block, *line));
+        let mut lines = Vec::with_capacity(hits.len());
+        let mut locations = Vec::with_capacity(hits.len());
+        for (block, lineno, line) in hits {
+            locations.push((block, lineno));
+            lines.push(line);
+        }
+        Ok(ClusterResult { lines, locations })
+    }
+
+    /// Total stored bytes across the cluster (sum of CapsuleBox sizes).
+    pub fn stored_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.blocks.iter())
+            .map(|(_, a)| a.capsule_box().compressed_size())
+            .sum()
+    }
+}
+
+/// Splits raw logs into blocks of at most `block_bytes` on line boundaries.
+fn split_blocks(raw: &[u8], block_bytes: usize) -> Vec<&[u8]> {
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    while start < raw.len() {
+        let mut end = (start + block_bytes).min(raw.len());
+        if end < raw.len() {
+            while end < raw.len() && raw[end - 1] != b'\n' {
+                end += 1;
+            }
+        }
+        blocks.push(&raw[start..end]);
+        start = end;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loggrep::query::lang::Query;
+    use logparse::DEFAULT_DELIMS;
+
+    fn sample(lines: usize) -> Vec<u8> {
+        let mut raw = Vec::new();
+        for i in 0..lines {
+            raw.extend_from_slice(
+                format!(
+                    "{} req {} from host{}\n",
+                    if i % 13 == 0 { "ERROR" } else { "INFO" },
+                    i,
+                    i % 7
+                )
+                .as_bytes(),
+            );
+        }
+        raw
+    }
+
+    fn oracle(raw: &[u8], command: &str) -> Vec<Vec<u8>> {
+        let q = Query::parse(command).unwrap();
+        loggrep::engine::split_lines(raw)
+            .into_iter()
+            .filter(|l| q.expr.matches_line(l, DEFAULT_DELIMS))
+            .map(|l| l.to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn cluster_matches_oracle_in_global_order() {
+        let raw = sample(2000);
+        let mut cluster = Cluster::new(3, LogGrepConfig::default());
+        let blocks = cluster.ingest(&raw, 8 * 1024).unwrap();
+        assert!(blocks > 3, "want multiple blocks, got {blocks}");
+        assert_eq!(cluster.block_count(), blocks);
+
+        for q in ["ERROR", "host3", "ERROR and host3", "req 1999"] {
+            assert_eq!(cluster.query(q).unwrap().lines, oracle(&raw, q), "query `{q}`");
+        }
+    }
+
+    #[test]
+    fn blocks_shard_evenly() {
+        let raw = sample(3000);
+        let mut cluster = Cluster::new(4, LogGrepConfig::default());
+        let blocks = cluster.ingest(&raw, 4 * 1024).unwrap();
+        let counts: Vec<usize> = cluster.nodes().iter().map(Node::block_count).collect();
+        assert_eq!(counts.iter().sum::<usize>(), blocks);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "uneven shard: {counts:?}");
+    }
+
+    #[test]
+    fn incremental_ingest_appends() {
+        let a = sample(300);
+        let b = sample(300);
+        let mut cluster = Cluster::new(2, LogGrepConfig::default());
+        cluster.ingest(&a, 4 * 1024).unwrap();
+        let before = cluster.query("INFO").unwrap().lines.len();
+        cluster.ingest(&b, 4 * 1024).unwrap();
+        let after = cluster.query("INFO").unwrap().lines.len();
+        assert_eq!(after, before * 2);
+    }
+
+    #[test]
+    fn empty_cluster_and_empty_input() {
+        let mut cluster = Cluster::new(2, LogGrepConfig::default());
+        assert_eq!(cluster.query("x").unwrap().lines.len(), 0);
+        assert_eq!(cluster.ingest(b"", 1024).unwrap(), 0);
+        assert_eq!(cluster.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn locations_identify_blocks() {
+        let raw = sample(1000);
+        let mut cluster = Cluster::new(2, LogGrepConfig::default());
+        let blocks = cluster.ingest(&raw, 4 * 1024).unwrap();
+        let result = cluster.query("ERROR").unwrap();
+        assert!(!result.locations.is_empty());
+        assert!(result.locations.iter().all(|(b, _)| *b < blocks));
+        // Locations are in global order.
+        assert!(result.locations.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

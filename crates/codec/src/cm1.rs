@@ -1,0 +1,130 @@
+//! An order-1 context-model codec: every byte is range-coded through an
+//! adaptive bit tree selected by the previous byte.
+//!
+//! This is the repository's stand-in for the **PPM-class** compressors the
+//! paper cites for *offline* logs (§1 [10]): no LZ parsing at all, just a
+//! statistical model — the slowest codec here and often the strongest on
+//! plain text, which is exactly the offline-tier trade-off. It is not used
+//! by LogGrep's near-line path (LZMA-class wins there because Capsule
+//! payloads are highly repetitive), but the `offline` configuration knob
+//! and the codec benches exercise it.
+
+use crate::rangecoder::{BitTree, RangeDecoder, RangeEncoder};
+use crate::varint;
+use crate::{Codec, CodecError};
+
+/// The order-1 context-model codec. See the [module docs](self).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Cm1;
+
+/// One 8-bit adaptive tree per previous-byte context.
+fn fresh_model() -> Vec<BitTree> {
+    (0..256).map(|_| BitTree::new(8)).collect()
+}
+
+impl Codec for Cm1 {
+    fn name(&self) -> &'static str {
+        "cm1"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 3 + 16);
+        varint::put_uvarint(&mut out, input.len() as u64);
+        if input.is_empty() {
+            return out;
+        }
+        let mut model = fresh_model();
+        let mut enc = RangeEncoder::new();
+        let mut prev = 0u8;
+        for &b in input {
+            model[prev as usize].encode(&mut enc, b as u32);
+            prev = b;
+        }
+        out.extend_from_slice(&enc.finish());
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (expected_len, consumed) = varint::get_uvarint(input)
+            .ok_or_else(|| CodecError::new("cm1: truncated header"))?;
+        let expected_len = expected_len as usize;
+        if expected_len == 0 {
+            return Ok(Vec::new());
+        }
+        let mut dec = RangeDecoder::new(&input[consumed..])?;
+        let mut model = fresh_model();
+        let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+        let mut prev = 0u8;
+        while out.len() < expected_len {
+            if dec.overrun() {
+                return Err(CodecError::new("cm1: input exhausted"));
+            }
+            let b = model[prev as usize].decode(&mut dec) as u8;
+            out.push(b);
+            prev = b;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Deflate, LzmaLite};
+
+    fn roundtrip(data: &[u8]) {
+        let c = Cm1;
+        let packed = c.compress(data);
+        assert_eq!(c.decompress(&packed).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn roundtrip_basic() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"banana banana banana");
+        roundtrip(&vec![b'\xfe'; 10_000]);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn strong_on_plain_text_weak_on_repeats() {
+        // Order-1 modeling beats deflate on short-range-structured text
+        // without long repeats...
+        let mut text = Vec::new();
+        let mut state = 7u32;
+        for _ in 0..30_000 {
+            state = state.wrapping_mul(1103515245).wrapping_add(12345);
+            let w = ["alpha", "beta", "gamma", "delta", "epsilon"][(state >> 16) as usize % 5];
+            text.extend_from_slice(w.as_bytes());
+            text.push(b' ');
+        }
+        let cm = Cm1.compress(&text).len();
+        assert!(cm < text.len() / 2, "cm1 {} vs raw {}", cm, text.len());
+        // ... but LZ-class codecs win when the data is one long repeat.
+        let repeats = b"0123456789abcdefghijklmnopqrstuvwxyz".repeat(500);
+        let cm_r = Cm1.compress(&repeats).len();
+        let lz_r = LzmaLite::default().compress(&repeats).len();
+        assert!(lz_r < cm_r, "lzma {} should beat cm1 {} on repeats", lz_r, cm_r);
+        let _ = Deflate::default();
+    }
+
+    #[test]
+    fn corrupt_input_is_error_not_panic() {
+        let packed = Cm1.compress(b"some text to mangle badly");
+        for cut in 0..packed.len() {
+            let _ = Cm1.decompress(&packed[..cut]);
+        }
+        let mut bad = packed.clone();
+        for i in 0..bad.len() {
+            bad[i] ^= 0x3c;
+            let _ = Cm1.decompress(&bad);
+            bad[i] ^= 0x3c;
+        }
+    }
+}

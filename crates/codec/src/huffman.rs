@@ -1,0 +1,313 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths are computed with a standard heap-built Huffman tree and then
+//! clamped to [`MAX_CODE_LEN`] with a Kraft-sum repair pass, so the resulting
+//! lengths always describe a valid prefix code. Codes are assigned
+//! canonically (ordered by `(length, symbol)`), which lets the decoder be
+//! reconstructed from the length table alone.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::CodecError;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum code length in bits. Matches DEFLATE's limit.
+pub const MAX_CODE_LEN: u32 = 15;
+
+/// Computes length-limited Huffman code lengths for the given frequencies.
+///
+/// Symbols with frequency zero get length zero (no code). If only one symbol
+/// has a nonzero frequency it is assigned length 1 so the decoder can always
+/// make progress.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u32> {
+    let n = freqs.len();
+    let mut lens = vec![0u32; n];
+    let live: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    match live.len() {
+        0 => return lens,
+        1 => {
+            lens[live[0]] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Node arena: leaves first, then internal nodes; parent links let us
+    // read off depths without building an explicit tree structure.
+    let mut parent: Vec<usize> = vec![usize::MAX; live.len()];
+    let mut weights: Vec<u64> = live.iter().map(|&i| freqs[i]).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| Reverse((w, i)))
+        .collect();
+    while heap.len() > 1 {
+        let Reverse((w1, a)) = heap.pop().expect("heap has >= 2 items");
+        let Reverse((w2, b)) = heap.pop().expect("heap has >= 2 items");
+        let id = weights.len();
+        weights.push(w1.saturating_add(w2));
+        parent.push(usize::MAX);
+        parent[a] = id;
+        parent[b] = id;
+        heap.push(Reverse((weights[id], id)));
+    }
+
+    // Depth of each leaf = number of parent hops to the root.
+    for (leaf, &sym) in live.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lens[sym] = depth;
+    }
+
+    limit_lengths(&mut lens, MAX_CODE_LEN);
+    lens
+}
+
+/// Clamps code lengths to `max` and repairs the Kraft sum so the lengths
+/// still describe a complete-enough prefix code (sum of 2^-len <= 1).
+fn limit_lengths(lens: &mut [u32], max: u32) {
+    let unit = 1u64 << max; // Represent 2^-len as unit >> len.
+    let mut kraft: u64 = lens
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| unit >> l.min(max))
+        .sum();
+    for l in lens.iter_mut() {
+        if *l > max {
+            *l = max;
+        }
+    }
+    // Demote codes (increase length) until the Kraft inequality holds.
+    while kraft > unit {
+        // Find the longest code shorter than max and lengthen it.
+        let victim = (0..lens.len())
+            .filter(|&i| lens[i] > 0 && lens[i] < max)
+            .max_by_key(|&i| lens[i])
+            .expect("kraft overflow implies a code shorter than max exists");
+        kraft -= unit >> lens[victim];
+        lens[victim] += 1;
+        kraft += unit >> lens[victim];
+    }
+}
+
+/// Encoder table: canonical code bits (LSB-first as written to the stream)
+/// and lengths per symbol.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lens: Vec<u32>,
+}
+
+impl Encoder {
+    /// Builds the canonical encoder from code lengths.
+    pub fn from_lengths(lens: &[u32]) -> Self {
+        let codes = canonical_codes(lens);
+        Self {
+            codes,
+            lens: lens.to_vec(),
+        }
+    }
+
+    /// Writes the code for `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `symbol` has no code (length 0).
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let len = self.lens[symbol];
+        debug_assert!(len > 0, "symbol {symbol} has no code");
+        w.write_bits(self.codes[symbol] as u64, len);
+    }
+
+    /// Length in bits of the code for `symbol` (0 = no code).
+    pub fn len_of(&self, symbol: usize) -> u32 {
+        self.lens[symbol]
+    }
+}
+
+/// Assigns canonical codes from lengths. Codes are bit-reversed so they can
+/// be written LSB-first and decoded by reading one bit at a time.
+fn canonical_codes(lens: &[u32]) -> Vec<u32> {
+    let max = lens.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; (max + 1) as usize];
+    for &l in lens {
+        if l > 0 {
+            bl_count[l as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; (max + 2) as usize];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[(bits - 1) as usize]) << 1;
+        next_code[bits as usize] = code;
+    }
+    lens.iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[l as usize];
+                next_code[l as usize] += 1;
+                reverse_bits(c, l)
+            }
+        })
+        .collect()
+}
+
+#[inline]
+fn reverse_bits(value: u32, nbits: u32) -> u32 {
+    let mut v = value;
+    let mut out = 0u32;
+    for _ in 0..nbits {
+        out = (out << 1) | (v & 1);
+        v >>= 1;
+    }
+    out
+}
+
+/// Decoder built from canonical code lengths.
+///
+/// Uses the classic canonical decode loop (`first_code`/`first_symbol` per
+/// length), reading one bit at a time; at most [`MAX_CODE_LEN`] iterations
+/// per symbol.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// count[l] = number of codes of length l.
+    count: Vec<u32>,
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lengths oversubscribe the code space (which
+    /// would make decoding ambiguous).
+    pub fn from_lengths(lens: &[u32]) -> Result<Self, CodecError> {
+        let max = lens.iter().copied().max().unwrap_or(0);
+        if max > MAX_CODE_LEN {
+            return Err(CodecError::new("huffman: code length exceeds limit"));
+        }
+        let mut count = vec![0u32; (MAX_CODE_LEN + 1) as usize];
+        for &l in lens {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Validate the Kraft sum.
+        let unit = 1u64 << MAX_CODE_LEN;
+        let kraft: u64 = (1..=MAX_CODE_LEN)
+            .map(|l| (count[l as usize] as u64) << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > unit {
+            return Err(CodecError::new("huffman: oversubscribed code lengths"));
+        }
+        let mut symbols: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
+        symbols.sort_by_key(|&s| (lens[s as usize], s));
+        Ok(Self { count, symbols })
+    }
+
+    /// Decodes one symbol from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or an invalid code.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        let mut code: u32 = 0; // Code value, MSB-first semantics.
+        let mut first: u32 = 0; // First canonical code of this length.
+        let mut index: u32 = 0; // Index of first symbol of this length.
+        for len in 1..=MAX_CODE_LEN {
+            code |= r.read_bits(1)? as u32;
+            let count = self.count[len as usize];
+            if code < first + count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(CodecError::new("huffman: invalid code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(freqs: &[u64], stream: &[usize]) {
+        let lens = code_lengths(freqs);
+        let enc = Encoder::from_lengths(&lens);
+        let dec = Decoder::from_lengths(&lens).unwrap();
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.encode(&mut w, s);
+        }
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        for &s in stream {
+            assert_eq!(dec.decode(&mut r).unwrap() as usize, s);
+        }
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        roundtrip(&[0, 5, 0], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip(&[3, 7], &[0, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let freqs = [1000, 500, 250, 125, 60, 30, 15, 7, 3, 1];
+        let stream: Vec<usize> = (0..freqs.len()).cycle().take(200).collect();
+        roundtrip(&freqs, &stream);
+    }
+
+    #[test]
+    fn lengths_are_limited() {
+        // A Fibonacci-like distribution forces deep trees without a limit.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let lens = code_lengths(&freqs);
+        assert!(lens.iter().all(|&l| l <= MAX_CODE_LEN));
+        // Must still be a valid prefix code.
+        assert!(Decoder::from_lengths(&lens).is_ok());
+        let stream: Vec<usize> = (0..40).collect();
+        roundtrip(&freqs, &stream);
+    }
+
+    #[test]
+    fn kraft_validation_rejects_bad_lengths() {
+        // Three codes of length 1 oversubscribe the space.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn optimal_for_uniform() {
+        let lens = code_lengths(&[1, 1, 1, 1]);
+        assert!(lens.iter().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn empty_and_zero_freqs() {
+        assert!(code_lengths(&[]).is_empty());
+        assert_eq!(code_lengths(&[0, 0, 0]), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,167 @@
+//! From-scratch compression codecs used as LogGrep's compression substrate.
+//!
+//! The LogGrep paper compresses Capsules with LZMA (7-zip), compares against
+//! a gzip baseline, and against CLP which uses zstd as its second-stage
+//! compressor. None of those implementations are available to this offline
+//! reproduction, so this crate implements three codecs with the same
+//! *relative* characteristics from first principles:
+//!
+//! * [`Deflate`] — LZ77 (32 KiB window) + canonical Huffman coding. Plays the
+//!   role of **gzip**: moderate ratio, fast.
+//! * [`LzmaLite`] — LZ77 (1 MiB window) + adaptive binary range coder with
+//!   context modeling. Plays the role of **LZMA**: best ratio, slowest.
+//! * [`FastLz`] — byte-oriented LZ77 in an LZ4-style token format. Plays the
+//!   role of **zstd** in CLP: fastest, lowest ratio.
+//!
+//! All codecs are self-framing: the compressed buffer records the
+//! uncompressed length, so [`Codec::decompress`] needs no side information.
+//!
+//! # Examples
+//!
+//! ```
+//! use codec::{Codec, Deflate};
+//!
+//! let data = b"the quick brown fox jumps over the lazy dog, the quick brown fox";
+//! let codec = Deflate::default();
+//! let packed = codec.compress(data);
+//! assert_eq!(codec.decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod bitio;
+pub mod cm1;
+pub mod deflate;
+pub mod fastlz;
+pub mod huffman;
+pub mod lz77;
+pub mod lzma_lite;
+pub mod rangecoder;
+pub mod varint;
+
+use std::fmt;
+
+pub use cm1::Cm1;
+pub use deflate::Deflate;
+pub use fastlz::FastLz;
+pub use lzma_lite::LzmaLite;
+
+/// Error produced when decompressing a corrupt or truncated buffer.
+///
+/// Compression itself is infallible: every byte sequence can be compressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Human-readable description of what went wrong.
+    pub reason: String,
+}
+
+impl CodecError {
+    /// Creates a new error with the given reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A lossless, self-framing compression codec.
+///
+/// Implementations must guarantee `decompress(&compress(x)) == x` for every
+/// input `x`, and must never panic on arbitrary (possibly corrupt)
+/// `decompress` input — corruption is reported via [`CodecError`].
+pub trait Codec: Send + Sync {
+    /// Short stable name used in experiment output (e.g. `"lzma-lite"`).
+    fn name(&self) -> &'static str;
+
+    /// Compresses `input` into a self-framing buffer.
+    fn compress(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Decompresses a buffer produced by [`Codec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the buffer is truncated or corrupt.
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+}
+
+/// The identity codec: stores data uncompressed (behind a length header).
+///
+/// Used by ablations and as the stored-fields format of the MiniEs baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Store;
+
+impl Codec for Store {
+    fn name(&self) -> &'static str {
+        "store"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() + 5);
+        varint::put_uvarint(&mut out, input.len() as u64);
+        out.extend_from_slice(input);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (len, consumed) = varint::get_uvarint(input)
+            .ok_or_else(|| CodecError::new("store: truncated length header"))?;
+        let body = &input[consumed..];
+        if body.len() != len as usize {
+            return Err(CodecError::new(format!(
+                "store: length mismatch (header {} vs body {})",
+                len,
+                body.len()
+            )));
+        }
+        Ok(body.to_vec())
+    }
+}
+
+/// Enumerates the codecs by name, for CLI/bench selection.
+///
+/// Returns `None` for an unknown name.
+pub fn by_name(name: &str) -> Option<Box<dyn Codec>> {
+    match name {
+        "store" => Some(Box::new(Store)),
+        "deflate" | "gzip" => Some(Box::new(Deflate::default())),
+        "lzma-lite" | "lzma" => Some(Box::new(LzmaLite::default())),
+        "fastlz" | "zstd" => Some(Box::new(FastLz::default())),
+        "cm1" | "ppm" => Some(Box::new(Cm1)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip() {
+        let c = Store;
+        for data in [&b""[..], b"a", b"hello world"] {
+            assert_eq!(c.decompress(&c.compress(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn store_rejects_truncation() {
+        let c = Store;
+        let packed = c.compress(b"hello world");
+        assert!(c.decompress(&packed[..packed.len() - 1]).is_err());
+        assert!(c.decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn by_name_resolves_all() {
+        for name in ["store", "deflate", "gzip", "lzma-lite", "fastlz", "zstd", "cm1", "ppm"] {
+            assert!(by_name(name).is_some(), "missing codec {name}");
+        }
+        assert!(by_name("bogus").is_none());
+    }
+}

@@ -1,0 +1,334 @@
+//! Binary range coder with adaptive probability models (LZMA-style).
+//!
+//! This is the entropy-coding core of [`crate::lzma_lite`]. Probabilities
+//! are 11-bit (`0..2048`) and adapt with shift 5, exactly as in LZMA; the
+//! carry-propagation scheme (cache byte + pending 0xFF run) is the classic
+//! one.
+
+use crate::CodecError;
+
+const PROB_BITS: u32 = 11;
+const PROB_INIT: u16 = (1 << PROB_BITS) / 2;
+const ADAPT_SHIFT: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive binary probability (11-bit, starts at 1/2).
+#[derive(Debug, Clone, Copy)]
+pub struct Prob(u16);
+
+impl Default for Prob {
+    fn default() -> Self {
+        Self(PROB_INIT)
+    }
+}
+
+impl Prob {
+    #[inline]
+    fn update(&mut self, bit: u32) {
+        if bit == 0 {
+            self.0 += ((1 << PROB_BITS) - self.0) >> ADAPT_SHIFT;
+        } else {
+            self.0 -= self.0 >> ADAPT_SHIFT;
+        }
+    }
+}
+
+/// Range encoder writing to an internal buffer.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xff00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            self.out.push(self.cache.wrapping_add(carry));
+            for _ in 1..self.cache_size {
+                self.out.push(0xffu8.wrapping_add(carry));
+            }
+            self.cache = (self.low >> 24) as u8;
+            self.cache_size = 0;
+        }
+        self.cache_size += 1;
+        // Keep only the low 24 bits before shifting: the byte above them has
+        // just been captured in `cache` (or is a pending 0xff accounted for
+        // by `cache_size`), and must not re-enter as a carry.
+        self.low = (self.low & 0x00ff_ffff) << 8;
+    }
+
+    /// Encodes one bit under the adaptive probability `prob`.
+    #[inline]
+    pub fn encode_bit(&mut self, prob: &mut Prob, bit: u32) {
+        let bound = (self.range >> PROB_BITS) * prob.0 as u32;
+        if bit == 0 {
+            self.range = bound;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+        }
+        prob.update(bit);
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Encodes `count` bits of `value` (MSB first) at probability 1/2.
+    #[inline]
+    pub fn encode_direct(&mut self, value: u32, count: u32) {
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            self.range >>= 1;
+            if bit != 0 {
+                self.low += self.range as u64;
+            }
+            while self.range < TOP {
+                self.shift_low();
+                self.range <<= 8;
+            }
+        }
+    }
+
+    /// Flushes the coder and returns the compressed bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder over a byte slice.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Creates a decoder; consumes the 5 initialization bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` is shorter than 5 bytes.
+    pub fn new(input: &'a [u8]) -> Result<Self, CodecError> {
+        if input.len() < 5 {
+            return Err(CodecError::new("range coder: input shorter than header"));
+        }
+        let mut code = 0u32;
+        for &b in &input[1..5] {
+            code = (code << 8) | b as u32;
+        }
+        Ok(Self {
+            code,
+            range: u32::MAX,
+            input,
+            pos: 5,
+        })
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // Reading a few bytes past the end is normal (the encoder's flush
+        // slack); anything more means corrupt input, flagged via `overrun`.
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// True when the decoder has consumed meaningfully more bytes than the
+    /// input contains — a sign of corrupt or garbage input. Framing layers
+    /// check this to bound the work done on hostile buffers.
+    #[inline]
+    pub fn overrun(&self) -> bool {
+        self.pos > self.input.len() + 16
+    }
+
+    #[inline]
+    fn normalize(&mut self) {
+        while self.range < TOP {
+            self.code = (self.code << 8) | self.next_byte() as u32;
+            self.range <<= 8;
+        }
+    }
+
+    /// Decodes one bit under the adaptive probability `prob`.
+    #[inline]
+    pub fn decode_bit(&mut self, prob: &mut Prob) -> u32 {
+        let bound = (self.range >> PROB_BITS) * prob.0 as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            0
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            1
+        };
+        prob.update(bit);
+        self.normalize();
+        bit
+    }
+
+    /// Decodes `count` direct (probability-1/2) bits, MSB first.
+    #[inline]
+    pub fn decode_direct(&mut self, count: u32) -> u32 {
+        let mut value = 0u32;
+        for _ in 0..count {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            self.normalize();
+        }
+        value
+    }
+}
+
+/// A bit tree: encodes an `n`-bit value MSB-first, with one adaptive
+/// probability per tree node (2^n - 1 contexts).
+#[derive(Debug, Clone)]
+pub struct BitTree {
+    probs: Vec<Prob>,
+    nbits: u32,
+}
+
+impl BitTree {
+    /// Creates a tree for `nbits`-wide values.
+    pub fn new(nbits: u32) -> Self {
+        Self {
+            probs: vec![Prob::default(); 1 << nbits],
+            nbits,
+        }
+    }
+
+    /// Encodes `value` (must fit in `nbits`).
+    pub fn encode(&mut self, enc: &mut RangeEncoder, value: u32) {
+        debug_assert!(value < (1 << self.nbits));
+        let mut node = 1usize;
+        for i in (0..self.nbits).rev() {
+            let bit = (value >> i) & 1;
+            enc.encode_bit(&mut self.probs[node], bit);
+            node = (node << 1) | bit as usize;
+        }
+    }
+
+    /// Decodes a value.
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u32 {
+        let mut node = 1usize;
+        for _ in 0..self.nbits {
+            let bit = dec.decode_bit(&mut self.probs[node]);
+            node = (node << 1) | bit as usize;
+        }
+        node as u32 - (1 << self.nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip_skewed() {
+        // A 90/10 bit stream should compress well below 1 bit/bit.
+        let bits: Vec<u32> = (0..10_000).map(|i| u32::from(i % 10 == 0)).collect();
+        let mut enc = RangeEncoder::new();
+        let mut p = Prob::default();
+        for &b in &bits {
+            enc.encode_bit(&mut p, b);
+        }
+        let buf = enc.finish();
+        assert!(buf.len() < 10_000 / 8, "no compression: {}", buf.len());
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        let mut p = Prob::default();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut p), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip() {
+        let values: Vec<(u32, u32)> = vec![(0, 1), (1, 1), (0xabc, 12), (u32::MAX >> 2, 30), (5, 3)];
+        let mut enc = RangeEncoder::new();
+        for &(v, n) in &values {
+            enc.encode_direct(v, n);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        for &(v, n) in &values {
+            assert_eq!(dec.decode_direct(n), v);
+        }
+    }
+
+    #[test]
+    fn bit_tree_roundtrip() {
+        let values: Vec<u32> = (0..500).map(|i| (i * 37) % 256).collect();
+        let mut enc_tree = BitTree::new(8);
+        let mut enc = RangeEncoder::new();
+        for &v in &values {
+            enc_tree.encode(&mut enc, v);
+        }
+        let buf = enc.finish();
+        let mut dec_tree = BitTree::new(8);
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        for &v in &values {
+            assert_eq!(dec_tree.decode(&mut dec), v);
+        }
+    }
+
+    #[test]
+    fn mixed_models_roundtrip() {
+        // Interleave adaptive bits, direct bits and tree values to exercise
+        // carry propagation.
+        let mut enc = RangeEncoder::new();
+        let mut p = Prob::default();
+        let mut tree = BitTree::new(5);
+        for i in 0..2000u32 {
+            enc.encode_bit(&mut p, i & 1);
+            enc.encode_direct(i % 16, 4);
+            tree.encode(&mut enc, i % 32);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf).unwrap();
+        let mut p = Prob::default();
+        let mut tree = BitTree::new(5);
+        for i in 0..2000u32 {
+            assert_eq!(dec.decode_bit(&mut p), i & 1);
+            assert_eq!(dec.decode_direct(4), i % 16);
+            assert_eq!(tree.decode(&mut dec), i % 32);
+        }
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(RangeDecoder::new(&[0, 1, 2]).is_err());
+    }
+}

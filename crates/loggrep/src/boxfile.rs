@@ -1,0 +1,402 @@
+//! The CapsuleBox: LogGrep's on-disk container for one compressed log block
+//! (§3, Figure 1) — metadata (static patterns, runtime patterns, stamps,
+//! row maps) plus independently compressed Capsules.
+
+use crate::capsule::{codec_by_id, CapsuleMeta, Layout, Stamp};
+use crate::error::{Error, Result};
+use crate::typemask::TypeMask;
+use crate::vector::VectorMeta;
+use crate::wire::{Reader, Writer};
+use logparse::{Piece, Template};
+
+/// Magic bytes of the container format.
+const MAGIC: &[u8; 4] = b"LGRB";
+/// Current format version.
+const VERSION: u8 = 1;
+
+/// Metadata of one group (all entries of one static pattern).
+#[derive(Debug, Clone)]
+pub struct GroupMeta {
+    /// The static pattern.
+    pub template: Template,
+    /// Original line number of each row, ascending (the logical timestamps
+    /// used to restore global order during reconstruction).
+    pub line_numbers: Vec<u32>,
+    /// One encoded vector per template slot.
+    pub vectors: Vec<VectorMeta>,
+}
+
+impl GroupMeta {
+    /// Number of rows (entries) in this group.
+    pub fn rows(&self) -> u32 {
+        self.line_numbers.len() as u32
+    }
+}
+
+/// A compressed log block: all Capsules plus their metadata.
+#[derive(Debug, Clone)]
+pub struct CapsuleBox {
+    /// Per-group metadata (index = group id = template id).
+    pub groups: Vec<GroupMeta>,
+    /// Capsule table; `VectorMeta` refers into it by id.
+    pub capsules: Vec<CapsuleMeta>,
+    /// Concatenated compressed Capsule payloads.
+    pub blob: Vec<u8>,
+    /// Number of lines in the original block.
+    pub total_lines: u32,
+    /// Size of the original block in bytes.
+    pub raw_size: u64,
+    /// Whether Capsules use fixed-length padding (config echo).
+    pub fixed_length: bool,
+}
+
+impl CapsuleBox {
+    /// Total serialized size in bytes (what the compression ratio counts).
+    pub fn compressed_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serializes the box.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(MAGIC);
+        w.put_u8(VERSION);
+        w.put_bool(self.fixed_length);
+        w.put_u32(self.total_lines);
+        w.put_u64(self.raw_size);
+
+        w.put_usize(self.groups.len());
+        for g in &self.groups {
+            let pieces = g.template.pieces();
+            w.put_usize(pieces.len());
+            for p in pieces {
+                match p {
+                    Piece::Static(s) => {
+                        w.put_u8(0);
+                        w.put_bytes(s);
+                    }
+                    Piece::Slot(i) => {
+                        w.put_u8(1);
+                        w.put_usize(*i);
+                    }
+                }
+            }
+            w.put_ascending_u32s(&g.line_numbers);
+            w.put_usize(g.vectors.len());
+            for v in &g.vectors {
+                v.write(&mut w);
+            }
+        }
+
+        w.put_usize(self.capsules.len());
+        for c in &self.capsules {
+            match c.layout {
+                Layout::Padded { width } => {
+                    w.put_u8(0);
+                    w.put_u32(width);
+                }
+                Layout::Delimited => w.put_u8(1),
+                Layout::Raw => w.put_u8(2),
+            }
+            w.put_u32(c.rows);
+            c.stamp.write(&mut w);
+            w.put_u64(c.offset);
+            w.put_u64(c.clen);
+            w.put_u8(c.codec);
+        }
+
+        w.put_bytes(&self.blob);
+        w.into_bytes()
+    }
+
+    /// Deserializes a box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] on truncation, bad magic, or structural
+    /// inconsistencies (e.g. capsule payload ranges outside the blob).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        if r.get_raw(4)? != MAGIC {
+            return Err(Error::Corrupt("bad magic".into()));
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(Error::Corrupt(format!("unsupported version {version}")));
+        }
+        let fixed_length = r.get_bool()?;
+        let total_lines = r.get_u32()?;
+        let raw_size = r.get_u64()?;
+
+        let ngroups = r.get_usize()?;
+        if ngroups > r.remaining() {
+            return Err(Error::Corrupt("group count".into()));
+        }
+        let mut groups = Vec::with_capacity(ngroups);
+        for _ in 0..ngroups {
+            let npieces = r.get_usize()?;
+            if npieces > r.remaining() {
+                return Err(Error::Corrupt("piece count".into()));
+            }
+            let mut pieces = Vec::with_capacity(npieces);
+            let mut next_slot = 0usize;
+            for _ in 0..npieces {
+                match r.get_u8()? {
+                    0 => pieces.push(Piece::Static(r.get_bytes()?.to_vec())),
+                    1 => {
+                        let i = r.get_usize()?;
+                        if i != next_slot {
+                            return Err(Error::Corrupt("non-sequential slots".into()));
+                        }
+                        next_slot += 1;
+                        pieces.push(Piece::Slot(i));
+                    }
+                    t => return Err(Error::Corrupt(format!("bad piece tag {t}"))),
+                }
+            }
+            let template = Template::from_pieces(pieces);
+            let line_numbers = r.get_ascending_u32s()?;
+            let nvec = r.get_usize()?;
+            if nvec != template.slots() {
+                return Err(Error::Corrupt("vector/slot mismatch".into()));
+            }
+            let mut vectors = Vec::with_capacity(nvec);
+            for _ in 0..nvec {
+                vectors.push(VectorMeta::read(&mut r)?);
+            }
+            groups.push(GroupMeta {
+                template,
+                line_numbers,
+                vectors,
+            });
+        }
+
+        let ncaps = r.get_usize()?;
+        if ncaps > r.remaining() {
+            return Err(Error::Corrupt("capsule count".into()));
+        }
+        let mut capsules = Vec::with_capacity(ncaps);
+        for _ in 0..ncaps {
+            let layout = match r.get_u8()? {
+                0 => {
+                    let width = r.get_u32()?;
+                    if width == 0 {
+                        return Err(Error::Corrupt("zero-width capsule".into()));
+                    }
+                    Layout::Padded { width }
+                }
+                1 => Layout::Delimited,
+                2 => Layout::Raw,
+                t => return Err(Error::Corrupt(format!("bad layout tag {t}"))),
+            };
+            let rows = r.get_u32()?;
+            let stamp = Stamp::read(&mut r)?;
+            let offset = r.get_u64()?;
+            let clen = r.get_u64()?;
+            let codec = r.get_u8()?;
+            capsules.push(CapsuleMeta {
+                layout,
+                rows,
+                stamp,
+                offset,
+                clen,
+                codec,
+            });
+        }
+
+        let blob = r.get_bytes()?.to_vec();
+        // Validate capsule ranges and references up front so later accesses
+        // cannot go out of bounds.
+        for c in &capsules {
+            let end = c
+                .offset
+                .checked_add(c.clen)
+                .ok_or_else(|| Error::Corrupt("capsule range overflow".into()))?;
+            if end as usize > blob.len() {
+                return Err(Error::Corrupt("capsule range outside blob".into()));
+            }
+            codec_by_id(c.codec)?;
+        }
+        for g in &groups {
+            for v in &g.vectors {
+                for cid in v.capsules() {
+                    if cid as usize >= capsules.len() {
+                        return Err(Error::Corrupt("capsule id out of range".into()));
+                    }
+                }
+            }
+            if let Some(&last) = g.line_numbers.last() {
+                if last >= total_lines {
+                    return Err(Error::Corrupt("line number out of range".into()));
+                }
+            }
+        }
+
+        Ok(Self {
+            groups,
+            capsules,
+            blob,
+            total_lines,
+            raw_size,
+            fixed_length,
+        })
+    }
+
+    /// Decompresses one Capsule payload.
+    pub fn decompress_capsule(&self, id: u32) -> Result<Vec<u8>> {
+        let meta = self
+            .capsules
+            .get(id as usize)
+            .ok_or_else(|| Error::Corrupt("capsule id out of range".into()))?;
+        let start = meta.offset as usize;
+        let end = start + meta.clen as usize;
+        let codec = codec_by_id(meta.codec)?;
+        Ok(codec.decompress(&self.blob[start..end])?)
+    }
+}
+
+/// An opened CapsuleBox with a query engine attached.
+///
+/// See [`crate::engine::LogGrep`] for compression and
+/// [`Archive::query`] for the grep-like interface.
+#[derive(Debug)]
+pub struct Archive {
+    pub(crate) boxed: CapsuleBox,
+    pub(crate) cache: crate::query::cache::QueryCache,
+    pub(crate) use_query_cache: bool,
+    pub(crate) use_stamps: bool,
+    /// Lazily built map: line number → (group id, group row).
+    line_index: std::sync::OnceLock<Vec<(u32, u32)>>,
+}
+
+impl Archive {
+    /// Opens an archive from serialized CapsuleBox bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        Ok(Self::from_box(CapsuleBox::from_bytes(bytes)?))
+    }
+
+    /// Opens an archive from an in-memory CapsuleBox.
+    pub fn from_box(boxed: CapsuleBox) -> Self {
+        Self {
+            boxed,
+            cache: crate::query::cache::QueryCache::new(),
+            use_query_cache: true,
+            use_stamps: true,
+            line_index: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The line-number → (group, row) map, built on first use.
+    pub(crate) fn line_index(&self) -> &[(u32, u32)] {
+        self.line_index.get_or_init(|| {
+            let mut index = vec![(u32::MAX, u32::MAX); self.boxed.total_lines as usize];
+            for (gid, g) in self.boxed.groups.iter().enumerate() {
+                for (row, &lineno) in g.line_numbers.iter().enumerate() {
+                    index[lineno as usize] = (gid as u32, row as u32);
+                }
+            }
+            index
+        })
+    }
+
+    /// Disables/enables the query cache ("w/o cache" ablation).
+    pub fn set_query_cache(&mut self, on: bool) {
+        self.use_query_cache = on;
+    }
+
+    /// Disables/enables stamp filtering ("w/o stamp" ablation).
+    pub fn set_stamps(&mut self, on: bool) {
+        self.use_stamps = on;
+    }
+
+    /// The underlying box.
+    pub fn capsule_box(&self) -> &CapsuleBox {
+        &self.boxed
+    }
+
+    /// Number of lines stored.
+    pub fn total_lines(&self) -> u32 {
+        self.boxed.total_lines
+    }
+}
+
+/// Builds a `TypeMask` summary over a whole group's static text — used by
+/// the §2.2-style strictness experiments.
+pub fn group_static_mask(group: &GroupMeta) -> TypeMask {
+    TypeMask::of(&group.template.static_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_box() -> CapsuleBox {
+        // Hand-assemble a one-group, one-plain-vector box.
+        let values: Vec<&[u8]> = vec![b"aa", b"b"];
+        let (payload, layout, stamp, rows) = crate::capsule::build_payload(values, true);
+        let codec = codec::by_name("store").unwrap();
+        let compressed = codec.compress(&payload);
+        let capsule = CapsuleMeta {
+            layout,
+            rows,
+            stamp,
+            offset: 0,
+            clen: compressed.len() as u64,
+            codec: 0,
+        };
+        let template = Template::from_pieces(vec![
+            Piece::Static(b"v=".to_vec()),
+            Piece::Slot(0),
+        ]);
+        CapsuleBox {
+            groups: vec![GroupMeta {
+                template,
+                line_numbers: vec![0, 1],
+                vectors: vec![VectorMeta::Plain { capsule: 0 }],
+            }],
+            capsules: vec![capsule],
+            blob: compressed,
+            total_lines: 2,
+            raw_size: 9,
+            fixed_length: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let b = tiny_box();
+        let bytes = b.to_bytes();
+        let got = CapsuleBox::from_bytes(&bytes).unwrap();
+        assert_eq!(got.total_lines, 2);
+        assert_eq!(got.raw_size, 9);
+        assert_eq!(got.groups.len(), 1);
+        assert_eq!(got.groups[0].rows(), 2);
+        assert_eq!(got.capsules.len(), 1);
+        let payload = got.decompress_capsule(0).unwrap();
+        assert_eq!(payload, b"aab\0");
+    }
+
+    #[test]
+    fn corrupt_bytes_error_not_panic() {
+        let bytes = tiny_box().to_bytes();
+        for cut in 0..bytes.len() {
+            let _ = CapsuleBox::from_bytes(&bytes[..cut]);
+        }
+        let mut bad = bytes.clone();
+        for i in 0..bad.len() {
+            bad[i] ^= 0x1;
+            let _ = CapsuleBox::from_bytes(&bad);
+            bad[i] ^= 0x1;
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = tiny_box().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CapsuleBox::from_bytes(&bytes),
+            Err(Error::Corrupt(_))
+        ));
+    }
+}

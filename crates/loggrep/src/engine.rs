@@ -1,0 +1,300 @@
+//! The LogGrep engine: the compression pipeline of §3 (Parser → Extractor →
+//! Assembler → Packer).
+
+use crate::boxfile::{Archive, CapsuleBox, GroupMeta};
+use crate::capsule::{build_payload, codec_id_by_name, CapsuleMeta, Layout, Stamp};
+use crate::config::LogGrepConfig;
+use crate::error::{Error, Result};
+use crate::extract::nominal::format_index;
+use crate::extract::{extract_vector, Extraction};
+use crate::stats::ArchiveStats;
+use crate::vector::VectorMeta;
+use logparse::Parser;
+use std::time::Instant;
+
+/// The LogGrep compressor.
+///
+/// # Examples
+///
+/// ```
+/// use loggrep::{LogGrep, LogGrepConfig};
+///
+/// let engine = LogGrep::new(LogGrepConfig::default());
+/// let boxed = engine.compress(b"a 1\na 2\n").unwrap();
+/// assert_eq!(boxed.total_lines, 2);
+/// ```
+#[derive(Debug)]
+pub struct LogGrep {
+    config: LogGrepConfig,
+}
+
+/// Accumulates Capsules while assembling a box.
+struct Packer<'a> {
+    config: &'a LogGrepConfig,
+    metas: Vec<CapsuleMeta>,
+    blob: Vec<u8>,
+    main_codec_id: u8,
+}
+
+impl<'a> Packer<'a> {
+    fn new(config: &'a LogGrepConfig) -> Result<Self> {
+        Ok(Self {
+            config,
+            metas: Vec::new(),
+            blob: Vec::new(),
+            main_codec_id: codec_id_by_name(&config.codec_name)?,
+        })
+    }
+
+    /// Compresses and appends one Capsule payload; returns its id.
+    fn push(&mut self, payload: &[u8], layout: Layout, stamp: Stamp, rows: u32) -> u32 {
+        // Tiny payloads skip the heavy codec: headers would dominate.
+        let codec_id = if payload.len() < 64 { 0 } else { self.main_codec_id };
+        let codec = crate::capsule::codec_by_id(codec_id).expect("known codec id");
+        let compressed = codec.compress(payload);
+        let meta = CapsuleMeta {
+            layout,
+            rows,
+            stamp,
+            offset: self.blob.len() as u64,
+            clen: compressed.len() as u64,
+            codec: codec_id,
+        };
+        self.blob.extend_from_slice(&compressed);
+        self.metas.push(meta);
+        (self.metas.len() - 1) as u32
+    }
+
+    /// Builds a Capsule from values (padding per the config) and returns
+    /// its id.
+    fn push_values<'v, I>(&mut self, values: I) -> u32
+    where
+        I: IntoIterator<Item = &'v [u8]> + Clone,
+    {
+        let (payload, layout, stamp, rows) = build_payload(values, self.config.fixed_length);
+        self.push(&payload, layout, stamp, rows)
+    }
+
+    /// Builds the outlier Capsule: always delimited (outliers have wildly
+    /// varying lengths and are always fully scanned anyway).
+    fn push_outliers<'v, I>(&mut self, values: I) -> u32
+    where
+        I: IntoIterator<Item = &'v [u8]> + Clone,
+    {
+        let (payload, layout, stamp, rows) = build_payload(values, false);
+        self.push(&payload, layout, stamp, rows)
+    }
+}
+
+impl LogGrep {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: LogGrepConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LogGrepConfig {
+        &self.config
+    }
+
+    /// Compresses one log block into a CapsuleBox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedByte`] if the input contains NUL (the
+    /// reserved pad byte), or a codec error on internal failure.
+    pub fn compress(&self, raw: &[u8]) -> Result<CapsuleBox> {
+        self.compress_with_stats(raw).map(|(b, _)| b)
+    }
+
+    /// Compresses and reports statistics.
+    pub fn compress_with_stats(&self, raw: &[u8]) -> Result<(CapsuleBox, ArchiveStats)> {
+        if let Some(offset) = raw.iter().position(|&b| b == crate::PAD) {
+            return Err(Error::UnsupportedByte { offset });
+        }
+        let start = Instant::now();
+        let lines: Vec<&[u8]> = split_lines(raw);
+
+        // Parser: static patterns from a 5 % sample, then full parse.
+        let parser = Parser::train(&self.config.parser, lines.iter().copied());
+        let parsed = parser.parse_all(lines.iter().copied());
+
+        let mut stats = ArchiveStats {
+            raw_size: raw.len() as u64,
+            catch_all_lines: parsed.groups[logparse::CATCH_ALL as usize].rows() as u32,
+            ..Default::default()
+        };
+
+        let mut packer = Packer::new(&self.config)?;
+        let mut groups = Vec::new();
+        let mut vector_id = 0u64;
+        for (tid, group) in parsed.groups.iter().enumerate() {
+            if group.rows() == 0 {
+                continue;
+            }
+            let template = parsed.templates[tid].clone();
+            let mut vectors = Vec::with_capacity(group.vars.len());
+            for values in &group.vars {
+                vector_id += 1;
+                let meta = self.encode_vector(values, &mut packer, vector_id, &mut stats);
+                vectors.push(meta);
+            }
+            groups.push(GroupMeta {
+                template,
+                line_numbers: group.line_numbers.clone(),
+                vectors,
+            });
+        }
+        stats.groups = groups.len();
+        stats.capsules = packer.metas.len();
+
+        let boxed = CapsuleBox {
+            groups,
+            capsules: packer.metas,
+            blob: packer.blob,
+            total_lines: parsed.total_lines,
+            raw_size: raw.len() as u64,
+            fixed_length: self.config.fixed_length,
+        };
+        stats.compressed_size = boxed.compressed_size() as u64;
+        stats.elapsed = start.elapsed();
+        Ok((boxed, stats))
+    }
+
+    /// Compresses and opens the result as a queryable [`Archive`], with the
+    /// configuration's ablation flags applied.
+    pub fn compress_to_archive(&self, raw: &[u8]) -> Result<Archive> {
+        let boxed = self.compress(raw)?;
+        Ok(self.open(boxed))
+    }
+
+    /// Opens a CapsuleBox as an [`Archive`] with this configuration's query
+    /// flags (stamps, cache).
+    pub fn open(&self, boxed: CapsuleBox) -> Archive {
+        let mut archive = Archive::from_box(boxed);
+        archive.set_query_cache(self.config.use_query_cache);
+        archive.set_stamps(self.config.use_stamps);
+        archive
+    }
+
+    /// Encodes one variable vector (the Extractor + Assembler of §3).
+    fn encode_vector(
+        &self,
+        values: &[Vec<u8>],
+        packer: &mut Packer<'_>,
+        vector_id: u64,
+        stats: &mut ArchiveStats,
+    ) -> VectorMeta {
+        match extract_vector(values, &self.config, vector_id) {
+            Extraction::Real(ex) => {
+                stats.real_vectors += 1;
+                let sub_caps: Vec<u32> = ex
+                    .sub_values
+                    .iter()
+                    .map(|sv| packer.push_values(sv.iter().copied()))
+                    .collect();
+                let outlier_cap = packer.push_outliers(ex.outlier_values.iter().copied());
+                VectorMeta::Real {
+                    pattern: ex.pattern,
+                    sub_caps,
+                    outlier_cap,
+                    outlier_rows: ex.outlier_rows,
+                }
+            }
+            Extraction::Nominal(ex) => {
+                stats.nominal_vectors += 1;
+                // Dictionary payload: regions padded per pattern width
+                // (fixed mode) or newline-delimited (w/o fixed).
+                let (dict_payload, dict_layout, dict_rows) = if self.config.fixed_length {
+                    let mut payload = Vec::new();
+                    let mut di = 0usize;
+                    for p in &ex.patterns {
+                        for _ in 0..p.count {
+                            let v = &ex.dict_values[di];
+                            payload.extend_from_slice(v);
+                            payload
+                                .resize(payload.len() + (p.max_len as usize - v.len()), crate::PAD);
+                            di += 1;
+                        }
+                    }
+                    (payload, Layout::Raw, ex.dict_values.len() as u32)
+                } else {
+                    let mut payload = Vec::new();
+                    for v in &ex.dict_values {
+                        payload.extend_from_slice(v);
+                        payload.push(b'\n');
+                    }
+                    (payload, Layout::Delimited, ex.dict_values.len() as u32)
+                };
+                let dict_stamp = Stamp::of(ex.dict_values.iter().map(|v| v.as_slice()));
+                let dict_cap = packer.push(&dict_payload, dict_layout, dict_stamp, dict_rows);
+
+                // Index payload: fixed-width decimals (IdxLen digits).
+                let formatted: Vec<Vec<u8>> = ex
+                    .index
+                    .iter()
+                    .map(|&i| format_index(i, ex.idx_len))
+                    .collect();
+                let index_cap = packer.push_values(formatted.iter().map(|v| v.as_slice()));
+
+                VectorMeta::Nominal {
+                    patterns: ex.patterns,
+                    dict_cap,
+                    index_cap,
+                    idx_len: ex.idx_len,
+                    dict_len: ex.dict_values.len() as u32,
+                }
+            }
+            Extraction::Plain => {
+                stats.plain_vectors += 1;
+                let capsule = packer.push_values(values.iter().map(|v| v.as_slice()));
+                VectorMeta::Plain { capsule }
+            }
+        }
+    }
+}
+
+/// Splits a raw block into lines (without trailing newlines). A trailing
+/// newline does not produce a final empty line.
+pub fn split_lines(raw: &[u8]) -> Vec<&[u8]> {
+    let body = if raw.last() == Some(&b'\n') {
+        &raw[..raw.len() - 1]
+    } else {
+        raw
+    };
+    if body.is_empty() && raw.len() <= 1 {
+        return if raw.is_empty() { Vec::new() } else { vec![b""] };
+    }
+    body.split(|&b| b == b'\n').collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_lines_edges() {
+        assert_eq!(split_lines(b""), Vec::<&[u8]>::new());
+        assert_eq!(split_lines(b"\n"), vec![&b""[..]]);
+        assert_eq!(split_lines(b"a"), vec![&b"a"[..]]);
+        assert_eq!(split_lines(b"a\n"), vec![&b"a"[..]]);
+        assert_eq!(split_lines(b"a\nb"), vec![&b"a"[..], b"b"]);
+        assert_eq!(split_lines(b"a\n\nb\n"), vec![&b"a"[..], b"", b"b"]);
+    }
+
+    #[test]
+    fn nul_bytes_rejected() {
+        let engine = LogGrep::new(LogGrepConfig::default());
+        let err = engine.compress(b"ab\0cd").unwrap_err();
+        assert_eq!(err, Error::UnsupportedByte { offset: 2 });
+    }
+
+    #[test]
+    fn empty_input_compresses() {
+        let engine = LogGrep::new(LogGrepConfig::default());
+        let boxed = engine.compress(b"").unwrap();
+        assert_eq!(boxed.total_lines, 0);
+        let archive = Archive::from_box(boxed);
+        assert!(archive.reconstruct_all().unwrap().is_empty());
+    }
+}

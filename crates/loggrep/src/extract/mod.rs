@@ -1,0 +1,145 @@
+//! Runtime-pattern extraction (§4.1): categorize each variable vector by
+//! duplication rate, then extract with the tree-expanding method (real
+//! vectors) or the pattern-merging method (nominal vectors).
+
+pub mod nominal;
+pub mod real;
+
+pub use nominal::{DictPattern, NominalExtraction};
+pub use real::RealExtraction;
+
+use crate::config::LogGrepConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// The outcome of runtime-pattern extraction for one variable vector.
+#[derive(Debug)]
+pub enum Extraction<'a> {
+    /// A real (low-duplication) vector decomposed by one runtime pattern.
+    Real(RealExtraction<'a>),
+    /// A nominal (high-duplication) vector as dictionary + index.
+    Nominal(NominalExtraction),
+    /// No useful runtime pattern; store the vector as a single Capsule.
+    Plain,
+}
+
+/// Duplication rate of a value set: `(total - unique) / total` (§4.1).
+///
+/// Returns 0.0 for an empty set.
+pub fn duplication_rate(values: &[Vec<u8>]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let unique: HashSet<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+    (values.len() - unique.len()) as f64 / values.len() as f64
+}
+
+/// Categorization outcome, reported by stats and Figure 3's harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Duplication rate below the threshold → tree-expanding extraction.
+    Real,
+    /// Duplication rate at/above the threshold → pattern merging.
+    Nominal,
+}
+
+/// Categorizes a vector by the paper's 0.5 duplication-rate heuristic.
+pub fn categorize(values: &[Vec<u8>], config: &LogGrepConfig) -> Category {
+    if duplication_rate(values) < config.duplication_threshold {
+        Category::Real
+    } else {
+        Category::Nominal
+    }
+}
+
+/// Extracts runtime pattern(s) for one variable vector.
+///
+/// `vector_id` seeds the randomized delimiter choices so compression is
+/// deterministic for a given configuration.
+pub fn extract_vector<'a>(
+    values: &'a [Vec<u8>],
+    config: &LogGrepConfig,
+    vector_id: u64,
+) -> Extraction<'a> {
+    if values.len() < config.min_vector_for_patterns {
+        return Extraction::Plain;
+    }
+    match categorize(values, config) {
+        Category::Real if config.use_runtime_real => {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ vector_id.wrapping_mul(0x9e37));
+            match real::extract(values, config, &mut rng) {
+                Some(ex) => Extraction::Real(ex),
+                None => Extraction::Plain,
+            }
+        }
+        Category::Nominal if config.use_runtime_nominal => {
+            Extraction::Nominal(nominal::extract(values))
+        }
+        _ => Extraction::Plain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(strs: &[&str]) -> Vec<Vec<u8>> {
+        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn duplication_rate_basics() {
+        assert_eq!(duplication_rate(&[]), 0.0);
+        assert_eq!(duplication_rate(&v(&["a", "b", "c"])), 0.0);
+        assert!((duplication_rate(&v(&["a", "a", "b", "b"])) - 0.5).abs() < 1e-9);
+        assert!((duplication_rate(&v(&["a", "a", "a", "a"])) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn categorization_uses_threshold() {
+        let cfg = LogGrepConfig::default();
+        assert_eq!(categorize(&v(&["a", "b", "c", "d"]), &cfg), Category::Real);
+        assert_eq!(
+            categorize(&v(&["a", "a", "a", "b"]), &cfg),
+            Category::Nominal
+        );
+    }
+
+    #[test]
+    fn small_vectors_stay_plain() {
+        let cfg = LogGrepConfig::default();
+        let values = v(&["blk_1", "blk_2", "blk_3"]);
+        assert!(matches!(
+            extract_vector(&values, &cfg, 0),
+            Extraction::Plain
+        ));
+    }
+
+    #[test]
+    fn toggles_disable_extraction() {
+        let values: Vec<Vec<u8>> = (0..100).map(|i| format!("blk_{i}").into_bytes()).collect();
+        let cfg = LogGrepConfig::sp();
+        assert!(matches!(
+            extract_vector(&values, &cfg, 0),
+            Extraction::Plain
+        ));
+    }
+
+    #[test]
+    fn real_extraction_is_deterministic() {
+        let values: Vec<Vec<u8>> = (0..200)
+            .map(|i| format!("blk_{:04x}F8{}", i * 37 % 4096, i % 10).into_bytes())
+            .collect();
+        let cfg = LogGrepConfig::default();
+        let a = match extract_vector(&values, &cfg, 7) {
+            Extraction::Real(e) => e.pattern.display(),
+            other => panic!("expected real extraction, got {other:?}"),
+        };
+        let b = match extract_vector(&values, &cfg, 7) {
+            Extraction::Real(e) => e.pattern.display(),
+            _ => unreachable!(),
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,287 @@
+//! Pattern-merging extraction for nominal variable vectors (§4.1, Figure 5).
+//!
+//! Unique values are sketched by splitting on non-alphanumeric characters;
+//! sketches with the same delimiter structure merge into one pattern, with
+//! per-position constants where all members agree. The deduplicated values
+//! are reordered pattern-by-pattern into a *dictionary vector*, and the
+//! original vector becomes an *index vector* of fixed-width decimal indices.
+
+use crate::capsule::Stamp;
+use crate::pattern::{RuntimePattern, Segment};
+use std::collections::HashMap;
+
+/// One merged pattern over a slice of the dictionary.
+#[derive(Debug, Clone)]
+pub struct DictPattern {
+    /// The pattern (constants + typed sub-variables).
+    pub pattern: RuntimePattern,
+    /// Number of dictionary values following this pattern.
+    pub count: u32,
+    /// Maximum value length in this pattern's dictionary region; region rows
+    /// are padded to this width (enables the §5.2 region jump).
+    pub max_len: u32,
+}
+
+/// The result of pattern merging for one nominal vector.
+#[derive(Debug)]
+pub struct NominalExtraction {
+    /// Merged patterns, in dictionary order.
+    pub patterns: Vec<DictPattern>,
+    /// Dictionary values, reordered pattern-by-pattern.
+    pub dict_values: Vec<Vec<u8>>,
+    /// Per-row dictionary index (same length as the original vector).
+    pub index: Vec<u32>,
+    /// Width in digits of the stored decimal indices (`IdxLen`).
+    pub idx_len: u32,
+}
+
+/// The sketch of one value: delimiter structure + part slices.
+fn sketch(value: &[u8]) -> (Vec<u8>, Vec<&[u8]>) {
+    let mut key = Vec::new();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in value.iter().enumerate() {
+        if !b.is_ascii_alphanumeric() {
+            parts.push(&value[start..i]);
+            key.push(b'P');
+            key.push(b);
+            start = i + 1;
+        }
+    }
+    parts.push(&value[start..]);
+    key.push(b'P');
+    (key, parts)
+}
+
+/// Runs pattern merging over the whole vector (O(n log n): the unique
+/// values are grouped — conceptually sorted — by sketch).
+pub fn extract(values: &[Vec<u8>]) -> NominalExtraction {
+    // Step 1: deduplicate, keeping first-seen order.
+    let mut first_seen: HashMap<&[u8], u32> = HashMap::new();
+    let mut unique: Vec<&[u8]> = Vec::new();
+    for v in values {
+        first_seen.entry(v.as_slice()).or_insert_with(|| {
+            unique.push(v.as_slice());
+            (unique.len() - 1) as u32
+        });
+    }
+
+    // Steps 2-3: sketch each unique value and group by sketch key.
+    let mut group_order: Vec<Vec<u8>> = Vec::new();
+    let mut groups: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
+    for (i, v) in unique.iter().enumerate() {
+        let (key, _) = sketch(v);
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                group_order.push(key);
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    // Steps 4-5: merge each group into a pattern; reorder the dictionary so
+    // values of the same pattern are consecutive.
+    let mut patterns = Vec::with_capacity(group_order.len());
+    let mut dict_values: Vec<Vec<u8>> = Vec::with_capacity(unique.len());
+    let mut dict_index_of: HashMap<&[u8], u32> = HashMap::new();
+    for key in &group_order {
+        let members = &groups[key];
+        let member_parts: Vec<Vec<&[u8]>> =
+            members.iter().map(|&i| sketch(unique[i]).1).collect();
+        let nparts = member_parts[0].len();
+        // Delimiter bytes of this sketch (between parts).
+        // 'P' marks a part in the key; delimiters are non-alphanumeric and
+        // therefore can never collide with it.
+        let delims: Vec<u8> = key.iter().copied().filter(|&b| b != b'P').collect();
+        debug_assert_eq!(delims.len() + 1, nparts);
+
+        // Per-position: constant if all members agree.
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut sub_stamps: Vec<Stamp> = Vec::new();
+        let push_const = |segments: &mut Vec<Segment>, bytes: &[u8]| {
+            if bytes.is_empty() {
+                return;
+            }
+            if let Some(Segment::Const(prev)) = segments.last_mut() {
+                prev.extend_from_slice(bytes);
+            } else {
+                segments.push(Segment::Const(bytes.to_vec()));
+            }
+        };
+        for p in 0..nparts {
+            let first = member_parts[0][p];
+            let all_same = member_parts.iter().all(|mp| mp[p] == first);
+            if all_same {
+                push_const(&mut segments, first);
+            } else {
+                let stamp = Stamp::of(member_parts.iter().map(|mp| mp[p]));
+                segments.push(Segment::Var(sub_stamps.len()));
+                sub_stamps.push(stamp);
+            }
+            if p < delims.len() {
+                push_const(&mut segments, &[delims[p]]);
+            }
+        }
+        if segments.is_empty() {
+            // All members are the empty string.
+            segments.push(Segment::Const(Vec::new()));
+        }
+
+        let mut max_len = 0u32;
+        for &i in members {
+            let v = unique[i];
+            max_len = max_len.max(v.len() as u32);
+            dict_index_of.insert(v, dict_values.len() as u32);
+            dict_values.push(v.to_vec());
+        }
+        patterns.push(DictPattern {
+            pattern: RuntimePattern {
+                segments,
+                sub_stamps,
+            },
+            count: members.len() as u32,
+            max_len: max_len.max(1),
+        });
+    }
+
+    // Index vector: per original row, the dictionary index.
+    let index: Vec<u32> = values
+        .iter()
+        .map(|v| dict_index_of[v.as_slice()])
+        .collect();
+    let idx_len = decimal_width(dict_values.len().saturating_sub(1) as u32);
+
+    NominalExtraction {
+        patterns,
+        dict_values,
+        index,
+        idx_len,
+    }
+}
+
+/// Number of decimal digits needed for `v` (at least 1).
+pub fn decimal_width(v: u32) -> u32 {
+    let mut w = 1;
+    let mut x = v / 10;
+    while x > 0 {
+        w += 1;
+        x /= 10;
+    }
+    w
+}
+
+/// Formats a dictionary index as zero-padded fixed-width decimal.
+pub fn format_index(idx: u32, width: u32) -> Vec<u8> {
+    let s = idx.to_string();
+    let mut out = Vec::with_capacity(width as usize);
+    for _ in s.len()..width as usize {
+        out.push(b'0');
+    }
+    out.extend_from_slice(s.as_bytes());
+    out
+}
+
+/// Parses a zero-padded decimal index.
+pub fn parse_index(bytes: &[u8]) -> Option<u32> {
+    let mut v: u32 = 0;
+    if bytes.is_empty() {
+        return None;
+    }
+    for &b in bytes {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add((b - b'0') as u32)?;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(strs: &[&str]) -> Vec<Vec<u8>> {
+        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn figure5_example() {
+        let values = v(&["ERR#404", "SUCC", "ERR#501", "SUCC", "ERR#404", "SUCC", "SUCC"]);
+        let ex = extract(&values);
+        // Two patterns: ERR#<d> (count 2) and SUCC (count 1).
+        assert_eq!(ex.patterns.len(), 2);
+        assert_eq!(ex.patterns[0].count, 2);
+        assert_eq!(ex.patterns[0].pattern.display(), "ERR#<typ=1,len=3>");
+        assert_eq!(ex.patterns[0].max_len, 7);
+        assert_eq!(ex.patterns[1].count, 1);
+        assert_eq!(ex.patterns[1].max_len, 4);
+        assert_eq!(ex.dict_values, v(&["ERR#404", "ERR#501", "SUCC"]));
+        assert_eq!(ex.index, vec![0, 2, 1, 2, 0, 2, 2]);
+        assert_eq!(ex.idx_len, 1);
+    }
+
+    #[test]
+    fn dictionary_roundtrips_every_row() {
+        let values = v(&["a-1", "b-2", "a-1", "plain", "c-3", "plain"]);
+        let ex = extract(&values);
+        for (row, value) in values.iter().enumerate() {
+            assert_eq!(&ex.dict_values[ex.index[row] as usize], value);
+        }
+    }
+
+    #[test]
+    fn sketch_structure() {
+        let (key, parts) = sketch(b"ERR#404");
+        assert_eq!(key, b"P#P");
+        assert_eq!(parts, vec![&b"ERR"[..], b"404"]);
+        let (key2, parts2) = sketch(b"--x");
+        assert_eq!(key2, b"P-P-P");
+        assert_eq!(parts2, vec![&b""[..], b"", b"x"]);
+        let (key3, parts3) = sketch(b"");
+        assert_eq!(key3, b"P");
+        assert_eq!(parts3, vec![&b""[..]]);
+    }
+
+    #[test]
+    fn constants_detected_per_position() {
+        let values = v(&["user=alice", "user=bob", "user=alice"]);
+        let ex = extract(&values);
+        assert_eq!(ex.patterns.len(), 1);
+        let d = ex.patterns[0].pattern.display();
+        assert!(d.starts_with("user="), "{d}");
+    }
+
+    #[test]
+    fn index_width_and_formatting() {
+        assert_eq!(decimal_width(0), 1);
+        assert_eq!(decimal_width(9), 1);
+        assert_eq!(decimal_width(10), 2);
+        assert_eq!(decimal_width(99), 2);
+        assert_eq!(decimal_width(100), 3);
+        assert_eq!(format_index(7, 3), b"007");
+        assert_eq!(parse_index(b"007"), Some(7));
+        assert_eq!(parse_index(b""), None);
+        assert_eq!(parse_index(b"0x7"), None);
+    }
+
+    #[test]
+    fn patterns_cover_whole_dictionary() {
+        let values = v(&["x.1", "y.2", "z.3", "lone", "x.1"]);
+        let ex = extract(&values);
+        let total: u32 = ex.patterns.iter().map(|p| p.count).sum();
+        assert_eq!(total as usize, ex.dict_values.len());
+    }
+
+    #[test]
+    fn empty_values_are_handled() {
+        let values = v(&["", "", "x", ""]);
+        let ex = extract(&values);
+        assert_eq!(ex.dict_values.len(), 2);
+        for (row, value) in values.iter().enumerate() {
+            assert_eq!(&ex.dict_values[ex.index[row] as usize], value);
+        }
+        // Region widths stay >= 1 even for the empty value.
+        assert!(ex.patterns.iter().all(|p| p.max_len >= 1));
+    }
+}

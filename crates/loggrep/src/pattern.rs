@@ -1,0 +1,288 @@
+//! Runtime patterns (§2.3, §4.1): the pattern *inside* a variable vector,
+//! such as `block_<*>F8<*>` — constant byte runs interleaved with
+//! sub-variables.
+
+use crate::capsule::Stamp;
+use crate::error::Result;
+use crate::wire::{Reader, Writer};
+
+/// One segment of a runtime pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Constant bytes shared by every matching value.
+    Const(Vec<u8>),
+    /// The `i`-th sub-variable (left to right, 0-based).
+    Var(usize),
+}
+
+/// A runtime pattern: segments plus a stamp per sub-variable.
+///
+/// Invariants: `Var` indices are `0..sub_stamps.len()` in left-to-right
+/// order; two `Var` segments are never adjacent; `Const` segments are
+/// non-empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimePattern {
+    /// The segments, left to right.
+    pub segments: Vec<Segment>,
+    /// Stamp (type mask + max length) of each sub-variable vector.
+    pub sub_stamps: Vec<Stamp>,
+}
+
+impl RuntimePattern {
+    /// Number of sub-variables.
+    pub fn sub_vars(&self) -> usize {
+        self.sub_stamps.len()
+    }
+
+    /// Attempts to decompose `value` according to this pattern, returning
+    /// the sub-variable slices in order, or `None` (→ outlier).
+    ///
+    /// Uses backtracking over the positions of constant segments so that a
+    /// decomposable value is never misclassified as an outlier; successful
+    /// decompositions always reconstruct the value exactly.
+    pub fn decompose<'a>(&self, value: &'a [u8]) -> Option<Vec<&'a [u8]>> {
+        let mut captures: Vec<&'a [u8]> = vec![b""; self.sub_vars()];
+        if self.match_segments(value, 0, &mut captures) {
+            Some(captures)
+        } else {
+            None
+        }
+    }
+
+    fn match_segments<'a>(
+        &self,
+        rest: &'a [u8],
+        seg_idx: usize,
+        captures: &mut Vec<&'a [u8]>,
+    ) -> bool {
+        match self.segments.get(seg_idx) {
+            None => rest.is_empty(),
+            Some(Segment::Const(c)) => {
+                if rest.starts_with(c) {
+                    self.match_segments(&rest[c.len()..], seg_idx + 1, captures)
+                } else {
+                    false
+                }
+            }
+            Some(Segment::Var(v)) => {
+                // Find where the variable ends: either at the next constant
+                // (try every occurrence, backtracking) or at the end.
+                match self.segments.get(seg_idx + 1) {
+                    None => {
+                        captures[*v] = rest;
+                        true
+                    }
+                    Some(Segment::Const(c)) => {
+                        let mut from = 0usize;
+                        while let Some(at) = find_from(rest, c, from) {
+                            captures[*v] = &rest[..at];
+                            if self.match_segments(&rest[at + c.len()..], seg_idx + 2, captures) {
+                                return true;
+                            }
+                            from = at + 1;
+                        }
+                        false
+                    }
+                    Some(Segment::Var(_)) => {
+                        unreachable!("adjacent sub-variables violate the pattern invariant")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a value from sub-variable slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != self.sub_vars()`.
+    pub fn render(&self, subs: &[&[u8]]) -> Vec<u8> {
+        assert_eq!(subs.len(), self.sub_vars(), "sub-variable count mismatch");
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Const(c) => out.extend_from_slice(c),
+                Segment::Var(v) => out.extend_from_slice(subs[*v]),
+            }
+        }
+        out
+    }
+
+    /// Human-readable form, e.g. `block_<typ=1,len=1>F8<typ=5,len=4>`.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Const(c) => out.push_str(&String::from_utf8_lossy(c)),
+                Segment::Var(v) => {
+                    let s = &self.sub_stamps[*v];
+                    out.push_str(&format!("<typ={},len={}>", s.mask.0, s.max_len));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the pattern.
+    pub fn write(&self, w: &mut Writer) {
+        w.put_usize(self.segments.len());
+        for seg in &self.segments {
+            match seg {
+                Segment::Const(c) => {
+                    w.put_u8(0);
+                    w.put_bytes(c);
+                }
+                Segment::Var(v) => {
+                    w.put_u8(1);
+                    w.put_usize(*v);
+                }
+            }
+        }
+        w.put_usize(self.sub_stamps.len());
+        for s in &self.sub_stamps {
+            s.write(w);
+        }
+    }
+
+    /// Deserializes a pattern.
+    pub fn read(r: &mut Reader<'_>) -> Result<Self> {
+        let nsegs = r.get_usize()?;
+        let mut segments = Vec::with_capacity(nsegs.min(1024));
+        for _ in 0..nsegs {
+            segments.push(match r.get_u8()? {
+                0 => Segment::Const(r.get_bytes()?.to_vec()),
+                1 => Segment::Var(r.get_usize()?),
+                t => {
+                    return Err(crate::error::Error::Corrupt(format!(
+                        "bad segment tag {t}"
+                    )))
+                }
+            });
+        }
+        let nstamps = r.get_usize()?;
+        let mut sub_stamps = Vec::with_capacity(nstamps.min(1024));
+        for _ in 0..nstamps {
+            sub_stamps.push(Stamp::read(r)?);
+        }
+        Ok(Self {
+            segments,
+            sub_stamps,
+        })
+    }
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    strsearch::find(&haystack[from..], needle).map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::typemask::TypeMask;
+
+    fn pat(segs: Vec<Segment>, nvars: usize) -> RuntimePattern {
+        RuntimePattern {
+            segments: segs,
+            sub_stamps: vec![
+                Stamp {
+                    mask: TypeMask(0b111111),
+                    max_len: 64,
+                };
+                nvars
+            ],
+        }
+    }
+
+    #[test]
+    fn figure4_pattern_decomposes() {
+        // block_<sv1>F8<sv2>
+        let p = pat(
+            vec![
+                Segment::Const(b"block_".to_vec()),
+                Segment::Var(0),
+                Segment::Const(b"F8".to_vec()),
+                Segment::Var(1),
+            ],
+            2,
+        );
+        assert_eq!(
+            p.decompose(b"block_1F81F").unwrap(),
+            vec![&b"1"[..], b"1F"]
+        );
+        assert_eq!(
+            p.decompose(b"block_8F8F8FE").unwrap(),
+            vec![&b"8"[..], b"F8FE"]
+        );
+        assert_eq!(p.decompose(b"block_2F8E").unwrap(), vec![&b"2"[..], b"E"]);
+        assert!(p.decompose(b"Failed").is_none());
+    }
+
+    #[test]
+    fn backtracking_finds_valid_split() {
+        // <v>ab : value "xabab" needs the var to take "xab", not "x".
+        let p = pat(
+            vec![Segment::Var(0), Segment::Const(b"ab".to_vec())],
+            1,
+        );
+        assert_eq!(p.decompose(b"xabab").unwrap(), vec![&b"xab"[..]]);
+        assert_eq!(p.decompose(b"ab").unwrap(), vec![&b""[..]]);
+        assert!(p.decompose(b"xab x").is_none());
+    }
+
+    #[test]
+    fn render_inverts_decompose() {
+        let p = pat(
+            vec![
+                Segment::Const(b"/tmp/1FF8".to_vec()),
+                Segment::Var(0),
+                Segment::Const(b".log".to_vec()),
+            ],
+            1,
+        );
+        for v in [&b"/tmp/1FF8abcd.log"[..], b"/tmp/1FF8.log"] {
+            let subs = p.decompose(v).unwrap();
+            assert_eq!(p.render(&subs), v);
+        }
+    }
+
+    #[test]
+    fn anchoring_is_exact() {
+        let p = pat(vec![Segment::Const(b"abc".to_vec())], 0);
+        assert!(p.decompose(b"abc").is_some());
+        assert!(p.decompose(b"abcd").is_none());
+        assert!(p.decompose(b"xabc").is_none());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let p = pat(
+            vec![
+                Segment::Const(b"a_".to_vec()),
+                Segment::Var(0),
+                Segment::Const(b"-".to_vec()),
+                Segment::Var(1),
+            ],
+            2,
+        );
+        let mut w = Writer::new();
+        p.write(&mut w);
+        let buf = w.into_bytes();
+        let got = RuntimePattern::read(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn display_shows_stamps() {
+        let p = RuntimePattern {
+            segments: vec![Segment::Const(b"block_".to_vec()), Segment::Var(0)],
+            sub_stamps: vec![Stamp {
+                mask: TypeMask(1),
+                max_len: 3,
+            }],
+        };
+        assert_eq!(p.display(), "block_<typ=1,len=3>");
+    }
+}

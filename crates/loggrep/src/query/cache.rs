@@ -1,0 +1,69 @@
+//! The Query Cache (§3): a map from query command to its location result,
+//! so repeated queries — common in the *refining mode* where an engineer
+//! builds a command up gradually — skip the matching phase entirely.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A thread-safe query-result cache keyed by the raw query text.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    inner: Mutex<HashMap<String, Vec<u32>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a prior result (cloned line-number list).
+    pub fn get(&self, query: &str) -> Option<Vec<u32>> {
+        let found = self.inner.lock().get(query).cloned();
+        match found {
+            Some(v) => {
+                *self.hits.lock() += 1;
+                Some(v)
+            }
+            None => {
+                *self.misses.lock() += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result.
+    pub fn put(&self, query: &str, lines: Vec<u32>) {
+        self.inner.lock().insert(query.to_string(), lines);
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Drops all entries and counters.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+        *self.hits.lock() = 0;
+        *self.misses.lock() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let c = QueryCache::new();
+        assert_eq!(c.get("q"), None);
+        c.put("q", vec![1, 2, 3]);
+        assert_eq!(c.get("q"), Some(vec![1, 2, 3]));
+        assert_eq!(c.counters(), (1, 1));
+        c.clear();
+        assert_eq!(c.get("q"), None);
+    }
+}

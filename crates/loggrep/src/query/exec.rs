@@ -1,0 +1,715 @@
+//! Query execution over a CapsuleBox (§5): Capsule locating with runtime
+//! patterns, stamp filtering, fixed-length matching, and reconstruction.
+
+use crate::boxfile::Archive;
+use crate::capsule::{CapsuleMeta, Layout};
+use crate::error::{Error, Result};
+use crate::extract::nominal::{format_index, parse_index};
+use crate::extract::DictPattern;
+use crate::pattern::{RuntimePattern, Segment};
+use crate::query::lang::{Expr, Query, SearchString};
+use crate::query::plan::{plan, Conj, Mode, Plan, SegRef};
+use crate::rowset::RowSet;
+use crate::stats::QueryStats;
+use crate::vector::VectorMeta;
+use crate::PAD;
+use logparse::{Piece, DEFAULT_DELIMS};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+use strsearch::FixedRows;
+
+/// The result of a query: matching lines in original log order.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Original (0-based) line numbers, ascending.
+    pub line_numbers: Vec<u32>,
+    /// The reconstructed lines, parallel to `line_numbers`.
+    pub lines: Vec<Vec<u8>>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The lines as lossy UTF-8 strings (logs are ASCII in practice).
+    pub fn lines_utf8(&self) -> Vec<String> {
+        self.lines
+            .iter()
+            .map(|l| String::from_utf8_lossy(l).into_owned())
+            .collect()
+    }
+}
+
+impl Archive {
+    /// Executes a grep-like query command (see [`Query::parse`] for the
+    /// language) and reconstructs the matching lines in original order.
+    pub fn query(&self, command: &str) -> Result<QueryResult> {
+        let query = Query::parse(command)?;
+        let start = Instant::now();
+        let mut ctx = ExecCtx::new(self);
+
+        let line_numbers = if self.use_query_cache {
+            match self.cache.get(command) {
+                Some(cached) => {
+                    ctx.stats.cache_hit = true;
+                    cached
+                }
+                None => {
+                    let lines = ctx.eval_expr(&query.expr)?.into_vec();
+                    self.cache.put(command, lines.clone());
+                    lines
+                }
+            }
+        } else {
+            ctx.eval_expr(&query.expr)?.into_vec()
+        };
+
+        let lines = ctx.reconstruct(&line_numbers)?;
+        let mut stats = ctx.stats;
+        stats.elapsed = start.elapsed();
+        Ok(QueryResult {
+            line_numbers,
+            lines,
+            stats,
+        })
+    }
+
+    /// Reconstructs every stored line in original order (the full-decompress
+    /// path, used by tests and the `ggrep`-style fallback).
+    pub fn reconstruct_all(&self) -> Result<Vec<Vec<u8>>> {
+        let mut ctx = ExecCtx::new(self);
+        let all: Vec<u32> = (0..self.boxed.total_lines).collect();
+        ctx.reconstruct(&all)
+    }
+}
+
+/// Per-query execution context: decompressed-payload cache + statistics.
+struct ExecCtx<'a> {
+    archive: &'a Archive,
+    payloads: HashMap<u32, Rc<Vec<u8>>>,
+    delim_ranges: HashMap<u32, Rc<Vec<(usize, usize)>>>,
+    stats: QueryStats,
+}
+
+impl<'a> ExecCtx<'a> {
+    fn new(archive: &'a Archive) -> Self {
+        Self {
+            archive,
+            payloads: HashMap::new(),
+            delim_ranges: HashMap::new(),
+            stats: QueryStats::default(),
+        }
+    }
+
+    fn meta(&self, id: u32) -> &'a CapsuleMeta {
+        &self.archive.boxed.capsules[id as usize]
+    }
+
+    /// Decompresses (and caches) one Capsule payload.
+    fn payload(&mut self, id: u32) -> Result<Rc<Vec<u8>>> {
+        if let Some(p) = self.payloads.get(&id) {
+            return Ok(p.clone());
+        }
+        let bytes = self.archive.boxed.decompress_capsule(id)?;
+        self.stats.capsules_decompressed += 1;
+        self.stats.bytes_decompressed += bytes.len() as u64;
+        let rc = Rc::new(bytes);
+        self.payloads.insert(id, rc.clone());
+        Ok(rc)
+    }
+
+    /// Row byte-ranges of a delimited Capsule (cached).
+    fn ranges(&mut self, id: u32) -> Result<Rc<Vec<(usize, usize)>>> {
+        if let Some(r) = self.delim_ranges.get(&id) {
+            return Ok(r.clone());
+        }
+        let payload = self.payload(id)?;
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for (i, &b) in payload.iter().enumerate() {
+            if b == b'\n' {
+                ranges.push((start, i));
+                start = i + 1;
+            }
+        }
+        if start != payload.len() {
+            return Err(Error::Corrupt("delimited capsule missing trailer".into()));
+        }
+        let rc = Rc::new(ranges);
+        self.delim_ranges.insert(id, rc.clone());
+        Ok(rc)
+    }
+
+    /// The unpadded value of `row` in a Capsule.
+    fn capsule_value(&mut self, id: u32, row: u32) -> Result<Vec<u8>> {
+        let meta = self.meta(id);
+        let payload = self.payload(id)?;
+        match meta.layout {
+            Layout::Padded { width } => {
+                let width = width as usize;
+                if width == 0 || payload.len() % width != 0 {
+                    return Err(Error::Corrupt("capsule payload misaligned".into()));
+                }
+                let f = FixedRows::new(&payload, width, PAD);
+                if (row as usize) >= f.rows() {
+                    return Err(Error::Corrupt("capsule row out of range".into()));
+                }
+                Ok(f.value(row as usize).to_vec())
+            }
+            Layout::Delimited => {
+                let ranges = self.ranges(id)?;
+                let &(lo, hi) = ranges
+                    .get(row as usize)
+                    .ok_or_else(|| Error::Corrupt("capsule row out of range".into()))?;
+                Ok(payload[lo..hi].to_vec())
+            }
+            Layout::Raw => Err(Error::Corrupt("raw capsule has no row addressing".into())),
+        }
+    }
+
+    /// Rows of a Capsule whose values satisfy `(mode, needle)`.
+    fn capsule_find(&mut self, id: u32, needle: &[u8], mode: Mode) -> Result<Vec<u32>> {
+        let meta = self.meta(id);
+        let payload = self.payload(id)?;
+        let view = crate::capsule::CapsuleView::new(&payload, meta)?;
+        Ok(view.find(needle, mode))
+    }
+
+    /// Stamp pre-filter (§5.1): false means the requirement cannot match and
+    /// the Capsule need not be decompressed.
+    fn stamp_admits(&mut self, id: u32, needle: &[u8]) -> bool {
+        if !self.archive.use_stamps {
+            return true;
+        }
+        let ok = self.meta(id).stamp.admits(needle);
+        if !ok {
+            self.stats.stamp_rejections += 1;
+        }
+        ok
+    }
+
+    // ------------------------------------------------------------------
+    // Expression evaluation (global line-number sets).
+    // ------------------------------------------------------------------
+
+    /// Evaluates the whole expression to global line numbers.
+    ///
+    /// Internally everything is per-group: a line belongs to exactly one
+    /// group, so `and`/`or`/`not` distribute over groups. That enables the
+    /// progressive-matching optimization (as in CLP's keyword chaining): the
+    /// right side of an `and`/`not` is only evaluated on groups where the
+    /// left side still has candidate rows.
+    fn eval_expr(&mut self, expr: &Expr) -> Result<RowSet> {
+        let ngroups = self.archive.boxed.groups.len();
+        let per_group = self.eval_expr_groups(expr, &vec![false; ngroups])?;
+        let mut global = Vec::new();
+        for (gid, rows) in per_group.iter().enumerate() {
+            let lines = &self.archive.boxed.groups[gid].line_numbers;
+            global.extend(rows.iter().map(|r| lines[r as usize]));
+        }
+        Ok(RowSet::from_unsorted(global))
+    }
+
+    fn eval_expr_groups(&mut self, expr: &Expr, skip: &[bool]) -> Result<Vec<RowSet>> {
+        match expr {
+            Expr::Str(s) => {
+                let mut out = Vec::with_capacity(skip.len());
+                for gid in 0..skip.len() {
+                    if skip[gid] {
+                        out.push(RowSet::empty());
+                    } else {
+                        out.push(self.eval_search_in_group(s, gid)?);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::And(a, b) => {
+                let ra = self.eval_expr_groups(a, skip)?;
+                let skip_b: Vec<bool> = ra
+                    .iter()
+                    .zip(skip)
+                    .map(|(rows, &s)| s || rows.is_empty())
+                    .collect();
+                let rb = self.eval_expr_groups(b, &skip_b)?;
+                Ok(ra
+                    .iter()
+                    .zip(&rb)
+                    .map(|(x, y)| x.intersect(y))
+                    .collect())
+            }
+            Expr::Or(a, b) => {
+                let ra = self.eval_expr_groups(a, skip)?;
+                let rb = self.eval_expr_groups(b, skip)?;
+                Ok(ra.iter().zip(&rb).map(|(x, y)| x.union(y)).collect())
+            }
+            Expr::Not(a, b) => {
+                let ra = self.eval_expr_groups(a, skip)?;
+                let skip_b: Vec<bool> = ra
+                    .iter()
+                    .zip(skip)
+                    .map(|(rows, &s)| s || rows.is_empty())
+                    .collect();
+                let rb = self.eval_expr_groups(b, &skip_b)?;
+                Ok(ra.iter().zip(&rb).map(|(x, y)| x.subtract(y)).collect())
+            }
+        }
+    }
+
+    fn eval_search_in_group(&mut self, s: &SearchString, gid: usize) -> Result<RowSet> {
+        {
+            let rows = if let Some(lit) = s.as_literal() {
+                self.eval_literal_in_group(gid, lit)?
+            } else {
+                // Wildcard string: locate candidates with the longest
+                // literal fragment, then verify by reconstruction.
+                let frag = s.longest_literal();
+                let group_rows = self.archive.boxed.groups[gid].rows();
+                let candidates = if frag.is_empty() {
+                    RowSet::all(group_rows)
+                } else {
+                    self.eval_literal_in_group(gid, frag)?
+                };
+                let mut verified = Vec::new();
+                for row in candidates.iter() {
+                    let line = self.render_row(gid, row)?;
+                    self.stats.rows_verified += 1;
+                    if s.matches_line(&line, DEFAULT_DELIMS) {
+                        verified.push(row);
+                    }
+                }
+                RowSet::from_sorted(verified)
+            };
+            Ok(rows)
+        }
+    }
+
+    /// Rows of a group whose rendered line contains the literal `kw`.
+    fn eval_literal_in_group(&mut self, gid: usize, kw: &[u8]) -> Result<RowSet> {
+        let group = &self.archive.boxed.groups[gid];
+        let nrows = group.rows();
+        if nrows == 0 {
+            return Ok(RowSet::empty());
+        }
+        let pieces = group.template.pieces();
+        let segs: Vec<SegRef<'_>> = pieces
+            .iter()
+            .map(|p| match p {
+                Piece::Static(s) => SegRef::Const(s.as_slice()),
+                Piece::Slot(i) => SegRef::Var(*i),
+            })
+            .collect();
+        match plan(&segs, kw, Mode::Contains) {
+            Plan::All => Ok(RowSet::all(nrows)),
+            Plan::Overflow => self.brute_force_group(gid, |line| strsearch::contains(line, kw)),
+            Plan::Conjs(conjs) => {
+                if conjs.is_empty() {
+                    self.stats.groups_skipped += 1;
+                    return Ok(RowSet::empty());
+                }
+                let mut out = RowSet::empty();
+                for conj in &conjs {
+                    let rows = self.eval_conj_on_slots(gid, conj, kw, nrows)?;
+                    out = out.union(&rows);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Intersection of slot-requirements of one conjunction.
+    fn eval_conj_on_slots(
+        &mut self,
+        gid: usize,
+        conj: &Conj,
+        kw: &[u8],
+        nrows: u32,
+    ) -> Result<RowSet> {
+        let mut rows = RowSet::all(nrows);
+        for req in conj {
+            if rows.is_empty() {
+                break;
+            }
+            let part = &kw[req.lo..req.hi];
+            let hit = self.eval_var_req(gid, req.var, part, req.mode)?;
+            rows = rows.intersect(&hit);
+        }
+        Ok(rows)
+    }
+
+    /// Group rows whose value of slot `slot` satisfies `(mode, needle)` —
+    /// the per-variable-vector matching of §5.1, dispatching on storage form.
+    fn eval_var_req(
+        &mut self,
+        gid: usize,
+        slot: usize,
+        needle: &[u8],
+        mode: Mode,
+    ) -> Result<RowSet> {
+        // Borrow through the 'a archive reference, which outlives &mut self,
+        // so no clone of the vector metadata is needed.
+        let archive = self.archive;
+        let group = &archive.boxed.groups[gid];
+        let nrows = group.rows();
+        match &group.vectors[slot] {
+            VectorMeta::Plain { capsule } => {
+                if !self.stamp_admits(*capsule, needle) {
+                    return Ok(RowSet::empty());
+                }
+                Ok(RowSet::from_sorted(
+                    self.capsule_find(*capsule, needle, mode)?,
+                ))
+            }
+            VectorMeta::Real {
+                pattern,
+                sub_caps,
+                outlier_cap,
+                outlier_rows,
+            } => {
+                let mut out = self.eval_real_pattern(
+                    gid,
+                    slot,
+                    pattern,
+                    sub_caps,
+                    outlier_rows,
+                    nrows,
+                    needle,
+                    mode,
+                )?;
+                // The outlier Capsule is always scanned (§4.1).
+                if !outlier_rows.is_empty() {
+                    let hits = self.capsule_find(*outlier_cap, needle, mode)?;
+                    let mapped: Vec<u32> =
+                        hits.into_iter().map(|r| outlier_rows[r as usize]).collect();
+                    out = out.union(&RowSet::from_sorted(mapped));
+                }
+                Ok(out)
+            }
+            VectorMeta::Nominal {
+                patterns,
+                dict_cap,
+                index_cap,
+                idx_len,
+                dict_len,
+            } => self.eval_nominal(
+                patterns, *dict_cap, *index_cap, *idx_len, *dict_len, needle, mode, nrows,
+            ),
+        }
+    }
+
+    /// The runtime-pattern path for a real vector.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_real_pattern(
+        &mut self,
+        gid: usize,
+        slot: usize,
+        pattern: &RuntimePattern,
+        sub_caps: &[u32],
+        outlier_rows: &[u32],
+        nrows: u32,
+        needle: &[u8],
+        mode: Mode,
+    ) -> Result<RowSet> {
+        let segs: Vec<SegRef<'_>> = pattern
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Const(c) => SegRef::Const(c.as_slice()),
+                Segment::Var(v) => SegRef::Var(*v),
+            })
+            .collect();
+        let pattern_rows = || VectorMeta::pattern_row_map(outlier_rows, nrows);
+        match plan(&segs, needle, mode) {
+            Plan::All => Ok(RowSet::from_sorted(pattern_rows())),
+            Plan::Overflow => {
+                // Scan the variable vector by materializing values.
+                let map = pattern_rows();
+                let mut hits = Vec::new();
+                for (pr, &row) in map.iter().enumerate() {
+                    let v = self.real_value(pattern, sub_caps, pr as u32)?;
+                    self.stats.rows_verified += 1;
+                    if value_matches(&v, needle, mode) {
+                        hits.push(row);
+                    }
+                }
+                let _ = (gid, slot);
+                Ok(RowSet::from_sorted(hits))
+            }
+            Plan::Conjs(conjs) => {
+                let map = pattern_rows();
+                let total_pattern_rows = map.len() as u32;
+                let mut out = RowSet::empty();
+                for conj in &conjs {
+                    let mut rows = RowSet::all(total_pattern_rows);
+                    for req in conj {
+                        if rows.is_empty() {
+                            break;
+                        }
+                        let part = &needle[req.lo..req.hi];
+                        let cap = sub_caps[req.var];
+                        if !self.stamp_admits(cap, part) {
+                            rows = RowSet::empty();
+                            break;
+                        }
+                        let hit = RowSet::from_sorted(self.capsule_find(cap, part, req.mode)?);
+                        rows = rows.intersect(&hit);
+                    }
+                    out = out.union(&rows);
+                }
+                // Map pattern rows to vector rows.
+                Ok(RowSet::from_sorted(
+                    out.iter().map(|pr| map[pr as usize]).collect(),
+                ))
+            }
+        }
+    }
+
+    /// The dictionary + index path for a nominal vector (§5.1 differences).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_nominal(
+        &mut self,
+        patterns: &[DictPattern],
+        dict_cap: u32,
+        index_cap: u32,
+        idx_len: u32,
+        dict_len: u32,
+        needle: &[u8],
+        mode: Mode,
+        nrows: u32,
+    ) -> Result<RowSet> {
+        let regions = VectorMeta::dict_regions(patterns);
+        let fixed = matches!(self.meta(dict_cap).layout, Layout::Raw);
+        let mut matched: Vec<u32> = Vec::new();
+        for (p, region) in patterns.iter().zip(&regions) {
+            if needle.len() as u32 > p.max_len {
+                continue;
+            }
+            if !self.dict_pattern_could_match(p, needle, mode) {
+                continue;
+            }
+            // Jump straight to the region (Σ countᵢ×lenᵢ, §5.2) and scan it.
+            let hits: Vec<u32> = if fixed {
+                let payload = self.payload(dict_cap)?;
+                let start = region.byte_offset;
+                let end = start + region.count as usize * region.width as usize;
+                if end > payload.len() {
+                    return Err(Error::Corrupt("dict region outside payload".into()));
+                }
+                FixedRows::new(&payload[start..end], region.width as usize, PAD)
+                    .find(needle, mode)
+                    .into_iter()
+                    .map(|r| r + region.first_index)
+                    .collect()
+            } else {
+                let meta = self.meta(dict_cap);
+                let payload = self.payload(dict_cap)?;
+                let view = crate::capsule::CapsuleView::new(&payload, meta)?;
+                view.find_in_rows(
+                    needle,
+                    mode,
+                    region.first_index,
+                    region.first_index + region.count,
+                )
+            };
+            matched.extend(hits);
+        }
+        if matched.is_empty() {
+            return Ok(RowSet::empty());
+        }
+        debug_assert!(matched.iter().all(|&i| i < dict_len));
+
+        // Search the matched indices in the index Capsule.
+        if matched.len() <= 8 {
+            let mut out = RowSet::empty();
+            for idx in &matched {
+                let formatted = format_index(*idx, idx_len);
+                let rows = self.capsule_find(index_cap, &formatted, Mode::Exact)?;
+                out = out.union(&RowSet::from_sorted(rows));
+            }
+            Ok(out)
+        } else {
+            // One pass over the decompressed index Capsule with a membership
+            // set (row addressing is O(1) thanks to the fixed width, §5.2).
+            let set: HashSet<u32> = matched.into_iter().collect();
+            let meta = self.meta(index_cap);
+            let payload = self.payload(index_cap)?;
+            let view = crate::capsule::CapsuleView::new(&payload, meta)?;
+            let mut rows = Vec::new();
+            for row in 0..nrows.min(view.rows() as u32) {
+                let idx = parse_index(view.value(row as usize))
+                    .ok_or_else(|| Error::Corrupt("bad index value".into()))?;
+                if set.contains(&idx) {
+                    rows.push(row);
+                }
+            }
+            Ok(RowSet::from_sorted(rows))
+        }
+    }
+
+    /// Could `(mode, needle)` match any value of this dictionary pattern?
+    /// Pattern structure plus sub-variable stamps — no decompression.
+    fn dict_pattern_could_match(&mut self, p: &DictPattern, needle: &[u8], mode: Mode) -> bool {
+        let segs: Vec<SegRef<'_>> = p
+            .pattern
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Const(c) => SegRef::Const(c.as_slice()),
+                Segment::Var(v) => SegRef::Var(*v),
+            })
+            .collect();
+        match plan(&segs, needle, mode) {
+            Plan::All | Plan::Overflow => true,
+            Plan::Conjs(conjs) => {
+                if !self.archive.use_stamps {
+                    return !conjs.is_empty();
+                }
+                let admits_all = |conj: &Conj| {
+                    conj.iter().all(|req| {
+                        p.pattern.sub_stamps[req.var].admits(&needle[req.lo..req.hi])
+                    })
+                };
+                let ok = conjs.iter().any(admits_all);
+                if !ok && !conjs.is_empty() {
+                    self.stats.stamp_rejections += 1;
+                }
+                ok
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Value reconstruction.
+    // ------------------------------------------------------------------
+
+    /// The value of sub-variable capsules assembled through a pattern.
+    fn real_value(
+        &mut self,
+        pattern: &RuntimePattern,
+        sub_caps: &[u32],
+        pattern_row: u32,
+    ) -> Result<Vec<u8>> {
+        let mut subs: Vec<Vec<u8>> = Vec::with_capacity(sub_caps.len());
+        for &cap in sub_caps {
+            subs.push(self.capsule_value(cap, pattern_row)?);
+        }
+        let refs: Vec<&[u8]> = subs.iter().map(|v| v.as_slice()).collect();
+        Ok(pattern.render(&refs))
+    }
+
+    /// The value of slot `slot` on group row `row`.
+    fn slot_value(&mut self, gid: usize, slot: usize, row: u32) -> Result<Vec<u8>> {
+        let archive = self.archive;
+        match &archive.boxed.groups[gid].vectors[slot] {
+            VectorMeta::Plain { capsule } => self.capsule_value(*capsule, row),
+            VectorMeta::Real {
+                pattern,
+                sub_caps,
+                outlier_cap,
+                outlier_rows,
+            } => match outlier_rows.binary_search(&row) {
+                Ok(outlier_pos) => self.capsule_value(*outlier_cap, outlier_pos as u32),
+                Err(outliers_before) => {
+                    let pattern_row = row - outliers_before as u32;
+                    self.real_value(pattern, sub_caps, pattern_row)
+                }
+            },
+            VectorMeta::Nominal {
+                patterns,
+                dict_cap,
+                index_cap,
+                ..
+            } => {
+                let raw = self.capsule_value(*index_cap, row)?;
+                let idx =
+                    parse_index(&raw).ok_or_else(|| Error::Corrupt("bad index value".into()))?;
+                self.dict_value(patterns, *dict_cap, idx)
+            }
+        }
+    }
+
+    /// The dictionary value with global index `idx`.
+    fn dict_value(&mut self, patterns: &[DictPattern], dict_cap: u32, idx: u32) -> Result<Vec<u8>> {
+        let fixed = matches!(self.meta(dict_cap).layout, Layout::Raw);
+        if fixed {
+            let regions = VectorMeta::dict_regions(patterns);
+            let region = regions
+                .iter()
+                .rev()
+                .find(|r| r.first_index <= idx)
+                .ok_or_else(|| Error::Corrupt("dict index out of range".into()))?;
+            if idx - region.first_index >= region.count {
+                return Err(Error::Corrupt("dict index out of range".into()));
+            }
+            let payload = self.payload(dict_cap)?;
+            let start = region.byte_offset;
+            let end = start + region.count as usize * region.width as usize;
+            if end > payload.len() {
+                return Err(Error::Corrupt("dict region outside payload".into()));
+            }
+            let rows = FixedRows::new(&payload[start..end], region.width as usize, PAD);
+            Ok(rows.value((idx - region.first_index) as usize).to_vec())
+        } else {
+            self.capsule_value(dict_cap, idx)
+        }
+    }
+
+    /// Renders the full original line of group row `row`.
+    fn render_row(&mut self, gid: usize, row: u32) -> Result<Vec<u8>> {
+        let slots = self.archive.boxed.groups[gid].vectors.len();
+        let mut values = Vec::with_capacity(slots);
+        for slot in 0..slots {
+            values.push(self.slot_value(gid, slot, row)?);
+        }
+        let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+        Ok(self.archive.boxed.groups[gid].template.render(&refs))
+    }
+
+    /// Reconstructs every row of a group and keeps those passing `pred`.
+    fn brute_force_group(
+        &mut self,
+        gid: usize,
+        pred: impl Fn(&[u8]) -> bool,
+    ) -> Result<RowSet> {
+        let nrows = self.archive.boxed.groups[gid].rows();
+        let mut hits = Vec::new();
+        for row in 0..nrows {
+            let line = self.render_row(gid, row)?;
+            self.stats.rows_verified += 1;
+            if pred(&line) {
+                hits.push(row);
+            }
+        }
+        Ok(RowSet::from_sorted(hits))
+    }
+
+    /// Reconstructs the given global line numbers, in ascending line order.
+    ///
+    /// Groups hold their rows in original order, so entries of one group are
+    /// naturally ordered; across groups the stored line numbers (logical
+    /// timestamps) restore the global order, as in §3's Reconstruction.
+    fn reconstruct(&mut self, line_numbers: &[u32]) -> Result<Vec<Vec<u8>>> {
+        let wanted = RowSet::from_unsorted(line_numbers.to_vec());
+        let index = self.archive.line_index();
+        let mut out = Vec::with_capacity(wanted.len());
+        for lineno in wanted.iter() {
+            let &(gid, row) = index
+                .get(lineno as usize)
+                .ok_or_else(|| Error::Corrupt("line number out of range".into()))?;
+            if gid == u32::MAX {
+                return Err(Error::Corrupt("line number missing from groups".into()));
+            }
+            out.push(self.render_row(gid as usize, row)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Direct value/needle check shared by scan fallbacks.
+fn value_matches(value: &[u8], needle: &[u8], mode: Mode) -> bool {
+    match mode {
+        Mode::Contains => strsearch::contains(value, needle),
+        Mode::Prefix => value.starts_with(needle),
+        Mode::Suffix => value.ends_with(needle),
+        Mode::Exact => value == needle,
+    }
+}

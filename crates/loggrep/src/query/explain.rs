@@ -1,0 +1,349 @@
+//! Query plan explanation: what §5.1's Capsule locating decides *before*
+//! touching any compressed data.
+//!
+//! [`Archive::explain`] walks the same planner the executor uses — template
+//! segments, runtime patterns, Capsule stamps — but never decompresses a
+//! Capsule, so it is cheap enough to run on every query for observability.
+
+use crate::boxfile::Archive;
+use crate::error::Result;
+use crate::pattern::Segment;
+use crate::query::lang::Query;
+use crate::query::plan::{plan, Mode, Plan, SegRef};
+use crate::vector::VectorMeta;
+use logparse::Piece;
+use std::fmt;
+
+/// How one search string relates to one group, per the planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupDecision {
+    /// The keyword lies inside the static pattern: every row matches.
+    AllRows,
+    /// No possible match: the group is skipped without decompression.
+    Skip,
+    /// `conjunctions` possible matches touching `capsules` Capsules, of
+    /// which `stamp_rejected` requirements already fail their stamps.
+    Scan {
+        /// Number of possible matches (conjunctions).
+        conjunctions: usize,
+        /// Distinct Capsules that may need decompression.
+        capsules: usize,
+        /// Requirements rejected by stamps without decompression.
+        stamp_rejected: usize,
+    },
+    /// The planner overflowed; the executor would scan the whole group.
+    FullScan,
+    /// Wildcard string: candidates come from the longest literal fragment,
+    /// then rows are verified by reconstruction.
+    WildcardVerify,
+}
+
+/// The plan of one search string across all groups.
+#[derive(Debug, Clone)]
+pub struct SearchPlan {
+    /// The search string text.
+    pub search: String,
+    /// Decision per group (indexed like `CapsuleBox::groups`).
+    pub decisions: Vec<GroupDecision>,
+}
+
+/// A full query explanation.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The raw query.
+    pub query: String,
+    /// Template display per group.
+    pub templates: Vec<String>,
+    /// Rows per group.
+    pub group_rows: Vec<u32>,
+    /// One plan per search string, in expression order.
+    pub searches: Vec<SearchPlan>,
+}
+
+impl Explanation {
+    /// Groups that no search string can match (skippable outright).
+    pub fn dead_groups(&self) -> usize {
+        (0..self.templates.len())
+            .filter(|&g| {
+                self.searches
+                    .iter()
+                    .all(|s| s.decisions[g] == GroupDecision::Skip)
+            })
+            .count()
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "explain: {}", self.query)?;
+        for sp in &self.searches {
+            writeln!(f, "  search `{}`:", sp.search)?;
+            for (g, d) in sp.decisions.iter().enumerate() {
+                let what = match d {
+                    GroupDecision::AllRows => "ALL (keyword in static pattern)".to_string(),
+                    GroupDecision::Skip => "skip".to_string(),
+                    GroupDecision::Scan {
+                        conjunctions,
+                        capsules,
+                        stamp_rejected,
+                    } => format!(
+                        "scan: {conjunctions} possible match(es), {capsules} capsule(s), {stamp_rejected} stamp-rejected"
+                    ),
+                    GroupDecision::FullScan => "full group scan (planner overflow)".to_string(),
+                    GroupDecision::WildcardVerify => {
+                        "wildcard: filter + verify by reconstruction".to_string()
+                    }
+                };
+                if *d != GroupDecision::Skip {
+                    writeln!(
+                        f,
+                        "    group {g} [{} rows] {}: {what}",
+                        self.group_rows[g], self.templates[g]
+                    )?;
+                }
+            }
+        }
+        writeln!(f, "  ({} of {} groups dead)", self.dead_groups(), self.templates.len())
+    }
+}
+
+impl Archive {
+    /// Explains how a query would be located, without decompressing any
+    /// Capsule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::BadQuery`] if the command does not parse.
+    pub fn explain(&self, command: &str) -> Result<Explanation> {
+        let query = Query::parse(command)?;
+        let groups = &self.boxed.groups;
+        let templates: Vec<String> = groups.iter().map(|g| g.template.display()).collect();
+        let group_rows: Vec<u32> = groups.iter().map(|g| g.rows()).collect();
+
+        let mut searches = Vec::new();
+        for s in query.expr.search_strings() {
+            let mut decisions = Vec::with_capacity(groups.len());
+            for group in groups {
+                if s.as_literal().is_none() {
+                    decisions.push(GroupDecision::WildcardVerify);
+                    continue;
+                }
+                let kw = s.as_literal().expect("checked literal");
+                let segs: Vec<SegRef<'_>> = group
+                    .template
+                    .pieces()
+                    .iter()
+                    .map(|p| match p {
+                        Piece::Static(text) => SegRef::Const(text.as_slice()),
+                        Piece::Slot(i) => SegRef::Var(*i),
+                    })
+                    .collect();
+                decisions.push(match plan(&segs, kw, Mode::Contains) {
+                    Plan::All => GroupDecision::AllRows,
+                    Plan::Overflow => GroupDecision::FullScan,
+                    Plan::Conjs(conjs) if conjs.is_empty() => GroupDecision::Skip,
+                    Plan::Conjs(conjs) => {
+                        let mut capsules = std::collections::HashSet::new();
+                        let mut stamp_rejected = 0usize;
+                        for conj in &conjs {
+                            for req in conj {
+                                let part = &kw[req.lo..req.hi];
+                                self.explain_requirement(
+                                    group,
+                                    req.var,
+                                    part,
+                                    &mut capsules,
+                                    &mut stamp_rejected,
+                                );
+                            }
+                        }
+                        if capsules.is_empty() {
+                            // Every requirement died on a stamp: the group
+                            // is skipped without touching compressed data.
+                            GroupDecision::Skip
+                        } else {
+                            GroupDecision::Scan {
+                                conjunctions: conjs.len(),
+                                capsules: capsules.len(),
+                                stamp_rejected,
+                            }
+                        }
+                    }
+                });
+            }
+            searches.push(SearchPlan {
+                search: s.raw.clone(),
+                decisions,
+            });
+        }
+        Ok(Explanation {
+            query: command.to_string(),
+            templates,
+            group_rows,
+            searches,
+        })
+    }
+
+    /// Accounts the Capsules one slot-requirement would touch.
+    fn explain_requirement(
+        &self,
+        group: &crate::boxfile::GroupMeta,
+        slot: usize,
+        part: &[u8],
+        capsules: &mut std::collections::HashSet<u32>,
+        stamp_rejected: &mut usize,
+    ) {
+        match &group.vectors[slot] {
+            VectorMeta::Plain { capsule } => {
+                if self.boxed.capsules[*capsule as usize].stamp.admits(part) {
+                    capsules.insert(*capsule);
+                } else {
+                    *stamp_rejected += 1;
+                }
+            }
+            VectorMeta::Real {
+                pattern,
+                sub_caps,
+                outlier_cap,
+                outlier_rows,
+            } => {
+                let segs: Vec<SegRef<'_>> = pattern
+                    .segments
+                    .iter()
+                    .map(|seg| match seg {
+                        Segment::Const(c) => SegRef::Const(c.as_slice()),
+                        Segment::Var(v) => SegRef::Var(*v),
+                    })
+                    .collect();
+                if let Plan::Conjs(conjs) = plan(&segs, part, Mode::Contains) {
+                    for conj in &conjs {
+                        for req in conj {
+                            let cap = sub_caps[req.var];
+                            let sub = &part[req.lo..req.hi];
+                            if self.boxed.capsules[cap as usize].stamp.admits(sub) {
+                                capsules.insert(cap);
+                            } else {
+                                *stamp_rejected += 1;
+                            }
+                        }
+                    }
+                }
+                if !outlier_rows.is_empty() {
+                    capsules.insert(*outlier_cap);
+                }
+            }
+            VectorMeta::Nominal {
+                patterns,
+                dict_cap,
+                index_cap,
+                ..
+            } => {
+                // Same could-match test the executor runs: pattern structure
+                // plus the per-sub-variable stamps.
+                let could = patterns.iter().any(|p| {
+                    if part.len() as u32 > p.max_len {
+                        return false;
+                    }
+                    let segs: Vec<SegRef<'_>> = p
+                        .pattern
+                        .segments
+                        .iter()
+                        .map(|seg| match seg {
+                            Segment::Const(c) => SegRef::Const(c.as_slice()),
+                            Segment::Var(v) => SegRef::Var(*v),
+                        })
+                        .collect();
+                    match plan(&segs, part, Mode::Contains) {
+                        Plan::All | Plan::Overflow => true,
+                        Plan::Conjs(conjs) => conjs.iter().any(|conj| {
+                            conj.iter().all(|req| {
+                                p.pattern.sub_stamps[req.var]
+                                    .admits(&part[req.lo..req.hi])
+                            })
+                        }),
+                    }
+                });
+                if could {
+                    capsules.insert(*dict_cap);
+                    capsules.insert(*index_cap);
+                } else {
+                    *stamp_rejected += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LogGrep, LogGrepConfig};
+
+    fn archive() -> Archive {
+        let mut raw = Vec::new();
+        for i in 0..200 {
+            raw.extend_from_slice(format!("alpha job {:04} fine\n", i).as_bytes());
+            if i % 20 == 0 {
+                raw.extend_from_slice(format!("beta crash {:04} bad\n", i).as_bytes());
+            }
+        }
+        LogGrep::new(LogGrepConfig::default())
+            .compress_to_archive(&raw)
+            .unwrap()
+    }
+
+    #[test]
+    fn static_hit_explains_as_all() {
+        let a = archive();
+        let ex = a.explain("crash").unwrap();
+        assert!(ex
+            .searches[0]
+            .decisions
+            .iter()
+            .any(|d| *d == GroupDecision::AllRows));
+    }
+
+    #[test]
+    fn absent_keyword_kills_all_groups() {
+        let a = archive();
+        let ex = a.explain("zzz-never").unwrap();
+        assert_eq!(ex.dead_groups(), ex.templates.len());
+    }
+
+    #[test]
+    fn numeric_keyword_scans_some_group() {
+        let a = archive();
+        let ex = a.explain("0040").unwrap();
+        assert!(ex.searches[0]
+            .decisions
+            .iter()
+            .any(|d| matches!(d, GroupDecision::Scan { .. })));
+    }
+
+    #[test]
+    fn wildcard_marks_verification() {
+        let a = archive();
+        let ex = a.explain("jo*b").unwrap();
+        assert!(ex.searches[0]
+            .decisions
+            .iter()
+            .all(|d| *d == GroupDecision::WildcardVerify));
+    }
+
+    #[test]
+    fn display_renders() {
+        let a = archive();
+        let text = a.explain("crash and 0040").unwrap().to_string();
+        assert!(text.contains("explain: crash and 0040"));
+        assert!(text.contains("groups dead"));
+    }
+
+    #[test]
+    fn explain_decompresses_nothing() {
+        let a = archive();
+        let _ = a.explain("crash and 0040 or fine").unwrap();
+        // Explanation must not have warmed the query cache either.
+        let result = a.query("crash and 0040").unwrap();
+        assert!(!result.stats.cache_hit);
+    }
+}

@@ -1,0 +1,338 @@
+//! The grep-like query language (§3, §5).
+//!
+//! A query is search strings joined by `and` / `or` / `not` (case
+//! insensitive), e.g. `error AND dst:11.8.* NOT state:503`. A search string
+//! may span several tokens (`socket read length failure`) and may contain
+//! `*` wildcards, which match within a single token only — a wildcard never
+//! crosses token delimiters or line breaks.
+
+use crate::error::{Error, Result};
+
+/// One element of a compiled search string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Element {
+    /// Literal bytes that must appear verbatim.
+    Lit(Vec<u8>),
+    /// `*`: any run (possibly empty) of non-delimiter bytes.
+    Star,
+}
+
+/// A compiled search string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchString {
+    /// The original text.
+    pub raw: String,
+    /// Compiled elements (consecutive stars collapsed).
+    pub elements: Vec<Element>,
+}
+
+impl SearchString {
+    /// Compiles a search string.
+    pub fn compile(text: &str) -> Result<Self> {
+        if text.is_empty() {
+            return Err(Error::BadQuery("empty search string".into()));
+        }
+        let mut elements = Vec::new();
+        let mut lit = Vec::new();
+        for &b in text.as_bytes() {
+            if b == b'*' {
+                if !lit.is_empty() {
+                    elements.push(Element::Lit(std::mem::take(&mut lit)));
+                }
+                if !matches!(elements.last(), Some(Element::Star)) {
+                    elements.push(Element::Star);
+                }
+            } else {
+                lit.push(b);
+            }
+        }
+        if !lit.is_empty() {
+            elements.push(Element::Lit(lit));
+        }
+        if elements.iter().all(|e| matches!(e, Element::Star)) {
+            return Err(Error::BadQuery(format!(
+                "search string `{text}` has no literal content"
+            )));
+        }
+        Ok(Self {
+            raw: text.to_string(),
+            elements,
+        })
+    }
+
+    /// True if the string contains a wildcard.
+    pub fn has_wildcard(&self) -> bool {
+        self.elements.iter().any(|e| matches!(e, Element::Star))
+    }
+
+    /// The literal bytes if the string has no wildcard.
+    pub fn as_literal(&self) -> Option<&[u8]> {
+        match (&self.elements[..], self.has_wildcard()) {
+            ([Element::Lit(l)], false) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The longest literal fragment (pre-filter for wildcard strings).
+    pub fn longest_literal(&self) -> &[u8] {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Lit(l) => Some(l.as_slice()),
+                Element::Star => None,
+            })
+            .fold(&b""[..], |best, l| if l.len() > best.len() { l } else { best })
+    }
+
+    /// Ground-truth matcher: does the string occur in `line`, with `*`
+    /// confined to runs of non-delimiter bytes? This is the oracle the
+    /// gzip+grep baseline uses and the reference the engine must agree with.
+    pub fn matches_line(&self, line: &[u8], delims: &[u8]) -> bool {
+        if !self.has_wildcard() {
+            if let Some(Element::Lit(l)) = self.elements.first() {
+                return strsearch::contains(line, l);
+            }
+        }
+        (0..=line.len()).any(|start| Self::match_at(&self.elements, line, start, delims))
+    }
+
+    fn match_at(elements: &[Element], line: &[u8], pos: usize, delims: &[u8]) -> bool {
+        match elements.first() {
+            None => true,
+            Some(Element::Lit(l)) => {
+                line[pos..].starts_with(l)
+                    && Self::match_at(&elements[1..], line, pos + l.len(), delims)
+            }
+            Some(Element::Star) => {
+                // Consume 0..k non-delimiter bytes, backtracking.
+                let mut end = pos;
+                loop {
+                    if Self::match_at(&elements[1..], line, end, delims) {
+                        return true;
+                    }
+                    if end >= line.len() || delims.contains(&line[end]) || line[end] == b'\n' {
+                        return false;
+                    }
+                    end += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A parsed query expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A single search string.
+    Str(SearchString),
+    /// Both sides must match (`and`).
+    And(Box<Expr>, Box<Expr>),
+    /// Either side matches (`or`).
+    Or(Box<Expr>, Box<Expr>),
+    /// Left matches and right does not (`not`, binary as in Table 1).
+    Not(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression against one line (the oracle semantics).
+    pub fn matches_line(&self, line: &[u8], delims: &[u8]) -> bool {
+        match self {
+            Expr::Str(s) => s.matches_line(line, delims),
+            Expr::And(a, b) => a.matches_line(line, delims) && b.matches_line(line, delims),
+            Expr::Or(a, b) => a.matches_line(line, delims) || b.matches_line(line, delims),
+            Expr::Not(a, b) => a.matches_line(line, delims) && !b.matches_line(line, delims),
+        }
+    }
+
+    /// All search strings in the expression, left to right.
+    pub fn search_strings(&self) -> Vec<&SearchString> {
+        match self {
+            Expr::Str(s) => vec![s],
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Not(a, b) => {
+                let mut v = a.search_strings();
+                v.extend(b.search_strings());
+                v
+            }
+        }
+    }
+}
+
+/// A parsed query: the raw text plus the expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The raw query text (the query-cache key).
+    pub raw: String,
+    /// The parsed expression.
+    pub expr: Expr,
+}
+
+impl Query {
+    /// Parses a query command.
+    ///
+    /// Words are whitespace-separated; the standalone words `and`, `or`,
+    /// `not` (any case) are operators, everything between two operators is
+    /// one search string (inner whitespace normalized to single spaces).
+    /// Operators associate left: `A and B not C or D` means
+    /// `((A and B) not C) or D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadQuery`] on empty queries, dangling operators, or
+    /// search strings with no literal content.
+    pub fn parse(text: &str) -> Result<Query> {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Op {
+            And,
+            Or,
+            Not,
+        }
+        let mut expr: Option<Expr> = None;
+        let mut pending_op: Option<Op> = None;
+        let mut current: Vec<&str> = Vec::new();
+
+        let flush = |expr: &mut Option<Expr>,
+                         pending_op: &mut Option<Op>,
+                         current: &mut Vec<&str>|
+         -> Result<()> {
+            if current.is_empty() {
+                return if pending_op.is_some() || expr.is_none() {
+                    Err(Error::BadQuery("operator without operand".into()))
+                } else {
+                    Ok(())
+                };
+            }
+            let s = SearchString::compile(&current.join(" "))?;
+            current.clear();
+            let rhs = Expr::Str(s);
+            *expr = Some(match (expr.take(), pending_op.take()) {
+                (None, None) => rhs,
+                (Some(lhs), Some(Op::And)) => Expr::And(Box::new(lhs), Box::new(rhs)),
+                (Some(lhs), Some(Op::Or)) => Expr::Or(Box::new(lhs), Box::new(rhs)),
+                (Some(lhs), Some(Op::Not)) => Expr::Not(Box::new(lhs), Box::new(rhs)),
+                (None, Some(_)) => return Err(Error::BadQuery("query starts with operator".into())),
+                (Some(_), None) => unreachable!("operands always separated by operators"),
+            });
+            Ok(())
+        };
+
+        for word in text.split_whitespace() {
+            let op = match word.to_ascii_lowercase().as_str() {
+                "and" => Some(Op::And),
+                "or" => Some(Op::Or),
+                "not" => Some(Op::Not),
+                _ => None,
+            };
+            match op {
+                Some(op) => {
+                    flush(&mut expr, &mut pending_op, &mut current)?;
+                    if expr.is_none() {
+                        return Err(Error::BadQuery("query starts with operator".into()));
+                    }
+                    pending_op = Some(op);
+                }
+                None => current.push(word),
+            }
+        }
+        flush(&mut expr, &mut pending_op, &mut current)?;
+        if pending_op.is_some() {
+            return Err(Error::BadQuery("query ends with operator".into()));
+        }
+        let expr = expr.ok_or_else(|| Error::BadQuery("empty query".into()))?;
+        Ok(Query {
+            raw: text.to_string(),
+            expr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logparse::DEFAULT_DELIMS;
+
+    fn m(s: &str, line: &str) -> bool {
+        SearchString::compile(s)
+            .unwrap()
+            .matches_line(line.as_bytes(), DEFAULT_DELIMS)
+    }
+
+    #[test]
+    fn literal_substring_semantics() {
+        assert!(m("read", "T134 bk.FF.13 read"));
+        assert!(m("bk.FF", "T134 bk.FF.13 read"));
+        assert!(!m("write", "T134 bk.FF.13 read"));
+        assert!(m("state: SUC", "T169 state: SUC#1604"));
+    }
+
+    #[test]
+    fn wildcard_within_token() {
+        assert!(m("dst:11.8.*", "error dst:11.8.42 x"));
+        assert!(m("dst:11.8.* x", "error dst:11.8.42 x"));
+        assert!(!m("dst:11.9.*", "error dst:11.8.42 x"));
+        // A star must not cross a space.
+        assert!(!m("dst:*done", "dst:abc then done"));
+        assert!(m("dst:*one", "dst:someone said"));
+    }
+
+    #[test]
+    fn star_can_be_empty() {
+        assert!(m("a*b", "ab"));
+        assert!(m("blk_*", "blk_"));
+    }
+
+    #[test]
+    fn parse_table1_style_queries() {
+        let q = Query::parse("ERROR and state:REQ_ST_CLOSED and 20012 and reqId:5E9D").unwrap();
+        assert_eq!(q.expr.search_strings().len(), 4);
+        let q2 = Query::parse("ERROR and socket read length failure -104").unwrap();
+        let ss = q2.expr.search_strings();
+        assert_eq!(ss.len(), 2);
+        assert_eq!(ss[1].raw, "socket read length failure -104");
+    }
+
+    #[test]
+    fn left_associativity() {
+        let q = Query::parse("A and B not C or D").unwrap();
+        match &q.expr {
+            Expr::Or(lhs, _) => match &**lhs {
+                Expr::Not(lhs2, _) => assert!(matches!(&**lhs2, Expr::And(_, _))),
+                other => panic!("expected Not, got {other:?}"),
+            },
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_oracle_semantics() {
+        let q = Query::parse("ERROR not UserId:-2").unwrap();
+        assert!(q.expr.matches_line(b"ERROR UserId:7 boom", DEFAULT_DELIMS));
+        assert!(!q.expr.matches_line(b"ERROR UserId:-2 boom", DEFAULT_DELIMS));
+        assert!(!q.expr.matches_line(b"WARN UserId:7", DEFAULT_DELIMS));
+    }
+
+    #[test]
+    fn bad_queries_rejected() {
+        assert!(Query::parse("").is_err());
+        assert!(Query::parse("and x").is_err());
+        assert!(Query::parse("x and").is_err());
+        assert!(Query::parse("x and and y").is_err());
+        assert!(Query::parse("*").is_err());
+        assert!(Query::parse("**").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_operators() {
+        let q = Query::parse("alpha AND beta Or gamma NOT delta").unwrap();
+        assert_eq!(q.expr.search_strings().len(), 4);
+    }
+
+    #[test]
+    fn longest_literal_fragment() {
+        let s = SearchString::compile("blk_*.tmp").unwrap();
+        assert_eq!(s.longest_literal(), b"blk_");
+        let t = SearchString::compile("plain").unwrap();
+        assert_eq!(t.longest_literal(), b"plain");
+        assert_eq!(t.as_literal(), Some(&b"plain"[..]));
+        assert_eq!(s.as_literal(), None);
+    }
+}

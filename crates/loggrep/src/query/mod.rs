@@ -1,0 +1,10 @@
+//! Query planning and execution (§5).
+
+pub mod cache;
+pub mod exec;
+pub mod explain;
+pub mod lang;
+pub mod plan;
+pub mod session;
+
+pub use exec::QueryResult;

@@ -1,0 +1,170 @@
+//! Refining-mode query sessions (§3, §6.3).
+//!
+//! LogGrep works in two modes: *direct mode* runs one complete command
+//! ([`crate::Archive::query`]); in *refining mode* an engineer builds the
+//! command up gradually. [`RefiningSession`] models the latter: each step
+//! extends the command with one more search string, and because the archive
+//! caches per-command results, re-evaluated prefixes cost nothing.
+
+use crate::boxfile::Archive;
+use crate::error::Result;
+use crate::query::exec::QueryResult;
+
+/// An incremental query session over one archive.
+///
+/// # Examples
+///
+/// ```
+/// use loggrep::{LogGrep, LogGrepConfig};
+/// use loggrep::query::session::RefiningSession;
+///
+/// let engine = LogGrep::new(LogGrepConfig::default());
+/// let archive = engine
+///     .compress_to_archive(b"a ERROR x\nb INFO y\nc ERROR y\n")
+///     .unwrap();
+/// let mut session = RefiningSession::new(&archive);
+/// let broad = session.seed("ERROR").unwrap();
+/// assert_eq!(broad.lines.len(), 2);
+/// let narrow = session.and("y").unwrap();
+/// assert_eq!(narrow.lines.len(), 1);
+/// assert_eq!(session.command(), "ERROR and y");
+/// ```
+#[derive(Debug)]
+pub struct RefiningSession<'a> {
+    archive: &'a Archive,
+    command: String,
+    steps: Vec<String>,
+}
+
+impl<'a> RefiningSession<'a> {
+    /// Starts an empty session.
+    pub fn new(archive: &'a Archive) -> Self {
+        Self {
+            archive,
+            command: String::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Sets (or resets) the initial search string and runs it.
+    pub fn seed(&mut self, search: &str) -> Result<QueryResult> {
+        self.command = search.to_string();
+        self.steps = vec![self.command.clone()];
+        self.archive.query(&self.command)
+    }
+
+    /// Narrows with `and <search>` and runs the refined command.
+    pub fn and(&mut self, search: &str) -> Result<QueryResult> {
+        self.extend("and", search)
+    }
+
+    /// Widens with `or <search>` and runs the refined command.
+    pub fn or(&mut self, search: &str) -> Result<QueryResult> {
+        self.extend("or", search)
+    }
+
+    /// Excludes with `not <search>` and runs the refined command.
+    pub fn not(&mut self, search: &str) -> Result<QueryResult> {
+        self.extend("not", search)
+    }
+
+    fn extend(&mut self, op: &str, search: &str) -> Result<QueryResult> {
+        if self.command.is_empty() {
+            return self.seed(search);
+        }
+        self.command = format!("{} {op} {search}", self.command);
+        self.steps.push(self.command.clone());
+        self.archive.query(&self.command)
+    }
+
+    /// Steps back to the previous command (no-op at the start). Returns the
+    /// command now in effect.
+    pub fn undo(&mut self) -> &str {
+        if self.steps.len() > 1 {
+            self.steps.pop();
+            self.command = self.steps.last().expect("nonempty").clone();
+        } else if self.steps.len() == 1 {
+            self.steps.pop();
+            self.command.clear();
+        }
+        &self.command
+    }
+
+    /// The current complete command.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Every command issued so far, oldest first.
+    pub fn history(&self) -> &[String] {
+        &self.steps
+    }
+
+    /// Re-runs the current command (a cache hit unless the cache is off).
+    pub fn rerun(&self) -> Result<QueryResult> {
+        self.archive.query(&self.command)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LogGrep, LogGrepConfig};
+
+    fn archive() -> Archive {
+        let raw = b"\
+2021 ERROR disk sda failed\n\
+2021 INFO disk sdb ok\n\
+2021 ERROR net eth0 flap\n\
+2021 ERROR disk sdc failed\n\
+2021 WARN disk sda slow\n";
+        LogGrep::new(LogGrepConfig::default())
+            .compress_to_archive(raw)
+            .unwrap()
+    }
+
+    #[test]
+    fn narrowing_session() {
+        let archive = archive();
+        let mut s = RefiningSession::new(&archive);
+        assert_eq!(s.seed("ERROR").unwrap().lines.len(), 3);
+        assert_eq!(s.and("disk").unwrap().lines.len(), 2);
+        assert_eq!(s.not("sdc").unwrap().lines.len(), 1);
+        assert_eq!(s.command(), "ERROR and disk not sdc");
+        assert_eq!(s.history().len(), 3);
+    }
+
+    #[test]
+    fn rerun_hits_cache() {
+        let archive = archive();
+        let mut s = RefiningSession::new(&archive);
+        let first = s.seed("ERROR").unwrap();
+        assert!(!first.stats.cache_hit);
+        let again = s.rerun().unwrap();
+        assert!(again.stats.cache_hit);
+        assert_eq!(first.lines, again.lines);
+    }
+
+    #[test]
+    fn undo_steps_back() {
+        let archive = archive();
+        let mut s = RefiningSession::new(&archive);
+        s.seed("ERROR").unwrap();
+        s.and("disk").unwrap();
+        assert_eq!(s.undo(), "ERROR");
+        assert_eq!(s.undo(), "");
+        assert_eq!(s.undo(), "");
+        // Extending an empty session seeds it.
+        assert_eq!(s.and("WARN").unwrap().lines.len(), 1);
+        assert_eq!(s.command(), "WARN");
+    }
+
+    #[test]
+    fn or_widens() {
+        let archive = archive();
+        let mut s = RefiningSession::new(&archive);
+        s.seed("eth0").unwrap();
+        let widened = s.or("WARN").unwrap();
+        assert_eq!(widened.lines.len(), 2);
+    }
+}

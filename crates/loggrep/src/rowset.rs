@@ -1,0 +1,185 @@
+//! Sorted row-id sets with the union/intersection/difference operations the
+//! query engine composes possible-match results with (§5.1).
+
+/// A set of row (or line) numbers, stored as a sorted, deduplicated `Vec`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowSet {
+    rows: Vec<u32>,
+}
+
+impl RowSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The full set `0..n`.
+    pub fn all(n: u32) -> Self {
+        Self {
+            rows: (0..n).collect(),
+        }
+    }
+
+    /// Builds a set from a sorted, deduplicated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rows` is not strictly ascending.
+    pub fn from_sorted(rows: Vec<u32>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows not sorted/unique");
+        Self { rows }
+    }
+
+    /// Builds a set from arbitrary row ids (sorts and dedups).
+    pub fn from_unsorted(mut rows: Vec<u32>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        Self { rows }
+    }
+
+    /// The rows, ascending.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Consumes the set, returning the sorted rows.
+    pub fn into_vec(self) -> Vec<u32> {
+        self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, row: u32) -> bool {
+        self.rows.binary_search(&row).is_ok()
+    }
+
+    /// Set union (merge of two sorted sequences).
+    pub fn union(&self, other: &RowSet) -> RowSet {
+        let (a, b) = (&self.rows, &other.rows);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        RowSet { rows: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &RowSet) -> RowSet {
+        let (a, b) = (&self.rows, &other.rows);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        RowSet { rows: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &RowSet) -> RowSet {
+        let (a, b) = (&self.rows, &other.rows);
+        let mut out = Vec::with_capacity(a.len());
+        let mut j = 0usize;
+        for &v in a {
+            while j < b.len() && b[j] < v {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != v {
+                out.push(v);
+            }
+        }
+        RowSet { rows: out }
+    }
+
+    /// Iterates the rows, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.rows.iter().copied()
+    }
+}
+
+impl FromIterator<u32> for RowSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(v: &[u32]) -> RowSet {
+        RowSet::from_unsorted(v.to_vec())
+    }
+
+    #[test]
+    fn basic_ops() {
+        let a = rs(&[1, 3, 5, 7]);
+        let b = rs(&[3, 4, 5, 8]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 3, 4, 5, 7, 8]);
+        assert_eq!(a.intersect(&b).as_slice(), &[3, 5]);
+        assert_eq!(a.subtract(&b).as_slice(), &[1, 7]);
+        assert_eq!(b.subtract(&a).as_slice(), &[4, 8]);
+    }
+
+    #[test]
+    fn empty_identities() {
+        let a = rs(&[2, 4]);
+        let e = RowSet::empty();
+        assert_eq!(a.union(&e), a);
+        assert_eq!(a.intersect(&e), e);
+        assert_eq!(a.subtract(&e), a);
+        assert_eq!(e.subtract(&a), e);
+    }
+
+    #[test]
+    fn from_unsorted_dedups() {
+        assert_eq!(rs(&[5, 1, 5, 3, 1]).as_slice(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn all_and_contains() {
+        let a = RowSet::all(4);
+        assert_eq!(a.as_slice(), &[0, 1, 2, 3]);
+        assert!(a.contains(0) && a.contains(3) && !a.contains(4));
+        assert_eq!(RowSet::all(0).len(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: RowSet = [9u32, 2, 9, 4].into_iter().collect();
+        assert_eq!(s.as_slice(), &[2, 4, 9]);
+    }
+}

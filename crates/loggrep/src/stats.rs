@@ -1,0 +1,86 @@
+//! Statistics reported by compression and queries, consumed by the
+//! benchmark harness.
+
+use std::time::Duration;
+
+/// Statistics of one compression run.
+#[derive(Debug, Clone, Default)]
+pub struct ArchiveStats {
+    /// Original block size in bytes.
+    pub raw_size: u64,
+    /// Serialized CapsuleBox size in bytes.
+    pub compressed_size: u64,
+    /// Wall time of the compression.
+    pub elapsed: Duration,
+    /// Number of groups (static patterns) with at least one row.
+    pub groups: usize,
+    /// Variable vectors stored with a real runtime pattern.
+    pub real_vectors: usize,
+    /// Variable vectors stored as dictionary + index.
+    pub nominal_vectors: usize,
+    /// Variable vectors stored plain.
+    pub plain_vectors: usize,
+    /// Total Capsules.
+    pub capsules: usize,
+    /// Lines that fell into the catch-all template.
+    pub catch_all_lines: u32,
+}
+
+impl ArchiveStats {
+    /// Compression ratio (raw / compressed); 0 when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_size == 0 {
+            0.0
+        } else {
+            self.raw_size as f64 / self.compressed_size as f64
+        }
+    }
+
+    /// Compression speed in MB/s; 0 for zero-duration runs.
+    pub fn speed_mb_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.raw_size as f64 / 1e6 / secs
+        }
+    }
+}
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Wall time of the query.
+    pub elapsed: Duration,
+    /// Capsules decompressed (the cost stamps/patterns avoid).
+    pub capsules_decompressed: usize,
+    /// Decompressed bytes.
+    pub bytes_decompressed: u64,
+    /// Capsule requirements rejected by stamps without decompression.
+    pub stamp_rejections: usize,
+    /// Groups whose static pattern pre-check failed (skipped entirely).
+    pub groups_skipped: usize,
+    /// Rows verified by full reconstruction (wildcard / overflow paths).
+    pub rows_verified: usize,
+    /// Whether the result came from the query cache.
+    pub cache_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_speed() {
+        let s = ArchiveStats {
+            raw_size: 1_000_000,
+            compressed_size: 100_000,
+            elapsed: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert!((s.ratio() - 10.0).abs() < 1e-9);
+        assert!((s.speed_mb_s() - 2.0).abs() < 1e-9);
+        assert_eq!(ArchiveStats::default().ratio(), 0.0);
+        assert_eq!(ArchiveStats::default().speed_mb_s(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The six-bit character-type mask of §2.2 / §4.3.
+//!
+//! Each bit records whether a value set contains characters from one of six
+//! groups: `0-9`, `a-f`, `A-F`, `g-z`, `G-Z`, and "other". A keyword part
+//! with mask `K` can only occur in a Capsule with mask `C` if `K & C == K`.
+
+/// A six-bit character-type mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TypeMask(pub u8);
+
+/// Bit for decimal digits `0-9`.
+pub const BIT_DIGIT: u8 = 1 << 0;
+/// Bit for lowercase hex letters `a-f`.
+pub const BIT_HEX_LOWER: u8 = 1 << 1;
+/// Bit for uppercase hex letters `A-F`.
+pub const BIT_HEX_UPPER: u8 = 1 << 2;
+/// Bit for lowercase non-hex letters `g-z`.
+pub const BIT_ALPHA_LOWER: u8 = 1 << 3;
+/// Bit for uppercase non-hex letters `G-Z`.
+pub const BIT_ALPHA_UPPER: u8 = 1 << 4;
+/// Bit for everything else (punctuation etc.).
+pub const BIT_OTHER: u8 = 1 << 5;
+
+impl TypeMask {
+    /// The empty mask.
+    pub const EMPTY: TypeMask = TypeMask(0);
+
+    /// Classifies a single byte.
+    #[inline]
+    pub fn of_byte(b: u8) -> u8 {
+        match b {
+            b'0'..=b'9' => BIT_DIGIT,
+            b'a'..=b'f' => BIT_HEX_LOWER,
+            b'A'..=b'F' => BIT_HEX_UPPER,
+            b'g'..=b'z' => BIT_ALPHA_LOWER,
+            b'G'..=b'Z' => BIT_ALPHA_UPPER,
+            _ => BIT_OTHER,
+        }
+    }
+
+    /// Computes the mask of one value.
+    pub fn of(value: &[u8]) -> TypeMask {
+        let mut m = 0u8;
+        for &b in value {
+            m |= Self::of_byte(b);
+            if m == 0b11_1111 {
+                break;
+            }
+        }
+        TypeMask(m)
+    }
+
+    /// Folds another value into this mask.
+    pub fn absorb(&mut self, value: &[u8]) {
+        self.0 |= Self::of(value).0;
+    }
+
+    /// Merges two masks.
+    pub fn union(self, other: TypeMask) -> TypeMask {
+        TypeMask(self.0 | other.0)
+    }
+
+    /// True if a string with mask `needle` could occur inside a value set
+    /// with mask `self` (the `K & C == K` check of §4.3).
+    #[inline]
+    pub fn admits(self, needle: TypeMask) -> bool {
+        needle.0 & self.0 == needle.0
+    }
+
+    /// Number of character groups present (the paper reports 3.1 per
+    /// variable vector vs 1.5 per sub-variable vector).
+    pub fn group_count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // §4.3: C1 holds only digits -> 000001b = 1.
+        assert_eq!(TypeMask::of(b"182").0, 1);
+        // C2 holds 0-9 and A-F -> 000101b = 5.
+        assert_eq!(TypeMask::of(b"1F8FE").0, 5);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(TypeMask::of_byte(b'0'), BIT_DIGIT);
+        assert_eq!(TypeMask::of_byte(b'9'), BIT_DIGIT);
+        assert_eq!(TypeMask::of_byte(b'a'), BIT_HEX_LOWER);
+        assert_eq!(TypeMask::of_byte(b'f'), BIT_HEX_LOWER);
+        assert_eq!(TypeMask::of_byte(b'g'), BIT_ALPHA_LOWER);
+        assert_eq!(TypeMask::of_byte(b'z'), BIT_ALPHA_LOWER);
+        assert_eq!(TypeMask::of_byte(b'A'), BIT_HEX_UPPER);
+        assert_eq!(TypeMask::of_byte(b'F'), BIT_HEX_UPPER);
+        assert_eq!(TypeMask::of_byte(b'G'), BIT_ALPHA_UPPER);
+        assert_eq!(TypeMask::of_byte(b'Z'), BIT_ALPHA_UPPER);
+        assert_eq!(TypeMask::of_byte(b'/'), BIT_OTHER);
+        assert_eq!(TypeMask::of_byte(b'#'), BIT_OTHER);
+    }
+
+    #[test]
+    fn admits_is_subset_check() {
+        let capsule = TypeMask::of(b"1F8E"); // digits + A-F
+        assert!(capsule.admits(TypeMask::of(b"8F")));
+        assert!(capsule.admits(TypeMask::of(b"123")));
+        assert!(!capsule.admits(TypeMask::of(b"8g")));
+        assert!(!capsule.admits(TypeMask::of(b"8.")));
+        assert!(capsule.admits(TypeMask::EMPTY));
+    }
+
+    #[test]
+    fn absorb_and_union() {
+        let mut m = TypeMask::EMPTY;
+        m.absorb(b"12");
+        m.absorb(b"ab");
+        assert_eq!(m.0, BIT_DIGIT | BIT_HEX_LOWER);
+        assert_eq!(m.union(TypeMask(BIT_OTHER)).0, m.0 | BIT_OTHER);
+        assert_eq!(m.group_count(), 2);
+    }
+}

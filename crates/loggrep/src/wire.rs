@@ -1,0 +1,265 @@
+//! Hand-rolled binary serialization for the CapsuleBox on-disk format.
+//!
+//! All integers are unsigned LEB128 varints (via [`codec::varint`]); byte
+//! strings are length-prefixed. The reader checks bounds on every access so
+//! corrupt buffers produce [`Error::Corrupt`] instead of panics.
+
+use crate::error::{Error, Result};
+use codec::varint;
+
+/// An append-only wire writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a varint.
+    pub fn put_u64(&mut self, v: u64) {
+        varint::put_uvarint(&mut self.buf, v);
+    }
+
+    /// Appends a `u32` as a varint.
+    pub fn put_u32(&mut self, v: u32) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a `usize` as a varint.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a single raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a delta-encoded ascending `u32` sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sequence is not ascending.
+    pub fn put_ascending_u32s(&mut self, values: &[u32]) {
+        self.put_usize(values.len());
+        let mut prev = 0u32;
+        for (i, &v) in values.iter().enumerate() {
+            if i == 0 {
+                self.put_u32(v);
+            } else {
+                debug_assert!(v >= prev, "sequence not ascending");
+                self.put_u32(v - prev);
+            }
+            prev = v;
+        }
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked wire reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn corrupt(what: &str) -> Error {
+        Error::Corrupt(format!("truncated {what}"))
+    }
+
+    /// Reads a varint.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let (v, n) =
+            varint::get_uvarint(&self.buf[self.pos..]).ok_or_else(|| Self::corrupt("varint"))?;
+        self.pos += n;
+        Ok(v)
+    }
+
+    /// Reads a `u32` varint, rejecting overflow.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let v = self.get_u64()?;
+        u32::try_from(v).map_err(|_| Error::Corrupt("u32 overflow".into()))
+    }
+
+    /// Reads a `usize` varint, rejecting overflow.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| Error::Corrupt("usize overflow".into()))
+    }
+
+    /// Reads one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| Self::corrupt("byte"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a `bool` byte (anything nonzero is true).
+    pub fn get_bool(&mut self) -> Result<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_usize()?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Self::corrupt("byte string"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a delta-encoded ascending `u32` sequence.
+    pub fn get_ascending_u32s(&mut self) -> Result<Vec<u32>> {
+        let n = self.get_usize()?;
+        // Each entry takes at least one byte; reject impossible counts early.
+        if n > self.remaining() {
+            return Err(Self::corrupt("ascending sequence"));
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u32;
+        for i in 0..n {
+            let d = self.get_u32()?;
+            let v = if i == 0 {
+                d
+            } else {
+                prev.checked_add(d)
+                    .ok_or_else(|| Error::Corrupt("ascending overflow".into()))?
+            };
+            out.push(v);
+            prev = v;
+        }
+        Ok(out)
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn get_raw(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| Self::corrupt("raw bytes"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        w.put_u32(12345);
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_bytes(b"hello");
+        w.put_ascending_u32s(&[3, 3, 10, 500]);
+        w.put_raw(b"xyz");
+        let buf = w.into_bytes();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_u32().unwrap(), 12345);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_ascending_u32s().unwrap(), vec![3, 3, 10, 500]);
+        assert_eq!(r.get_raw(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let mut w = Writer::new();
+        w.put_bytes(b"hello world");
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.get_bytes().is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn u32_overflow_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let buf = w.into_bytes();
+        assert!(Reader::new(&buf).get_u32().is_err());
+    }
+
+    #[test]
+    fn hostile_sequence_count_rejected() {
+        let mut w = Writer::new();
+        w.put_usize(usize::MAX / 2); // Claims a huge element count.
+        let buf = w.into_bytes();
+        assert!(Reader::new(&buf).get_ascending_u32s().is_err());
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let mut w = Writer::new();
+        w.put_ascending_u32s(&[]);
+        w.put_bytes(b"");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(r.get_ascending_u32s().unwrap().is_empty());
+        assert_eq!(r.get_bytes().unwrap(), b"");
+    }
+}

@@ -1,0 +1,147 @@
+//! Targeted tests for the less-traveled execution paths of §5: planner
+//! overflow, large nominal match sets, outlier scanning, and the wildcard
+//! verification path.
+
+use loggrep::query::lang::Query;
+use loggrep::{LogGrep, LogGrepConfig};
+use logparse::DEFAULT_DELIMS;
+
+fn oracle(raw: &[u8], command: &str) -> Vec<Vec<u8>> {
+    let q = Query::parse(command).unwrap();
+    loggrep::engine::split_lines(raw)
+        .into_iter()
+        .filter(|l| q.expr.matches_line(l, DEFAULT_DELIMS))
+        .map(|l| l.to_vec())
+        .collect()
+}
+
+fn check(raw: &[u8], config: LogGrepConfig, commands: &[&str]) {
+    let engine = LogGrep::new(config);
+    let archive = engine.compress_to_archive(raw).unwrap();
+    for q in commands {
+        assert_eq!(archive.query(q).unwrap().lines, oracle(raw, q), "query `{q}`");
+    }
+}
+
+/// A repetitive low-information alphabet drives the planner toward its
+/// conjunction budget (overflow → brute-force scan).
+#[test]
+fn planner_overflow_falls_back_correctly() {
+    let mut raw = Vec::new();
+    for i in 0..300 {
+        // Values made of 'a' runs split by 'a'-adjacent constants maximize
+        // possible-match ambiguity.
+        raw.extend_from_slice(
+            format!(
+                "{} aa{} aaa{}aa\n",
+                ["aa", "aaa", "aaaa"][i % 3],
+                "a".repeat(i % 5),
+                "a".repeat((i / 3) % 4),
+            )
+            .as_bytes(),
+        );
+    }
+    check(
+        &raw,
+        LogGrepConfig::default(),
+        &["aaaa", "aaaaaa", "aa aaa", "aaaaaaaaaa"],
+    );
+}
+
+/// Many distinct dictionary values matching one keyword exercises the
+/// membership-set index scan (> 8 matched indices).
+#[test]
+fn nominal_large_match_set() {
+    let mut raw = Vec::new();
+    for i in 0..2000 {
+        // 40 distinct codes, all containing "4": a query for "code:4" must
+        // collect a large matched-index set.
+        raw.extend_from_slice(format!("evt code:4{:02} host h{}\n", i % 40, i % 3).as_bytes());
+    }
+    check(
+        &raw,
+        LogGrepConfig::default(),
+        &["code:4", "code:41", "code:439", "code:44 and host"],
+    );
+}
+
+/// Values that defeat the tree expander land in the outlier Capsule, which
+/// every query must scan.
+#[test]
+fn outliers_are_always_found() {
+    let mut raw = Vec::new();
+    for i in 0..500 {
+        let v = if i % 97 == 0 {
+            // Structure-breaking values (no common pattern).
+            format!("?!odd{}", i)
+        } else {
+            format!("blk_{:06x}", i * 7919)
+        };
+        raw.extend_from_slice(format!("store {} ok\n", v).as_bytes());
+    }
+    check(
+        &raw,
+        LogGrepConfig::default(),
+        &["?!odd97", "odd", "blk_00d", "?!odd and ok"],
+    );
+}
+
+/// Wildcards force candidate verification by reconstruction; stats must
+/// show it and results must stay exact.
+#[test]
+fn wildcard_verification_path() {
+    let mut raw = Vec::new();
+    for i in 0..400 {
+        raw.extend_from_slice(
+            format!("fetch /api/v{}/items/{:04} status={}\n", i % 3, i, 200 + (i % 2) * 300)
+                .as_bytes(),
+        );
+    }
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let archive = engine.compress_to_archive(&raw).unwrap();
+    for q in ["/api/v1/*", "status=5*", "items/00*9", "/api/*/items"] {
+        let got = archive.query(q).unwrap();
+        assert_eq!(got.lines, oracle(&raw, q), "query `{q}`");
+        if !got.lines.is_empty() {
+            assert!(got.stats.rows_verified >= got.lines.len(), "query `{q}`");
+        }
+    }
+}
+
+/// `not` with an empty left side must not evaluate (or fail on) the right.
+#[test]
+fn not_with_empty_left_short_circuits() {
+    let raw = b"x 1\nx 2\ny 3\n";
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let archive = engine.compress_to_archive(raw).unwrap();
+    let r = archive.query("absent-term not x").unwrap();
+    assert!(r.lines.is_empty());
+    assert_eq!(r.stats.capsules_decompressed, 0);
+}
+
+/// Empty-value sub-variables (a pattern ending in a variable that is
+/// sometimes empty) round-trip and match correctly.
+#[test]
+fn empty_subvariable_values() {
+    let mut raw = Vec::new();
+    for i in 0..300 {
+        let suffix = if i % 3 == 0 { String::new() } else { format!("{i}") };
+        raw.extend_from_slice(format!("tag id=X{suffix} end\n").as_bytes());
+    }
+    check(
+        &raw,
+        LogGrepConfig::default(),
+        &["id=X end", "id=X7", "id=X29 end", "id=X299"],
+    );
+}
+
+/// Queries whose keyword equals an entire line and line-boundary content.
+#[test]
+fn whole_line_and_boundary_keywords() {
+    let raw = b"alpha beta\ngamma delta\nalpha delta\n";
+    check(
+        raw,
+        LogGrepConfig::default(),
+        &["alpha beta", "gamma delta", "beta", "delta", "alpha delta"],
+    );
+}

@@ -1,0 +1,141 @@
+//! Property-based end-to-end tests: random structured logs and random
+//! queries must agree with the line-by-line oracle under every
+//! configuration, and reconstruction must always be exact.
+
+use loggrep::query::lang::Query;
+use loggrep::{LogGrep, LogGrepConfig};
+use logparse::DEFAULT_DELIMS;
+use proptest::prelude::*;
+
+/// Strategy: a log line assembled from template-ish fragments, so that the
+/// parser finds structure some of the time but not always.
+fn line_strategy() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        Just("read".to_string()),
+        Just("write".to_string()),
+        Just("ERROR".to_string()),
+        Just("INFO".to_string()),
+        "[a-z]{1,6}",
+        "[0-9]{1,5}",
+        "[0-9A-F]{2,6}",
+        Just("blk_".to_string()),
+        Just("state:".to_string()),
+        Just("/tmp/x".to_string()),
+    ];
+    proptest::collection::vec(word, 1..8).prop_map(|words| words.join(" "))
+}
+
+fn log_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(line_strategy(), 1..120).prop_map(|lines| {
+        let mut s = lines.join("\n");
+        s.push('\n');
+        s
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = String> {
+    let term = prop_oneof![
+        Just("read".to_string()),
+        Just("ERROR".to_string()),
+        Just("blk_".to_string()),
+        Just("state".to_string()),
+        "[a-z]{1,3}",
+        "[0-9]{1,3}",
+        Just("1*".to_string()),
+        Just("b*k".to_string()),
+    ];
+    let op = prop_oneof![
+        Just(" and ".to_string()),
+        Just(" or ".to_string()),
+        Just(" not ".to_string())
+    ];
+    (term.clone(), proptest::collection::vec((op, term), 0..3)).prop_map(|(first, rest)| {
+        let mut q = first;
+        for (op, t) in rest {
+            q.push_str(&op);
+            q.push_str(&t);
+        }
+        q
+    })
+}
+
+fn oracle(raw: &[u8], query: &Query) -> Vec<Vec<u8>> {
+    loggrep::engine::split_lines(raw)
+        .into_iter()
+        .filter(|l| query.expr.matches_line(l, DEFAULT_DELIMS))
+        .map(|l| l.to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_logs_random_queries_match_oracle(
+        log in log_strategy(),
+        query_text in query_strategy(),
+    ) {
+        let raw = log.as_bytes();
+        let query = match Query::parse(&query_text) {
+            Ok(q) => q,
+            Err(_) => return Ok(()), // e.g. "1*" alone can compile; stars-only rejected.
+        };
+        let want = oracle(raw, &query);
+        for config in [LogGrepConfig::default(), LogGrepConfig::sp(), LogGrepConfig::without_fixed()] {
+            let engine = LogGrep::new(config);
+            let archive = engine.compress_to_archive(raw).expect("clean input");
+            let got = archive.query(&query_text).expect("valid query");
+            prop_assert_eq!(&got.lines, &want, "query `{}`", query_text);
+        }
+    }
+
+    #[test]
+    fn random_logs_reconstruct_exactly(log in log_strategy()) {
+        let raw = log.as_bytes();
+        let want: Vec<Vec<u8>> = loggrep::engine::split_lines(raw)
+            .into_iter()
+            .map(|l| l.to_vec())
+            .collect();
+        let engine = LogGrep::new(LogGrepConfig::default());
+        let archive = engine.compress_to_archive(raw).expect("clean input");
+        prop_assert_eq!(archive.reconstruct_all().expect("reconstruct"), want);
+    }
+
+    #[test]
+    fn serialization_roundtrip_random(log in log_strategy()) {
+        let raw = log.as_bytes();
+        let engine = LogGrep::new(LogGrepConfig::default());
+        let boxed = engine.compress(raw).expect("clean input");
+        let bytes = boxed.to_bytes();
+        let reopened = loggrep::CapsuleBox::from_bytes(&bytes).expect("own bytes");
+        prop_assert_eq!(reopened.total_lines, boxed.total_lines);
+        prop_assert_eq!(reopened.to_bytes(), bytes);
+    }
+}
+
+#[test]
+fn corrupt_boxes_never_panic() {
+    // Byte-level fuzzing of the container: every single-byte mutation and
+    // truncation must produce Ok or Err, never a panic, and opened archives
+    // must keep queries panic-free too.
+    let spec_lines = b"a 1 x\nb 2 y\na 3 x\nb 4 y\na 5 x\n";
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let bytes = engine.compress(spec_lines).unwrap().to_bytes();
+
+    for cut in 0..bytes.len() {
+        let _ = loggrep::Archive::from_bytes(&bytes[..cut]);
+    }
+    let mut mutated = bytes.clone();
+    for i in 0..mutated.len() {
+        for delta in [1u8, 0x80] {
+            mutated[i] = mutated[i].wrapping_add(delta);
+            if let Ok(archive) = loggrep::Archive::from_bytes(&mutated) {
+                // Structurally valid but possibly semantically corrupt:
+                // queries must error gracefully, not panic.
+                let _ = archive.query("a");
+                let _ = archive.reconstruct_all();
+            }
+            mutated[i] = bytes[i];
+        }
+    }
+}

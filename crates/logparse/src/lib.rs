@@ -1,0 +1,359 @@
+//! Static-pattern (template) log parser.
+//!
+//! LogGrep's compression pipeline (§3) starts by sampling 5 % of a log
+//! block's entries and identifying **static patterns** — the printf-style
+//! templates developers wrote — using the parser adopted from LogReducer.
+//! This crate is that substrate: a sampling template-induction parser that
+//! structurizes a log block into groups of variable vectors.
+//!
+//! The induction algorithm is a light Drain/LogReducer hybrid:
+//!
+//! 1. lines are tokenized on a delimiter set, keeping the delimiter runs
+//!    (so a template can reproduce its lines byte-for-byte);
+//! 2. tokens containing digits are masked as variable slots immediately
+//!    (the classic heuristic — counters, ids and timestamps vary per line);
+//! 3. lines with the same token arity and delimiter structure merge into one
+//!    template when their token similarity passes a threshold, turning
+//!    disagreeing positions into slots.
+//!
+//! Parsing accuracy affects compression/query *performance* only, never
+//! correctness: a line no template matches lands in the catch-all template
+//! (id 0), whose single slot holds the whole line.
+//!
+//! # Examples
+//!
+//! ```
+//! use logparse::{Parser, ParserConfig};
+//!
+//! let lines: Vec<&[u8]> = vec![
+//!     b"write to file:/tmp/1FF8a.log",
+//!     b"write to file:/tmp/1FF8b.log",
+//!     b"state: SUC#1604",
+//! ];
+//! let parsed = Parser::train(&ParserConfig::default(), lines.iter().copied())
+//!     .parse_all(lines.iter().copied());
+//! // Every line reconstructs exactly.
+//! for (i, line) in lines.iter().enumerate() {
+//!     assert_eq!(parsed.reconstruct_line(i as u32).unwrap(), *line);
+//! }
+//! ```
+
+pub mod template;
+pub mod tokenizer;
+
+pub use template::{Piece, Template};
+pub use tokenizer::{Tokenizer, DEFAULT_DELIMS};
+
+use std::collections::HashMap;
+
+/// Configuration for template induction.
+#[derive(Debug, Clone)]
+pub struct ParserConfig {
+    /// Fraction of lines sampled for template induction (paper: 5 %).
+    pub sample_rate: f64,
+    /// Sample at least this many lines regardless of the rate.
+    pub min_sample: usize,
+    /// Token-similarity threshold for merging a line into a template.
+    pub merge_threshold: f64,
+    /// Delimiter byte set for tokenization.
+    pub delims: Vec<u8>,
+    /// Upper bound on learned templates; excess lines go to the catch-all.
+    pub max_templates: usize,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 0.05,
+            min_sample: 256,
+            merge_threshold: 0.92,
+            delims: DEFAULT_DELIMS.to_vec(),
+            max_templates: 4096,
+        }
+    }
+}
+
+/// A trained parser holding the learned templates.
+#[derive(Debug)]
+pub struct Parser {
+    tokenizer: Tokenizer,
+    templates: Vec<Template>,
+    /// (token arity, delimiter-structure hash) -> template ids.
+    index: HashMap<(usize, u64), Vec<u32>>,
+}
+
+/// The catch-all template id: one slot holding the whole line.
+pub const CATCH_ALL: u32 = 0;
+
+impl Parser {
+    /// Learns templates from every `min(sample_rate * n, ...)`-th line of the
+    /// block (deterministic stride sampling, so results are reproducible).
+    pub fn train<'a, I>(config: &ParserConfig, lines: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let tokenizer = Tokenizer::new(&config.delims);
+        let all: Vec<&[u8]> = lines.into_iter().collect();
+        let n = all.len();
+        let want = ((n as f64 * config.sample_rate).ceil() as usize)
+            .max(config.min_sample)
+            .min(n);
+        let stride = if want == 0 { 1 } else { n.div_ceil(want).max(1) };
+
+        let mut parser = Self {
+            tokenizer,
+            templates: vec![Template::catch_all()],
+            index: HashMap::new(),
+        };
+        for line in all.iter().step_by(stride) {
+            parser.observe(line, config);
+        }
+        parser
+    }
+
+    /// Observes one sampled line, merging it into an existing template or
+    /// creating a new one.
+    fn observe(&mut self, line: &[u8], config: &ParserConfig) {
+        let toks = self.tokenizer.tokenize(line);
+        if toks.tokens.is_empty() {
+            return; // Blank-ish line; catch-all will hold it.
+        }
+        let key = (toks.tokens.len(), toks.delim_hash);
+        let candidates = self.index.entry(key).or_default();
+        let mut best: Option<(usize, f64)> = None;
+        for &tid in candidates.iter() {
+            let sim = self.templates[tid as usize].similarity(&toks.tokens);
+            if sim >= config.merge_threshold && best.is_none_or(|(_, b)| sim > b) {
+                best = Some((tid as usize, sim));
+            }
+        }
+        match best {
+            Some((tid, _)) => self.templates[tid].merge(&toks.tokens),
+            None => {
+                if self.templates.len() >= config.max_templates {
+                    return;
+                }
+                let tid = self.templates.len() as u32;
+                self.templates
+                    .push(Template::from_tokens(&toks.tokens, &toks.delim_runs));
+                candidates.push(tid);
+            }
+        }
+    }
+
+    /// The learned templates (index 0 is the catch-all).
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Parses a single line, returning `(template_id, slot_values)`.
+    ///
+    /// Lines that match no learned template return `(CATCH_ALL, [line])`.
+    pub fn parse_line<'a>(&self, line: &'a [u8]) -> (u32, Vec<&'a [u8]>) {
+        let toks = self.tokenizer.tokenize(line);
+        if !toks.tokens.is_empty() {
+            let key = (toks.tokens.len(), toks.delim_hash);
+            if let Some(candidates) = self.index.get(&key) {
+                for &tid in candidates {
+                    if let Some(vars) =
+                        self.templates[tid as usize].extract(&toks.tokens, &toks.delim_runs)
+                    {
+                        return (tid, vars);
+                    }
+                }
+            }
+        }
+        (CATCH_ALL, vec![line])
+    }
+
+    /// Parses every line of a block into per-template groups.
+    pub fn parse_all<'a, I>(&self, lines: I) -> ParsedBlock
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut groups: Vec<Group> = self
+            .templates
+            .iter()
+            .map(|t| Group::empty(t.slots()))
+            .collect();
+        let mut total_lines = 0u32;
+        for (lineno, line) in lines.into_iter().enumerate() {
+            let (tid, vars) = self.parse_line(line);
+            let group = &mut groups[tid as usize];
+            group.line_numbers.push(lineno as u32);
+            for (slot, value) in vars.iter().enumerate() {
+                group.vars[slot].push(value.to_vec());
+            }
+            total_lines += 1;
+        }
+        ParsedBlock {
+            templates: self.templates.clone(),
+            groups,
+            total_lines,
+        }
+    }
+}
+
+/// All values of one template's slots, for one log block.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Original (0-based) line number of each row, ascending.
+    pub line_numbers: Vec<u32>,
+    /// `vars[slot][row]` = the value of `slot` on that row.
+    pub vars: Vec<Vec<Vec<u8>>>,
+}
+
+impl Group {
+    fn empty(slots: usize) -> Self {
+        Self {
+            line_numbers: Vec::new(),
+            vars: vec![Vec::new(); slots],
+        }
+    }
+
+    /// Number of rows (log entries) in this group.
+    pub fn rows(&self) -> usize {
+        self.line_numbers.len()
+    }
+}
+
+/// A fully structurized log block: templates plus per-template groups.
+#[derive(Debug, Clone)]
+pub struct ParsedBlock {
+    /// Templates, indexed by template id (0 = catch-all).
+    pub templates: Vec<Template>,
+    /// One group per template, same indexing.
+    pub groups: Vec<Group>,
+    /// Number of lines parsed.
+    pub total_lines: u32,
+}
+
+impl ParsedBlock {
+    /// Rebuilds the original line with the given (0-based) line number, or
+    /// `None` if out of range.
+    pub fn reconstruct_line(&self, lineno: u32) -> Option<Vec<u8>> {
+        for (tid, group) in self.groups.iter().enumerate() {
+            if let Ok(row) = group.line_numbers.binary_search(&lineno) {
+                let vars: Vec<&[u8]> = group.vars.iter().map(|v| v[row].as_slice()).collect();
+                return Some(self.templates[tid].render(&vars));
+            }
+        }
+        None
+    }
+
+    /// Fraction of lines that fell into the catch-all template.
+    pub fn catch_all_rate(&self) -> f64 {
+        if self.total_lines == 0 {
+            return 0.0;
+        }
+        self.groups[CATCH_ALL as usize].rows() as f64 / self.total_lines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(text: &str) -> Vec<&[u8]> {
+        text.lines().map(|l| l.as_bytes()).collect()
+    }
+
+    fn train_and_parse(text: &str) -> ParsedBlock {
+        let lines = lines_of(text);
+        let parser = Parser::train(&ParserConfig::default(), lines.iter().copied());
+        parser.parse_all(lines.iter().copied())
+    }
+
+    #[test]
+    fn figure1_example_forms_two_groups() {
+        let block = train_and_parse(
+            "T134 bk.FF.13 read\nT169 state: SUC#1604\nT179 bk.C5.15 read\nT181 state: ERR#1623\n",
+        );
+        // Two real templates + catch-all.
+        let used: Vec<usize> = block
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.rows() > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(used.len(), 2, "templates: {:?}", block.templates);
+        for lineno in 0..4 {
+            assert!(block.reconstruct_line(lineno).is_some());
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_exact() {
+        let text = "\
+2021-01-03 10:00:01.123 INFO write to file:/tmp/1FF8aa.log\n\
+2021-01-03 10:00:02.456 INFO write to file:/tmp/1FF8bb.log\n\
+2021-01-03 10:00:03.789 WARN quota exceeded for user:alice limit=100\n\
+2021-01-03 10:00:04.000 WARN quota exceeded for user:bob limit=250\n\
+completely unstructured line @@@@\n";
+        let block = train_and_parse(text);
+        for (i, line) in lines_of(text).iter().enumerate() {
+            assert_eq!(
+                block.reconstruct_line(i as u32).as_deref(),
+                Some(*line),
+                "line {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn digit_tokens_become_slots() {
+        let lines = lines_of("req 1 done\nreq 2 done\nreq 3 done\n");
+        let parser = Parser::train(&ParserConfig::default(), lines.iter().copied());
+        // One learned template with exactly one slot.
+        let learned: Vec<&Template> = parser.templates()[1..].iter().collect();
+        assert_eq!(learned.len(), 1);
+        assert_eq!(learned[0].slots(), 1);
+    }
+
+    #[test]
+    fn different_arity_lines_do_not_merge() {
+        let lines = lines_of("a b c\na b\n");
+        let parser = Parser::train(&ParserConfig::default(), lines.iter().copied());
+        assert!(parser.templates().len() >= 3);
+    }
+
+    #[test]
+    fn unseen_variant_falls_to_catch_all_but_reconstructs() {
+        let train_lines = lines_of("alpha beta gamma\nalpha beta gamma\n");
+        let parser = Parser::train(&ParserConfig::default(), train_lines.iter().copied());
+        let mixed: Vec<&[u8]> = vec![b"alpha beta gamma", b"totally different thing here now"];
+        let block = parser.parse_all(mixed.iter().copied());
+        assert_eq!(block.reconstruct_line(0).unwrap(), b"alpha beta gamma");
+        assert_eq!(
+            block.reconstruct_line(1).unwrap(),
+            b"totally different thing here now".to_vec()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let block = train_and_parse("");
+        assert_eq!(block.total_lines, 0);
+        assert!(block.reconstruct_line(0).is_none());
+        assert_eq!(block.catch_all_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_lines_reconstruct() {
+        let lines: Vec<&[u8]> = vec![b"", b"x y", b""];
+        let parser = Parser::train(&ParserConfig::default(), lines.iter().copied());
+        let block = parser.parse_all(lines.iter().copied());
+        assert_eq!(block.reconstruct_line(0).unwrap(), b"");
+        assert_eq!(block.reconstruct_line(1).unwrap(), b"x y");
+        assert_eq!(block.reconstruct_line(2).unwrap(), b"");
+    }
+
+    #[test]
+    fn line_numbers_are_ascending_per_group() {
+        let block = train_and_parse("a 1\nb c d\na 2\nb c d\na 3\n");
+        for g in &block.groups {
+            assert!(g.line_numbers.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Static-pattern templates: alternating constant text and variable slots.
+
+use crate::tokenizer::has_digit;
+
+/// One piece of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// Constant bytes (static text, including delimiter runs).
+    Static(Vec<u8>),
+    /// A variable slot; `usize` is the slot index (0-based, left to right).
+    Slot(usize),
+}
+
+/// A static pattern: the printf-style skeleton of a set of log lines.
+///
+/// Invariants: slots are numbered left to right starting at zero; two slots
+/// are never adjacent (they are always separated by at least one delimiter
+/// byte, because slots come from distinct tokens); rendering with the
+/// original slot values reproduces the original line byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    pieces: Vec<Piece>,
+    slots: usize,
+    /// Token-level view used during induction: `None` = slot, `Some(t)` =
+    /// constant token. Parallel to the token positions of member lines.
+    token_view: Vec<Option<Vec<u8>>>,
+    /// Delimiter runs around the tokens (constant across member lines).
+    delim_runs: Vec<Vec<u8>>,
+}
+
+impl Template {
+    /// The catch-all template: a single slot holding the whole line.
+    pub fn catch_all() -> Self {
+        Self {
+            pieces: vec![Piece::Slot(0)],
+            slots: 1,
+            token_view: vec![None],
+            delim_runs: vec![Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Rebuilds a template from stored pieces (e.g. deserialized from a
+    /// CapsuleBox). The result supports [`Self::render`], [`Self::pieces`]
+    /// and [`Self::static_text`], but not induction ([`Self::merge`]) or
+    /// [`Self::extract`], which need the token-level view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot indices are not `0..n` in left-to-right order.
+    pub fn from_pieces(pieces: Vec<Piece>) -> Self {
+        let mut slots = 0usize;
+        for p in &pieces {
+            if let Piece::Slot(i) = p {
+                assert_eq!(*i, slots, "slot indices must be sequential");
+                slots += 1;
+            }
+        }
+        Self {
+            pieces,
+            slots,
+            token_view: Vec::new(),
+            delim_runs: Vec::new(),
+        }
+    }
+
+    /// Builds a template from one line's tokens, masking digit-bearing
+    /// tokens as slots immediately.
+    pub fn from_tokens(tokens: &[&[u8]], delim_runs: &[&[u8]]) -> Self {
+        debug_assert_eq!(delim_runs.len(), tokens.len() + 1);
+        let token_view: Vec<Option<Vec<u8>>> = tokens
+            .iter()
+            .map(|t| {
+                if has_digit(t) {
+                    None
+                } else {
+                    Some(t.to_vec())
+                }
+            })
+            .collect();
+        let delim_runs: Vec<Vec<u8>> = delim_runs.iter().map(|r| r.to_vec()).collect();
+        let mut t = Self {
+            pieces: Vec::new(),
+            slots: 0,
+            token_view,
+            delim_runs,
+        };
+        t.rebuild_pieces();
+        t
+    }
+
+    /// Token similarity between this template and a token list of the same
+    /// arity: the fraction of *static* positions that agree. Slot positions
+    /// are excluded — a line must match the template's constant words, not
+    /// merely have the same shape, which keeps lines with different static
+    /// text (e.g. `INFO ...` vs `ERROR ...`) in separate templates the way
+    /// CLP's log types do.
+    ///
+    /// Returns 0.0 on arity mismatch; 1.0 for an all-slot template.
+    pub fn similarity(&self, tokens: &[&[u8]]) -> f64 {
+        if tokens.len() != self.token_view.len() || tokens.is_empty() {
+            return 0.0;
+        }
+        let mut statics = 0usize;
+        let mut same = 0usize;
+        for (view, tok) in self.token_view.iter().zip(tokens) {
+            if let Some(v) = view {
+                statics += 1;
+                if v.as_slice() == *tok {
+                    same += 1;
+                }
+            }
+        }
+        if statics == 0 {
+            1.0
+        } else {
+            same as f64 / statics as f64
+        }
+    }
+
+    /// Merges a same-arity token list into the template: positions that
+    /// disagree become slots.
+    pub fn merge(&mut self, tokens: &[&[u8]]) {
+        debug_assert_eq!(tokens.len(), self.token_view.len());
+        let mut changed = false;
+        for (view, tok) in self.token_view.iter_mut().zip(tokens) {
+            if let Some(v) = view {
+                if v.as_slice() != *tok {
+                    *view = None;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.rebuild_pieces();
+        }
+    }
+
+    /// Rebuilds `pieces` from `token_view` + `delim_runs`, coalescing
+    /// adjacent static text.
+    fn rebuild_pieces(&mut self) {
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut slots = 0usize;
+        let mut pending: Vec<u8> = Vec::new();
+        for (i, run) in self.delim_runs.iter().enumerate() {
+            pending.extend_from_slice(run);
+            if i < self.token_view.len() {
+                match &self.token_view[i] {
+                    Some(tok) => pending.extend_from_slice(tok),
+                    None => {
+                        if !pending.is_empty() {
+                            pieces.push(Piece::Static(std::mem::take(&mut pending)));
+                        }
+                        pieces.push(Piece::Slot(slots));
+                        slots += 1;
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            pieces.push(Piece::Static(pending));
+        }
+        if pieces.is_empty() {
+            pieces.push(Piece::Static(Vec::new()));
+        }
+        self.pieces = pieces;
+        self.slots = slots;
+    }
+
+    /// The template pieces, left to right.
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// Number of variable slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Concatenated static text (used for keyword pre-matching on templates).
+    pub fn static_text(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for p in &self.pieces {
+            if let Piece::Static(s) = p {
+                out.extend_from_slice(s);
+            }
+        }
+        out
+    }
+
+    /// Extracts slot values from a same-structure token list, or `None` if
+    /// the line does not match this template (different statics or delims).
+    pub fn extract<'a>(&self, tokens: &[&'a [u8]], delim_runs: &[&'a [u8]]) -> Option<Vec<&'a [u8]>> {
+        if tokens.len() != self.token_view.len() || delim_runs.len() != self.delim_runs.len() {
+            return None;
+        }
+        for (mine, theirs) in self.delim_runs.iter().zip(delim_runs) {
+            if mine.as_slice() != *theirs {
+                return None;
+            }
+        }
+        let mut vars = Vec::with_capacity(self.slots);
+        for (view, tok) in self.token_view.iter().zip(tokens) {
+            match view {
+                Some(v) => {
+                    if v.as_slice() != *tok {
+                        return None;
+                    }
+                }
+                None => vars.push(*tok),
+            }
+        }
+        Some(vars)
+    }
+
+    /// Renders the template with the given slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars.len() != self.slots()`.
+    pub fn render(&self, vars: &[&[u8]]) -> Vec<u8> {
+        assert_eq!(vars.len(), self.slots, "slot count mismatch");
+        let mut out = Vec::new();
+        for p in &self.pieces {
+            match p {
+                Piece::Static(s) => out.extend_from_slice(s),
+                Piece::Slot(i) => out.extend_from_slice(vars[*i]),
+            }
+        }
+        out
+    }
+
+    /// A human-readable form like `write to file:<*> done`.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for p in &self.pieces {
+            match p {
+                Piece::Static(s) => out.push_str(&String::from_utf8_lossy(s)),
+                Piece::Slot(_) => out.push_str("<*>"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::{Tokenizer, DEFAULT_DELIMS};
+
+    fn template_of(lines: &[&[u8]]) -> Template {
+        let tkz = Tokenizer::new(DEFAULT_DELIMS);
+        let first = tkz.tokenize(lines[0]);
+        let mut t = Template::from_tokens(&first.tokens, &first.delim_runs);
+        for line in &lines[1..] {
+            let toks = tkz.tokenize(line);
+            t.merge(&toks.tokens);
+        }
+        t
+    }
+
+    #[test]
+    fn digit_masking_creates_slots() {
+        let t = template_of(&[b"req 12 done"]);
+        assert_eq!(t.slots(), 1);
+        assert_eq!(t.display(), "req <*> done");
+    }
+
+    #[test]
+    fn merge_turns_disagreements_into_slots() {
+        let t = template_of(&[b"mode fast go", b"mode slow go"]);
+        assert_eq!(t.slots(), 1);
+        assert_eq!(t.display(), "mode <*> go");
+    }
+
+    #[test]
+    fn render_extract_roundtrip() {
+        let tkz = Tokenizer::new(DEFAULT_DELIMS);
+        let t = template_of(&[b"write to file:/tmp/1.log ok", b"write to file:/tmp/2.log ok"]);
+        let line: &[u8] = b"write to file:/tmp/999.log ok";
+        let toks = tkz.tokenize(line);
+        let vars = t.extract(&toks.tokens, &toks.delim_runs).expect("must match");
+        assert_eq!(t.render(&vars), line);
+    }
+
+    #[test]
+    fn extract_rejects_static_mismatch() {
+        let tkz = Tokenizer::new(DEFAULT_DELIMS);
+        let t = template_of(&[b"alpha beta", b"alpha beta"]);
+        let toks = tkz.tokenize(b"alpha gamma");
+        assert!(t.extract(&toks.tokens, &toks.delim_runs).is_none());
+    }
+
+    #[test]
+    fn extract_rejects_delim_mismatch() {
+        let tkz = Tokenizer::new(DEFAULT_DELIMS);
+        let t = template_of(&[b"a b"]);
+        let toks = tkz.tokenize(b"a  b");
+        assert!(t.extract(&toks.tokens, &toks.delim_runs).is_none());
+    }
+
+    #[test]
+    fn catch_all_renders_whole_line() {
+        let t = Template::catch_all();
+        assert_eq!(t.slots(), 1);
+        assert_eq!(t.render(&[b"anything at all"]), b"anything at all");
+    }
+
+    #[test]
+    fn static_text_concatenation() {
+        let t = template_of(&[b"state: SUC#1604", b"state: ERR#1623"]);
+        // "state" and ": " are static; the token "SUC#1604" has digits and
+        // is masked.
+        assert_eq!(t.static_text(), b"state: ");
+    }
+
+    #[test]
+    fn similarity_over_static_positions() {
+        let tkz = Tokenizer::new(DEFAULT_DELIMS);
+        let t = template_of(&[b"req 12 done"]);
+        // Slot positions are ignored: only "req" and "done" count.
+        let toks = tkz.tokenize(b"req 99 done");
+        assert!((t.similarity(&toks.tokens) - 1.0).abs() < 1e-9);
+        let other = tkz.tokenize(b"rsp 99 fail");
+        assert!(t.similarity(&other.tokens) < 1e-9);
+        let half = tkz.tokenize(b"req 99 fail");
+        assert!((t.similarity(&half.tokens) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Line tokenization: splits a log line into tokens and the delimiter runs
+//! between them, preserving enough structure to rebuild the line exactly.
+
+/// The default delimiter set, mirroring CLP-style token delimiters. Note
+/// that `.`, `/`, `#`, `-` and `_` are *not* delimiters: IPs, paths and
+//  composite ids stay whole tokens, which is where runtime patterns live.
+pub const DEFAULT_DELIMS: &[u8] = b" \t,;:=[](){}\"'|";
+
+/// A tokenized line: `tokens` interleaved with `delim_runs`.
+///
+/// The original line is `delim_runs[0] + tokens[0] + delim_runs[1] + ... +
+/// tokens[n-1] + delim_runs[n]` — there is always exactly one more delimiter
+/// run than tokens (runs may be empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tokenized<'a> {
+    /// Maximal runs of non-delimiter bytes.
+    pub tokens: Vec<&'a [u8]>,
+    /// Delimiter runs around the tokens (`tokens.len() + 1` entries).
+    pub delim_runs: Vec<&'a [u8]>,
+    /// Hash of the delimiter structure, used to index template candidates.
+    pub delim_hash: u64,
+}
+
+/// A tokenizer for one delimiter set.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    is_delim: [bool; 256],
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer splitting on the given byte set.
+    pub fn new(delims: &[u8]) -> Self {
+        let mut is_delim = [false; 256];
+        for &d in delims {
+            is_delim[d as usize] = true;
+        }
+        Self { is_delim }
+    }
+
+    /// True if `b` is a delimiter.
+    #[inline]
+    pub fn is_delim(&self, b: u8) -> bool {
+        self.is_delim[b as usize]
+    }
+
+    /// Splits `line` into tokens and delimiter runs.
+    pub fn tokenize<'a>(&self, line: &'a [u8]) -> Tokenized<'a> {
+        let mut tokens = Vec::new();
+        let mut delim_runs = Vec::new();
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis.
+        let mut i = 0usize;
+        loop {
+            // Delimiter run (possibly empty).
+            let run_start = i;
+            while i < line.len() && self.is_delim(line[i]) {
+                i += 1;
+            }
+            let run = &line[run_start..i];
+            for &b in run {
+                hash = (hash ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            hash = (hash ^ 0xfe).wrapping_mul(0x1000_0000_01b3); // Run boundary.
+            delim_runs.push(run);
+            if i >= line.len() {
+                break;
+            }
+            // Token.
+            let tok_start = i;
+            while i < line.len() && !self.is_delim(line[i]) {
+                i += 1;
+            }
+            tokens.push(&line[tok_start..i]);
+        }
+        Tokenized {
+            tokens,
+            delim_runs,
+            delim_hash: hash,
+        }
+    }
+}
+
+/// True if the token contains any ASCII digit (the variable-mask heuristic).
+pub fn has_digit(token: &[u8]) -> bool {
+    token.iter().any(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tk(line: &[u8]) -> Tokenized<'_> {
+        Tokenizer::new(DEFAULT_DELIMS).tokenize(line)
+    }
+
+    fn rebuild(t: &Tokenized<'_>) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, run) in t.delim_runs.iter().enumerate() {
+            out.extend_from_slice(run);
+            if i < t.tokens.len() {
+                out.extend_from_slice(t.tokens[i]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tokens_and_runs_rebuild_line() {
+        for line in [
+            &b"T134 bk.FF.13 read"[..],
+            b"  leading and trailing  ",
+            b"state: SUC#1604",
+            b"a=b,c=d",
+            b"",
+            b"   ",
+            b"nodailims",
+        ] {
+            let t = tk(line);
+            assert_eq!(rebuild(&t), line, "line {:?}", line);
+            assert_eq!(t.delim_runs.len(), t.tokens.len() + 1);
+        }
+    }
+
+    #[test]
+    fn dots_and_slashes_stay_in_tokens() {
+        let t = tk(b"read /tmp/1FF8.log from 11.8.0.1");
+        assert_eq!(
+            t.tokens,
+            vec![&b"read"[..], b"/tmp/1FF8.log", b"from", b"11.8.0.1"]
+        );
+    }
+
+    #[test]
+    fn colon_and_equals_are_delims() {
+        let t = tk(b"dst:11.8.0.1 limit=100");
+        assert_eq!(t.tokens, vec![&b"dst"[..], b"11.8.0.1", b"limit", b"100"]);
+    }
+
+    #[test]
+    fn delim_hash_distinguishes_structure() {
+        assert_ne!(tk(b"a b").delim_hash, tk(b"a  b").delim_hash);
+        assert_ne!(tk(b"a b").delim_hash, tk(b"a,b").delim_hash);
+        assert_eq!(tk(b"a b").delim_hash, tk(b"x y").delim_hash);
+    }
+
+    #[test]
+    fn has_digit_heuristic() {
+        assert!(has_digit(b"abc1"));
+        assert!(!has_digit(b"abc"));
+        assert!(!has_digit(b""));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the static-pattern parser: reconstruction must be
+//! exact for arbitrary structured-ish text, regardless of how templates
+//! come out.
+
+use logparse::{Parser, ParserConfig};
+use proptest::prelude::*;
+
+fn line_strategy() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("start".to_string()),
+        Just("stop".to_string()),
+        Just("level".to_string()),
+        "[a-z]{1,5}",
+        "[0-9]{1,6}",
+        "[0-9a-f]{2,8}",
+    ];
+    let delim = prop_oneof![
+        Just(" ".to_string()),
+        Just(", ".to_string()),
+        Just(":".to_string()),
+        Just("=".to_string()),
+        Just("  ".to_string()),
+    ];
+    (
+        proptest::collection::vec((token, delim), 0..6),
+        prop_oneof![Just("".to_string()), Just(" ".to_string())],
+    )
+        .prop_map(|(pairs, tail)| {
+            let mut s = String::new();
+            for (t, d) in pairs {
+                s.push_str(&t);
+                s.push_str(&d);
+            }
+            s.push_str(&tail);
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_line_reconstructs(lines in proptest::collection::vec(line_strategy(), 0..80)) {
+        let refs: Vec<&[u8]> = lines.iter().map(|l| l.as_bytes()).collect();
+        let parser = Parser::train(&ParserConfig::default(), refs.iter().copied());
+        let block = parser.parse_all(refs.iter().copied());
+        prop_assert_eq!(block.total_lines as usize, lines.len());
+        for (i, line) in refs.iter().enumerate() {
+            let got = block.reconstruct_line(i as u32);
+            prop_assert_eq!(got.as_deref(), Some(*line), "line {}", i);
+        }
+    }
+
+    #[test]
+    fn line_numbers_partition_the_block(lines in proptest::collection::vec(line_strategy(), 1..60)) {
+        let refs: Vec<&[u8]> = lines.iter().map(|l| l.as_bytes()).collect();
+        let parser = Parser::train(&ParserConfig::default(), refs.iter().copied());
+        let block = parser.parse_all(refs.iter().copied());
+        let mut seen: Vec<u32> = block
+            .groups
+            .iter()
+            .flat_map(|g| g.line_numbers.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let want: Vec<u32> = (0..lines.len() as u32).collect();
+        prop_assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn group_vars_are_rectangular(lines in proptest::collection::vec(line_strategy(), 1..60)) {
+        let refs: Vec<&[u8]> = lines.iter().map(|l| l.as_bytes()).collect();
+        let parser = Parser::train(&ParserConfig::default(), refs.iter().copied());
+        let block = parser.parse_all(refs.iter().copied());
+        for (tid, g) in block.groups.iter().enumerate() {
+            prop_assert_eq!(g.vars.len(), block.templates[tid].slots());
+            for slot in &g.vars {
+                prop_assert_eq!(slot.len(), g.line_numbers.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Knuth-Morris-Pratt string search.
+//!
+//! KMP never skips haystack characters, so it can count delimiters while it
+//! scans. The paper's "w/o fixed" ablation (§6.3) queries variant-length
+//! capsules with KMP; this module exists so that ablation is faithful.
+
+/// A preprocessed KMP searcher for one needle.
+#[derive(Debug, Clone)]
+pub struct Kmp {
+    needle: Vec<u8>,
+    /// Failure function: longest proper border of each prefix.
+    fail: Vec<usize>,
+}
+
+impl Kmp {
+    /// Preprocesses `needle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `needle` is empty.
+    pub fn new(needle: &[u8]) -> Self {
+        assert!(!needle.is_empty(), "KMP needs a non-empty needle");
+        let m = needle.len();
+        let mut fail = vec![0usize; m];
+        let mut k = 0usize;
+        for i in 1..m {
+            while k > 0 && needle[i] != needle[k] {
+                k = fail[k - 1];
+            }
+            if needle[i] == needle[k] {
+                k += 1;
+            }
+            fail[i] = k;
+        }
+        Self {
+            needle: needle.to_vec(),
+            fail,
+        }
+    }
+
+    /// Length of the needle.
+    pub fn needle_len(&self) -> usize {
+        self.needle.len()
+    }
+
+    /// Finds the first match at or after `from`.
+    pub fn find_from(&self, haystack: &[u8], from: usize) -> Option<usize> {
+        let m = self.needle.len();
+        let mut k = 0usize;
+        for (i, &b) in haystack.iter().enumerate().skip(from) {
+            while k > 0 && b != self.needle[k] {
+                k = self.fail[k - 1];
+            }
+            if b == self.needle[k] {
+                k += 1;
+            }
+            if k == m {
+                return Some(i + 1 - m);
+            }
+        }
+        None
+    }
+
+    /// Finds the first match.
+    pub fn find(&self, haystack: &[u8]) -> Option<usize> {
+        self.find_from(haystack, 0)
+    }
+
+    /// Returns the offsets of all (possibly overlapping) matches in one pass.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<usize> {
+        let m = self.needle.len();
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            while k > 0 && b != self.needle[k] {
+                k = self.fail[k - 1];
+            }
+            if b == self.needle[k] {
+                k += 1;
+            }
+            if k == m {
+                out.push(i + 1 - m);
+                k = self.fail[k - 1];
+            }
+        }
+        out
+    }
+
+    /// Scans a delimiter-separated buffer, returning the indices of the
+    /// *records* (0-based, delimiter-separated) that contain the needle.
+    ///
+    /// This is the variant-length query path of the "w/o fixed" ablation: the
+    /// scan must count `delim` bytes while matching, which KMP supports and
+    /// Boyer-Moore does not.
+    pub fn find_records(&self, haystack: &[u8], delim: u8) -> Vec<usize> {
+        let m = self.needle.len();
+        let mut out = Vec::new();
+        let mut record = 0usize;
+        let mut k = 0usize;
+        let mut last_hit_record = usize::MAX;
+        for &b in haystack {
+            if b == delim {
+                record += 1;
+                k = 0; // A match cannot span records.
+                continue;
+            }
+            while k > 0 && b != self.needle[k] {
+                k = self.fail[k - 1];
+            }
+            if b == self.needle[k] {
+                k += 1;
+            }
+            if k == m {
+                if last_hit_record != record {
+                    out.push(record);
+                    last_hit_record = record;
+                }
+                k = self.fail[k - 1];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+        if haystack.len() < needle.len() {
+            return Vec::new();
+        }
+        (0..=haystack.len() - needle.len())
+            .filter(|&i| &haystack[i..i + needle.len()] == needle)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        let cases: Vec<(&[u8], &[u8])> = vec![
+            (b"hello world hello", b"hello"),
+            (b"aaaaaaa", b"aa"),
+            (b"ababababa", b"aba"),
+            (b"mississippi", b"issi"),
+            (b"no match", b"qqq"),
+        ];
+        for (h, n) in cases {
+            assert_eq!(Kmp::new(n).find_all(h), naive_all(h, n));
+        }
+    }
+
+    #[test]
+    fn find_and_find_from() {
+        let kmp = Kmp::new(b"ss");
+        assert_eq!(kmp.find(b"mississippi"), Some(2));
+        assert_eq!(kmp.find_from(b"mississippi", 3), Some(5));
+        assert_eq!(kmp.find_from(b"mississippi", 6), None);
+    }
+
+    #[test]
+    fn records_scan() {
+        let kmp = Kmp::new(b"err");
+        let buf = b"ok\0err\0noerror\0fine\0xerrx";
+        // Records: "ok", "err", "noerror", "fine", "xerrx".
+        assert_eq!(kmp.find_records(buf, 0), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn records_do_not_span_delimiters() {
+        let kmp = Kmp::new(b"ab");
+        // "a|b" must not match across the delimiter.
+        assert_eq!(kmp.find_records(b"a\0b\0ab", 0), vec![2]);
+    }
+
+    #[test]
+    fn record_reported_once() {
+        let kmp = Kmp::new(b"aa");
+        assert_eq!(kmp.find_records(b"aaaa\0aa", 0), vec![0, 1]);
+    }
+}

@@ -1,0 +1,62 @@
+//! String-search substrate for the LogGrep reproduction.
+//!
+//! Section 5.2 of the paper argues that padding Capsule values to a fixed
+//! length lets the query engine use Boyer-Moore (which skips characters and
+//! therefore cannot count delimiters) instead of KMP, because the row number
+//! of a hit can be recovered as `position / width`. This crate provides both
+//! algorithms, the fixed-width row-search layer built on Boyer-Moore, and the
+//! in-token wildcard matcher used by the query language.
+
+pub mod bm;
+pub mod fixed;
+pub mod kmp;
+pub mod wildcard;
+
+pub use bm::BoyerMoore;
+pub use fixed::FixedRows;
+pub use kmp::Kmp;
+pub use wildcard::TokenPattern;
+
+/// Finds the first occurrence of `needle` in `haystack` (Boyer-Moore for
+/// needles of length >= 2, byte scan otherwise).
+///
+/// Returns the byte offset of the first match, or `None`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(strsearch::find(b"hello world", b"world"), Some(6));
+/// assert_eq!(strsearch::find(b"hello world", b"xyz"), None);
+/// ```
+pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    match needle.len() {
+        0 => Some(0),
+        1 => haystack.iter().position(|&b| b == needle[0]),
+        _ => BoyerMoore::new(needle).find(haystack),
+    }
+}
+
+/// True if `haystack` contains `needle`.
+pub fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    find(haystack, needle).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_basic() {
+        assert_eq!(find(b"", b""), Some(0));
+        assert_eq!(find(b"abc", b""), Some(0));
+        assert_eq!(find(b"", b"a"), None);
+        assert_eq!(find(b"abcdef", b"cd"), Some(2));
+        assert_eq!(find(b"aaaab", b"ab"), Some(3));
+    }
+
+    #[test]
+    fn contains_single_byte() {
+        assert!(contains(b"xyz", b"y"));
+        assert!(!contains(b"xyz", b"q"));
+    }
+}

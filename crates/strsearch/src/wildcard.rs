@@ -1,0 +1,207 @@
+//! In-token wildcard patterns.
+//!
+//! LogGrep's query language allows `*` inside a search-string token, with the
+//! restriction (§3) that a wildcard never matches token delimiters or line
+//! breaks. `dst:11.8.*` therefore means: a token starting with `11.8.`
+//! follows the token `dst` — the `*` stops at the next delimiter.
+
+/// A compiled in-token wildcard pattern such as `11.8.*` or `*.log`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenPattern {
+    /// Literal fragments between `*`s; never empty strings except when the
+    /// pattern itself is degenerate (`"*"` compiles to one empty part list).
+    parts: Vec<Vec<u8>>,
+    /// Pattern does not start with `*`: the first part anchors at the start.
+    anchor_start: bool,
+    /// Pattern does not end with `*`: the last part anchors at the end.
+    anchor_end: bool,
+}
+
+impl TokenPattern {
+    /// Compiles a pattern. Consecutive `*`s collapse into one.
+    pub fn compile(pattern: &[u8]) -> Self {
+        let anchor_start = !pattern.starts_with(b"*");
+        let anchor_end = !pattern.ends_with(b"*");
+        let parts: Vec<Vec<u8>> = pattern
+            .split(|&b| b == b'*')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.to_vec())
+            .collect();
+        Self {
+            parts,
+            anchor_start,
+            anchor_end,
+        }
+    }
+
+    /// True if the pattern contains no `*` (a plain literal).
+    pub fn is_literal(&self) -> bool {
+        self.anchor_start && self.anchor_end && self.parts.len() <= 1
+    }
+
+    /// The literal bytes if [`Self::is_literal`].
+    pub fn as_literal(&self) -> Option<&[u8]> {
+        if self.is_literal() {
+            Some(self.parts.first().map(|p| p.as_slice()).unwrap_or(b""))
+        } else {
+            None
+        }
+    }
+
+    /// The longest literal fragment, used for pre-filtering: any token that
+    /// matches the pattern must contain this fragment.
+    pub fn longest_part(&self) -> &[u8] {
+        self.parts
+            .iter()
+            .max_by_key(|p| p.len())
+            .map(|p| p.as_slice())
+            .unwrap_or(b"")
+    }
+
+    /// The anchored-prefix fragment, if any (pattern didn't start with `*`).
+    pub fn prefix_part(&self) -> Option<&[u8]> {
+        if self.anchor_start {
+            Some(self.parts.first().map(|p| p.as_slice()).unwrap_or(b""))
+        } else {
+            None
+        }
+    }
+
+    /// Sum of literal fragment lengths — a lower bound on match length.
+    pub fn min_len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// Tests the pattern against a whole token.
+    pub fn matches(&self, token: &[u8]) -> bool {
+        if token.len() < self.min_len() {
+            return false;
+        }
+        let mut pos = 0usize;
+        for (i, part) in self.parts.iter().enumerate() {
+            if i == 0 && self.anchor_start {
+                if !token[pos..].starts_with(part) {
+                    return false;
+                }
+                pos += part.len();
+            } else if i == self.parts.len() - 1 && self.anchor_end {
+                // Handled after the loop via the end anchor check; a middle
+                // scan would be wrong if the last part must sit at the end.
+                let tail = &token[pos..];
+                return tail.len() >= part.len() && tail.ends_with(part);
+            } else {
+                match find_in(&token[pos..], part) {
+                    Some(at) => pos += at + part.len(),
+                    None => return false,
+                }
+            }
+        }
+        if self.parts.is_empty() {
+            // "*" (unanchored) matches any token; "" (anchored) only the
+            // empty token.
+            return !(self.anchor_start && self.anchor_end) || token.is_empty();
+        }
+        if self.anchor_end {
+            // Only reached when the last part was consumed by the start
+            // anchor branch (single-part anchored-both pattern).
+            pos == token.len()
+        } else {
+            true
+        }
+    }
+
+    /// Tests the pattern against any token of `line`, where tokens are
+    /// maximal runs not containing any byte of `delims`.
+    pub fn matches_any_token(&self, line: &[u8], delims: &[u8]) -> bool {
+        line.split(|b| delims.contains(b))
+            .any(|token| self.matches(token))
+    }
+}
+
+fn find_in(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    crate::find(haystack, needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, token: &str) -> bool {
+        TokenPattern::compile(pattern.as_bytes()).matches(token.as_bytes())
+    }
+
+    #[test]
+    fn literal_patterns() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abcd"));
+        assert!(!m("abc", "xabc"));
+        assert!(m("", ""));
+        assert!(!m("", "a"));
+    }
+
+    #[test]
+    fn trailing_star() {
+        assert!(m("11.8.*", "11.8.0"));
+        assert!(m("11.8.*", "11.8."));
+        assert!(!m("11.8.*", "11.9.0"));
+    }
+
+    #[test]
+    fn leading_star() {
+        assert!(m("*.log", "x.log"));
+        assert!(m("*.log", ".log"));
+        assert!(!m("*.log", "x.logx"));
+    }
+
+    #[test]
+    fn inner_star() {
+        assert!(m("blk_*_tmp", "blk_123_tmp"));
+        assert!(m("blk_*_tmp", "blk__tmp"));
+        assert!(!m("blk_*_tmp", "blk_123_tm"));
+    }
+
+    #[test]
+    fn multiple_stars() {
+        assert!(m("a*b*c", "aXbYc"));
+        assert!(m("a*b*c", "abc"));
+        assert!(!m("a*b*c", "acb"));
+        assert!(m("*a*", "xax"));
+        assert!(!m("*a*", "xxx"));
+    }
+
+    #[test]
+    fn star_only_matches_everything() {
+        assert!(m("*", ""));
+        assert!(m("*", "anything"));
+        assert!(m("**", "anything"));
+    }
+
+    #[test]
+    fn end_anchor_respects_overlap() {
+        // "a*aa" against "aaa": '*' must be allowed to match nothing while
+        // the final part still anchors at the end.
+        assert!(m("a*aa", "aaa"));
+        assert!(!m("a*aa", "aab"));
+        // Greedy-middle pitfall: "a*ab" vs "aab" — middle scan must not eat
+        // the only "ab".
+        assert!(m("a*ab", "aab"));
+    }
+
+    #[test]
+    fn token_scan_in_line() {
+        let p = TokenPattern::compile(b"11.8.*");
+        assert!(p.matches_any_token(b"dst 11.8.42 ok", b" "));
+        assert!(!p.matches_any_token(b"dst 11.9.42 ok", b" "));
+    }
+
+    #[test]
+    fn helpers() {
+        let p = TokenPattern::compile(b"blk_*suffix");
+        assert!(!p.is_literal());
+        assert_eq!(p.longest_part(), b"suffix");
+        assert_eq!(p.prefix_part(), Some(&b"blk_"[..]));
+        assert_eq!(p.min_len(), 10);
+        let lit = TokenPattern::compile(b"plain");
+        assert_eq!(lit.as_literal(), Some(&b"plain"[..]));
+    }
+}

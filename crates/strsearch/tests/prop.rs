@@ -1,0 +1,90 @@
+//! Property tests: Boyer-Moore and KMP must agree with a naive scan, and the
+//! fixed-width layer must agree with per-row checks.
+
+use proptest::prelude::*;
+use strsearch::fixed::{pad_values, Mode};
+use strsearch::{BoyerMoore, FixedRows, Kmp, TokenPattern};
+
+fn naive_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    if haystack.len() < needle.len() {
+        return Vec::new();
+    }
+    (0..=haystack.len() - needle.len())
+        .filter(|&i| &haystack[i..i + needle.len()] == needle)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bm_equals_naive(
+        haystack in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..200),
+        needle in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..8),
+    ) {
+        prop_assert_eq!(BoyerMoore::new(&needle).find_all(&haystack), naive_all(&haystack, &needle));
+    }
+
+    #[test]
+    fn kmp_equals_naive(
+        haystack in proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y')], 0..200),
+        needle in proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y')], 1..6),
+    ) {
+        prop_assert_eq!(Kmp::new(&needle).find_all(&haystack), naive_all(&haystack, &needle));
+    }
+
+    #[test]
+    fn bm_and_kmp_agree_on_arbitrary_bytes(
+        haystack in proptest::collection::vec(any::<u8>(), 0..300),
+        needle in proptest::collection::vec(any::<u8>(), 1..10),
+    ) {
+        prop_assert_eq!(
+            BoyerMoore::new(&needle).find_all(&haystack),
+            Kmp::new(&needle).find_all(&haystack)
+        );
+    }
+
+    #[test]
+    fn fixed_rows_agree_with_probe(
+        values in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1'), Just(b'F')], 0..6),
+            0..40
+        ),
+        needle in proptest::collection::vec(prop_oneof![Just(b'0'), Just(b'1'), Just(b'F')], 1..4),
+    ) {
+        let width = values.iter().map(|v| v.len()).max().unwrap_or(0);
+        let buf = pad_values(values.iter(), width, 0);
+        let rows = FixedRows::new(&buf, width, 0);
+        for mode in [Mode::Exact, Mode::Prefix, Mode::Suffix, Mode::Contains] {
+            let found = rows.find(&needle, mode);
+            for row in 0..values.len() {
+                prop_assert_eq!(
+                    found.contains(&(row as u32)),
+                    rows.probe(row, &needle, mode),
+                    "mode {:?} row {}", mode, row
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_matches_equals_regex_like_oracle(
+        pattern in "[ab*]{0,6}",
+        token in "[ab]{0,8}",
+    ) {
+        // Oracle: simple recursive glob.
+        fn glob(p: &[u8], t: &[u8]) -> bool {
+            match p.first() {
+                None => t.is_empty(),
+                Some(b'*') => glob(&p[1..], t) || (!t.is_empty() && glob(p, &t[1..])),
+                Some(&c) => t.first() == Some(&c) && glob(&p[1..], &t[1..]),
+            }
+        }
+        let compiled = TokenPattern::compile(pattern.as_bytes());
+        prop_assert_eq!(
+            compiled.matches(token.as_bytes()),
+            glob(pattern.as_bytes(), token.as_bytes()),
+            "pattern {:?} token {:?}", pattern, token
+        );
+    }
+}

@@ -1,0 +1,1181 @@
+//! The workload catalog: 21 production-style logs (Log A .. Log U) and 16
+//! public-style logs, with primary queries adapted from Table 1 of the
+//! paper to the generated content.
+//!
+//! Each log mixes high-frequency "normal" templates with rare "error"
+//! templates so the Table-1-style queries are selective, and each variable
+//! exhibits one of the runtime-pattern families of §2.3 (fixed prefixes,
+//! ranged timestamps, subnet-confined IPs, rooted paths, small nominal
+//! dictionaries).
+
+use crate::gen::dsl::*;
+use crate::gen::{LogSpec, TemplateSpec, ValueGen};
+
+fn spec(name: &str, templates: Vec<TemplateSpec>, queries: &[&str]) -> LogSpec {
+    LogSpec {
+        name: name.to_string(),
+        templates,
+        queries: queries.iter().map(|q| q.to_string()).collect(),
+    }
+}
+
+const LEVELS: &[(&str, u32)] = &[("INFO", 30), ("WARN", 4), ("ERROR", 1)];
+const STATES: &[(&str, u32)] = &[
+    ("REQ_ST_OPEN", 10),
+    ("REQ_ST_WAIT", 6),
+    ("REQ_ST_CLOSED", 3),
+    ("REQ_ST_ABORT", 1),
+];
+// Digit-bearing names stay template *slots* (the digit-mask heuristic), so
+// they form nominal variable vectors rather than separate static templates.
+const USERS: &[(&str, u32)] = &[
+    ("admin01", 8),
+    ("alice42", 5),
+    ("bob7", 4),
+    ("carol33", 2),
+    ("mallory9", 1),
+];
+const OPS: &[(&str, u32)] = &[
+    ("ReadChunk", 10),
+    ("WriteChunk", 6),
+    ("SealChunk", 2),
+    ("DeleteChunk", 1),
+];
+const CODES: &[(&str, u32)] = &[("200", 20), ("204", 6), ("404", 2), ("500", 1), ("503", 1)];
+
+fn lvl() -> crate::gen::Part {
+    choice(LEVELS)
+}
+
+/// The 21 production-style logs.
+pub fn production() -> Vec<LogSpec> {
+    let mut v = Vec::new();
+
+    // Log A: request-state machine with trace ids.
+    v.push(spec(
+        "Log A",
+        vec![
+            tpl(240,
+                vec![
+                    ts("2021-04-02", 28_800),
+                    t(" INFO request state:"),
+                    choice(STATES),
+                    t(" code="),
+                    dec(20000, 20100),
+                    t(" reqId:"),
+                    hex("5E9D21AD", 8, true),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    ts("2021-04-02", 28_800),
+                    t(" ERROR request state:REQ_ST_CLOSED code=20012 reqId:"),
+                    hex("5E9D21AD", 8, true),
+                ],
+            ),
+            tpl(80,
+                vec![
+                    ts("2021-04-02", 28_800),
+                    t(" INFO heartbeat from "),
+                    ip("11.187"),
+                    t(" rtt="),
+                    dec(1, 120),
+                    t("us"),
+                ],
+            ),
+        ],
+        &["ERROR and state:REQ_ST_CLOSED and 20012 and reqId:5E9D21AD"],
+    ));
+
+    // Log B: project/request audit trail.
+    v.push(spec(
+        "Log B",
+        vec![
+            tpl(300,
+                vec![
+                    ts("2021-04-03", 0),
+                    t(" "),
+                    lvl(),
+                    t(" Project:"),
+                    dec(2900, 3000),
+                    t(" RequestId:"),
+                    hex("5EA6F82F", 8, true),
+                    t(" latency="),
+                    dec(1, 900),
+                    t("ms"),
+                ],
+            ),
+            tpl(3,
+                vec![
+                    ts("2021-04-03", 0),
+                    t(" ERROR Project:2963 RequestId:"),
+                    hex("5EA6F82F", 8, true),
+                    t(" quota exceeded"),
+                ],
+            ),
+        ],
+        &[
+            // Leads with a sub-variable fragment: exercises runtime-pattern
+            // Capsule filtering inside the big group's RequestId vector.
+            "RequestId:5EA6F82F4",
+            "ERROR and Project:2963 and RequestId:5EA6F82F",
+        ],
+    ));
+
+    // Log C: plain service log; query is a bare level.
+    v.push(spec(
+        "Log C",
+        vec![
+            tpl(400,
+                vec![
+                    ts("2021-04-04", 3600),
+                    t(" INFO worker-"),
+                    dec(0, 16),
+                    t(" finished batch "),
+                    counter(10_000, 3),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2021-04-04", 3600),
+                    t(" ERROR worker-"),
+                    dec(0, 16),
+                    t(" batch "),
+                    counter(10_000, 3),
+                    t(" failed: timeout"),
+                ],
+            ),
+        ],
+        &["ERROR"],
+    ));
+
+    // Log D: project metering.
+    v.push(spec(
+        "Log D",
+        vec![
+            tpl(
+                3,
+                vec![
+                    t("metering project_id:30935 logstore:res_p inflow:"),
+                    dec(0, 10),
+                    t(" outflow:"),
+                    dec(0, 40),
+                ],
+            ),
+            tpl(200,
+                vec![
+                    t("metering project_id:"),
+                    dec(30_900, 31_000),
+                    t(" logstore:"),
+                    choice(&[("res_p", 5), ("req_q", 3), ("acc_r", 1)]),
+                    t(" inflow:"),
+                    dec(0, 40),
+                    t(" outflow:"),
+                    dec(0, 40),
+                ],
+            ),
+            tpl(60,
+                vec![
+                    t("metering project_id:"),
+                    dec(30_900, 31_000),
+                    t(" heartbeat seq="),
+                    counter(1, 0),
+                ],
+            ),
+        ],
+        &["project_id:30935 and logstore:res_p and inflow:5"],
+    ));
+
+    // Log E: sharded store with word counts.
+    v.push(spec(
+        "Log E",
+        vec![
+            tpl(40,
+                vec![
+                    t("project:"),
+                    dec(158, 164),
+                    t(" logstore:test_ay87a shard:"),
+                    dec(95, 101),
+                    t(" wcount:"),
+                    dec(8, 13),
+                    t(" ts:"),
+                    counter(1_622_000_000, 5),
+                ],
+            ),
+            tpl(200,
+                vec![
+                    t("project:"),
+                    dec(100, 200),
+                    t(" logstore:"),
+                    choice(&[("prod_x31", 4), ("ops_k02", 2), ("dev_m77", 1)]),
+                    t(" shard:"),
+                    dec(0, 128),
+                    t(" wcount:"),
+                    dec(0, 64),
+                    t(" ts:"),
+                    counter(1_622_000_000, 5),
+                ],
+            ),
+        ],
+        &["project:161 and logstore:test_ay87a and shard:99 and wcount:10"],
+    ));
+
+    // Log F: user billing with a sentinel UserId.
+    v.push(spec(
+        "Log F",
+        vec![
+            tpl(180,
+                vec![
+                    ts("2021-04-07", 7200),
+                    t(" INFO charge UserId:"),
+                    dec(1000, 9000),
+                    t(" amount="),
+                    dec(1, 500),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    ts("2021-04-07", 7200),
+                    t(" ERROR charge failed UserId:-2 reason=deleted"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2021-04-07", 7200),
+                    t(" ERROR charge failed UserId:"),
+                    dec(1000, 9000),
+                    t(" reason=insufficient"),
+                ],
+            ),
+        ],
+        &["ERROR not UserId:-2"],
+    ));
+
+    // Log G: chunk-server trace (the paper's IP-subnet example).
+    v.push(spec(
+        "Log G",
+        vec![
+            tpl(160,
+                vec![
+                    t("Operation:"),
+                    choice(OPS),
+                    t(" SATADiskId:"),
+                    dec(0, 12),
+                    t(" From:tcp://"),
+                    ip("10.143"),
+                    t(":"),
+                    dec(20_000, 60_000),
+                    t(" TraceId:"),
+                    hex("3615b60b", 24, false),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    t("Operation:ReadChunk SATADiskId:7 From:tcp://"),
+                    ip("10.143"),
+                    t(":"),
+                    dec(20_000, 60_000),
+                    t(" TraceId:"),
+                    hex("3615b60b", 24, false),
+                    t(" slow_io"),
+                ],
+            ),
+        ],
+        &["Operation:ReadChunk and SATADiskId:7 and From:tcp://10.143"],
+    ));
+
+    // Log H: GC / runtime events.
+    v.push(spec(
+        "Log H",
+        vec![
+            tpl(250,
+                vec![
+                    ts("2021-04-09", 0),
+                    t(" INFO gc pause "),
+                    dec(1, 300),
+                    t("ms heap="),
+                    dec(100, 4000),
+                    t("MB"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2021-04-09", 0),
+                    t(" ERROR gc overrun pause "),
+                    dec(300, 2000),
+                    t("ms heap="),
+                    dec(3000, 8000),
+                    t("MB"),
+                ],
+            ),
+        ],
+        &["ERROR"],
+    ));
+
+    // Log I: scheduler warnings with a time-of-day query.
+    v.push(spec(
+        "Log I",
+        vec![
+            tpl(200,
+                vec![
+                    ts("2019-11-06", 25_200),
+                    t(" INFO scheduled job "),
+                    hex("job-", 6, false),
+                    t(" on node"),
+                    dec(1, 400),
+                ],
+            ),
+            tpl(3,
+                vec![
+                    ts("2019-11-06", 25_200),
+                    t(" WARNING job "),
+                    hex("job-0", 5, false),
+                    t(" preempted on node"),
+                    dec(1, 400),
+                ],
+            ),
+        ],
+        &[
+            // Leads with a job-id prefix probing a real vector.
+            "job-0 and WARNING",
+            "WARNING and 2019-11-06 07",
+        ],
+    ));
+
+    // Log J: pangu-style RPC trace summaries.
+    v.push(spec(
+        "Log J",
+        vec![
+            tpl(120,
+                vec![
+                    t("TraceType:PanguTraceSummary SectionType:RPC_SealAndNew CountOk:"),
+                    dec(1, 40),
+                    t(" CountFail:0 Elapsed:"),
+                    dec(1, 5000),
+                    t("us"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("TraceType:PanguTraceSummary SectionType:RPC_SealAndNew CountOk:"),
+                    dec(0, 40),
+                    t(" CountFail:"),
+                    dec(1, 5),
+                    t(" Elapsed:"),
+                    dec(5000, 90_000),
+                    t("us"),
+                ],
+            ),
+            tpl(80,
+                vec![
+                    t("TraceType:PanguTraceSummary SectionType:RPC_Append CountOk:"),
+                    dec(1, 40),
+                    t(" CountFail:0 Elapsed:"),
+                    dec(1, 5000),
+                    t("us"),
+                ],
+            ),
+        ],
+        &["TraceType:PanguTraceSummary and SectionType:RPC_SealAndNew not CountFail:0"],
+    ));
+
+    // Log K: REST access log with DELETE events.
+    v.push(spec(
+        "Log K",
+        vec![
+            tpl(200,
+                vec![
+                    ts("2019-11-04", 8700),
+                    t(" "),
+                    choice(&[("GET", 12), ("PUT", 5), ("POST", 3)]),
+                    t(" /results/"),
+                    dec(0, 40),
+                    t(" "),
+                    choice(CODES),
+                    t(" "),
+                    dec(1, 2000),
+                    t("us"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2019-11-04", 8700),
+                    t(" DELETE /results/0 "),
+                    choice(CODES),
+                    t(" "),
+                    dec(1, 2000),
+                    t("us"),
+                ],
+            ),
+        ],
+        &["DELETE and /results/0 and 2019-11-04 02"],
+    ));
+
+    // Log L: packet pipeline with error codes.
+    v.push(spec(
+        "Log L",
+        vec![
+            tpl(180,
+                vec![
+                    t("pipeline stage="),
+                    dec(0, 6),
+                    t(" Packet id:"),
+                    counter(172_000_000, 9),
+                    t(" ok"),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    t("WARNING retrying Errorcode:0 Packet id:"),
+                    counter(172_000_000, 9),
+                ],
+            ),
+        ],
+        &["WARNING and Errorcode:0 and Packet id:172"],
+    ));
+
+    // Log M: exchange-client threads touching result paths.
+    v.push(spec(
+        "Log M",
+        vec![
+            tpl(160,
+                vec![
+                    ts("2021-04-13", 0),
+                    t(" INFO exchange-client-"),
+                    dec(0, 64),
+                    t(" fetched /results/"),
+                    dec(0, 40),
+                    t(" bytes="),
+                    dec(100, 100_000),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2021-04-13", 0),
+                    t(" ERROR exchange-client-24 failed /results/10 connection reset"),
+                ],
+            ),
+        ],
+        &["ERROR and exchange-client-24 and /results/10"],
+    ));
+
+    // Log N: project errors keyed by project id.
+    v.push(spec(
+        "Log N",
+        vec![
+            tpl(220,
+                vec![
+                    t("audit project_id:"),
+                    dec(51_000, 51_500),
+                    t(" action="),
+                    choice(&[("read", 9), ("write", 4), ("grant", 1)]),
+                    t(" by "),
+                    choice(USERS),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("ERROR audit project_id:51274 denied for "),
+                    choice(USERS),
+                ],
+            ),
+        ],
+        &[
+            // Leads with a nominal dictionary value (user names are a small
+            // skewed dictionary): exercises dictionary + index filtering.
+            "mallory9 and audit",
+            "ERROR and project_id:51274",
+        ],
+    ));
+
+    // Log O: dated project errors.
+    v.push(spec(
+        "Log O",
+        vec![
+            tpl(200,
+                vec![
+                    ts("2020-04-14", 14_400),
+                    t(" info ProjectId:"),
+                    dec(2300, 2500),
+                    t(" flushed "),
+                    dec(1, 200),
+                    t(" rows"),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    ts("2020-04-14", 14_400),
+                    t(" error ProjectId:2396 flush failed after "),
+                    dec(1, 30),
+                    t(" retries"),
+                ],
+            ),
+        ],
+        &["error and ProjectId:2396 and 2020-04-14 04"],
+    ));
+
+    // Log P: UI telemetry with a named error event.
+    v.push(spec(
+        "Log P",
+        vec![
+            tpl(250,
+                vec![
+                    t("event="),
+                    choice(&[
+                        ("CLICK_OPEN", 10),
+                        ("CLICK_CLOSE", 8),
+                        ("CLICK_SAVE", 5),
+                        ("SCROLL", 20),
+                    ]),
+                    t(" session="),
+                    hex("s-", 10, false),
+                    t(" dur="),
+                    dec(1, 60_000),
+                    t("ms"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("ERROR event=CLICK_SAVE_ERROR session="),
+                    hex("s-", 10, false),
+                    t(" code="),
+                    choice(CODES),
+                ],
+            ),
+        ],
+        &[
+            // Leads with a session-id prefix probing a real vector.
+            "session=s-0 and SCROLL",
+            "ERROR and CLICK_SAVE_ERROR",
+        ],
+    ));
+
+    // Log Q: ingestion handler with epoch timestamps.
+    v.push(spec(
+        "Log Q",
+        vec![
+            tpl(180,
+                vec![
+                    t("PostLogStoreLogsHandler.cpp:"),
+                    dec(100, 900),
+                    t(" INFO shard="),
+                    dec(0, 64),
+                    t(" Time:"),
+                    counter(1_622_009_000, 2),
+                    t(" lines="),
+                    dec(1, 5000),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("PostLogStoreLogsHandler.cpp:"),
+                    dec(100, 900),
+                    t(" ERROR shard="),
+                    dec(0, 64),
+                    t(" Time:"),
+                    counter(1_622_009_000, 2),
+                    t(" write rejected"),
+                ],
+            ),
+        ],
+        &["ERROR and PostLogStoreLogsHandler.cpp and Time:1622009"],
+    ));
+
+    // Log R: partitioned requests with request-id IPs.
+    v.push(spec(
+        "Log R",
+        vec![
+            tpl(140,
+                vec![
+                    t("serve part_id:"),
+                    dec(500, 520),
+                    t(" request id REQ_"),
+                    ip("11.192"),
+                    t("_"),
+                    counter(1, 0),
+                    t(" ok"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("ERROR serve part_id:510 request id REQ_"),
+                    ip("11.192"),
+                    t("_"),
+                    counter(1, 0),
+                    t(" aborted"),
+                ],
+            ),
+        ],
+        &["ERROR and part_id:510 and request id REQ_11.192"],
+    ));
+
+    // Log S: sudo-style audit lines (the paper's Log S hits the template).
+    v.push(spec(
+        "Log S",
+        vec![
+            tpl(60,
+                vec![
+                    t("Aug 30 10:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" host sudo: "),
+                    choice(USERS),
+                    t(" : TTY=pts/"),
+                    dec(0, 8),
+                    t(" ; PWD=/home ; COMMAND=/bin/ls"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("Aug 30 10:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" host crond: root : TTY=unknown ; PWD=/ ; COMMAND=/etc/init.d/ilogtaild status"),
+                ],
+            ),
+        ],
+        &["TTY=unknown and /etc/init.d/ilogtaild and Aug 30 10"],
+    ));
+
+    // Log T: the huge log — queried by id + time prefix.
+    v.push(spec(
+        "Log T",
+        vec![
+            tpl(300,
+                vec![
+                    ts("2020-04-08", 18_000),
+                    t(" INFO tenant "),
+                    dec(39_000, 39_500),
+                    t(" op="),
+                    choice(OPS),
+                    t(" bytes="),
+                    dec(1, 1_000_000),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2020-04-08", 18_000),
+                    t(" ERROR tenant 39244 op=SealChunk stalled"),
+                ],
+            ),
+        ],
+        &["ERROR and 39244 and 2020-04-08 05"],
+    ));
+
+    // Log U: trie-backed store; queries hit raw numeric ids (few runtime
+    // patterns help here — the paper's outlier case).
+    v.push(spec(
+        "Log U",
+        vec![
+            tpl(100,
+                vec![
+                    t("trie lookup key="),
+                    counter(1_618_152_650_000_000_000, 997),
+                    t("_"),
+                    dec(0, 9),
+                    t("_"),
+                    counter(149_000_000, 13),
+                    t(" ok"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("failed to read trie data and fallback key="),
+                    counter(1_618_152_650_000_000_000, 997),
+                    t("_"),
+                    dec(0, 9),
+                    t("_"),
+                    counter(149_000_000, 13),
+                ],
+            ),
+        ],
+        &["failed to read trie data and key=1618152650"],
+    ));
+
+    v
+}
+
+/// The 16 public-style logs.
+pub fn public() -> Vec<LogSpec> {
+    let mut v = Vec::new();
+
+    v.push(spec(
+        "Android",
+        vec![
+            tpl(200,
+                vec![
+                    ts("2017-12-17", 36_000),
+                    t(" "),
+                    dec(100, 30_000),
+                    t(" "),
+                    dec(100, 30_000),
+                    t(" I ActivityManager: Displayed com.app/.Activity"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    ts("2017-12-17", 36_000),
+                    t(" "),
+                    dec(100, 30_000),
+                    t(" "),
+                    dec(100, 30_000),
+                    t(" E SocketClient: ERROR socket read length failure -104"),
+                ],
+            ),
+        ],
+        &["ERROR and socket read length failure -104"],
+    ));
+
+    v.push(spec(
+        "Apache",
+        vec![
+            tpl(160,
+                vec![
+                    t("[Sun Dec 04 04:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" 2005] [notice] workerEnv.init() ok /etc/httpd/conf/workers2.properties"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("[Sun Dec 04 04:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" 2005] [error] mod_jk child workerEnv error Invalid URI in request GET /"),
+                    hex("", 6, false),
+                    t(" HTTP/1.1"),
+                ],
+            ),
+        ],
+        &["error and Invalid URI in request"],
+    ));
+
+    v.push(spec(
+        "Bgl",
+        vec![
+            tpl(140,
+                vec![
+                    t("- "),
+                    counter(1_117_838_570, 3),
+                    t(" 2005.06.03 R0"),
+                    dec(0, 4),
+                    t("-M1-N"),
+                    dec(0, 8),
+                    t(" RAS KERNEL INFO generating core."),
+                    dec(1, 3000),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("- "),
+                    counter(1_117_838_570, 3),
+                    t(" 2005.06.03 R00-M1-ND RAS KERNEL ERROR data TLB error interrupt"),
+                ],
+            ),
+        ],
+        &["ERROR and R00-M1-ND"],
+    ));
+
+    v.push(spec(
+        "Hadoop",
+        vec![
+            tpl(140,
+                vec![
+                    t("2015-09-23 "),
+                    dec(10, 24),
+                    t(":"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(",")
+                    ,
+                    dec(100, 999),
+                    t(" INFO [main] org.apache.hadoop.mapreduce: Progress of TaskAttempt attempt_"),
+                    counter(1_445_062_781_478, 7),
+                    t("_0"),
+                    dec(1, 9),
+                    t(" is : 0."),
+                    dec(1, 99),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("2015-09-23 "),
+                    dec(10, 24),
+                    t(":"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(","),
+                    dec(100, 999),
+                    t(" ERROR [main] org.apache.hadoop.mapred.TaskAttemptListenerImpl: RECEIVED SIGNAL 15: SIGTERM"),
+                ],
+            ),
+        ],
+        &["ERROR and RECEIVED SIGNAL 15: SIGTERM and 2015-09-23"],
+    ));
+
+    v.push(spec(
+        "Hdfs",
+        vec![
+            tpl(180,
+                vec![
+                    t("081109 "),
+                    dec(100_000, 250_000),
+                    t(" "),
+                    dec(1, 40),
+                    t(" INFO dfs.DataNode$PacketResponder: Received block blk_"),
+                    counter(884_600_000, 23),
+                    t(" of size "),
+                    dec(1024, 67_108_864),
+                    t(" from "),
+                    ip("10.251"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("081109 "),
+                    dec(100_000, 250_000),
+                    t(" "),
+                    dec(1, 40),
+                    t(" error dfs.DataNode$DataXceiver: writeBlock blk_8846"),
+                    dec(10_000, 99_999),
+                    t(" received exception java.io.IOException"),
+                ],
+            ),
+        ],
+        &["error and blk_8846"],
+    ));
+
+    v.push(spec(
+        "Healthapp",
+        vec![
+            tpl(120,
+                vec![
+                    counter(20_171_223_000_000, 37),
+                    t("|Step_LSC|30002312|onStandStepChanged "),
+                    dec(1000, 9000),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    counter(20_171_223_000_000, 37),
+                    t("|Step_ExtSDM|30002312|calculateAltitudeWithCache totalAltitude=0"),
+                ],
+            ),
+        ],
+        &["Step_ExtSDM and totalAltitude=0"],
+    ));
+
+    v.push(spec(
+        "Hpc",
+        vec![
+            tpl(140,
+                vec![
+                    counter(2_567_000, 11),
+                    t(" node-"),
+                    dec(0, 256),
+                    t(" unix.hw state_change.unavailable configuration HWID="),
+                    dec(1000, 5000),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    counter(2_567_000, 11),
+                    t(" node-"),
+                    dec(0, 256),
+                    t(" unix.hw unavailable state HWID=3378"),
+                ],
+            ),
+        ],
+        &["unavailable state and HWID=3378"],
+    ));
+
+    v.push(spec(
+        "Linux",
+        vec![
+            tpl(100,
+                vec![
+                    t("Jun 15 04:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" combo sshd(pam_unix)["),
+                    dec(1000, 30_000),
+                    t("]: session opened for user "),
+                    choice(USERS),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    t("Jun 15 04:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" combo sshd(pam_unix)["),
+                    dec(1000, 30_000),
+                    t("]: authentication failure; logname= uid=0 euid=0 tty=NODEVssh ruser= rhost=221.230.128.214"),
+                ],
+            ),
+        ],
+        &["authentication failure and rhost=221.230.128.214"],
+    ));
+
+    v.push(spec(
+        "Mac",
+        vec![
+            tpl(120,
+                vec![
+                    t("Jul  1 09:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" calvisitor-10-105 kernel[0]: ARPT: "),
+                    counter(620_000, 19),
+                    t(".0"),
+                    dec(10, 99),
+                    t(": wl0: wl_update_power_state"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("Jul  1 09:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" calvisitor-10-105 com.apple.cts[258]: highly unusual: sendMessage failed and Err:-1 Errno:1 Operation not permitted"),
+                ],
+            ),
+        ],
+        &["failed and Err:-1 Errno:1"],
+    ));
+
+    v.push(spec(
+        "Openstack",
+        vec![
+            tpl(140,
+                vec![
+                    t("nova-compute.log.1.2017-05-16_13:55:31 2017-05-16 00:00:"),
+                    dec(10, 60),
+                    t(".")
+                    ,
+                    dec(100, 999),
+                    t(" 2931 INFO nova.compute.manager [instance: "),
+                    hex("", 8, false),
+                    t("-a1b2] VM Started"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("nova-compute.log.1.2017-05-16_13:55:31 2017-05-16 00:00:"),
+                    dec(10, 60),
+                    t("."),
+                    dec(100, 999),
+                    t(" 2931 ERROR nova.compute.manager Unexpected error while running command"),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    t("nova-compute.log.1.2017-05-16_13:55:31 2017-05-16 00:00:"),
+                    dec(10, 60),
+                    t("."),
+                    dec(100, 999),
+                    t(" 2931 WARNING nova.compute.manager disk usage high"),
+                ],
+            ),
+        ],
+        &["ERROR or WARNING and Unexpected error while running command"],
+    ));
+
+    v.push(spec(
+        "Proxifier",
+        vec![
+            tpl(100,
+                vec![
+                    t("[10.30 16:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t("] chrome.exe - proxy.cse.cuhk.edu.hk:5070 open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS"),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    t("[10.30 16:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t("] chrome.exe - play.google.com:443 open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS"),
+                ],
+            ),
+        ],
+        &["HTTPS and play.google.com:443"],
+    ));
+
+    v.push(spec(
+        "Spark",
+        vec![
+            tpl(160,
+                vec![
+                    t("17/06/09 20:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" INFO storage.BlockManager: Found block rdd_"),
+                    dec(1, 50),
+                    t("_"),
+                    dec(1, 400),
+                    t(" locally"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("17/06/09 20:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" ERROR executor.Executor: Error sending result to driver"),
+                ],
+            ),
+        ],
+        &["ERROR and Error sending result"],
+    ));
+
+    v.push(spec(
+        "Ssh",
+        vec![
+            tpl(120,
+                vec![
+                    t("Dec 10 06:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" LabSZ sshd["),
+                    dec(20_000, 30_000),
+                    t("]: Failed password for root from "),
+                    ip("183.62"),
+                    t(" port "),
+                    dec(30_000, 60_000),
+                    t(" ssh2"),
+                ],
+            ),
+            tpl(2,
+                vec![
+                    t("Dec 10 06:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" LabSZ sshd["),
+                    dec(20_000, 30_000),
+                    t("]: Received disconnect from 202.100.179.208: 11: Bye Bye [preauth]"),
+                ],
+            ),
+        ],
+        &["Received disconnect from and 202.100.179.208"],
+    ));
+
+    v.push(spec(
+        "Thunderbird",
+        vec![
+            tpl(140,
+                vec![
+                    t("- "),
+                    counter(1_131_566_461, 2),
+                    t(" 2005.11.09 dn228 Nov 9 12:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" dn228/dn228 crond[")
+                    ,
+                    dec(1000, 9000),
+                    t("]: (root) CMD (run-parts /etc/cron.hourly)"),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("- "),
+                    counter(1_131_566_461, 2),
+                    t(" 2005.11.09 bn398 Nov 9 12:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(" bn398/bn398 kernel: Losing some ticks... Doorbell ACK timeout"),
+                ],
+            ),
+        ],
+        &["Doorbell ACK timeout"],
+    ));
+
+    v.push(spec(
+        "Windows",
+        vec![
+            tpl(160,
+                vec![
+                    t("2016-09-28 04:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(", Info                  CBS    Loaded Servicing Stack v6.1.7601."),
+                    dec(17_000, 24_000),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("2016-09-28 04:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(", Error                 CBS    Failed to process single phase execution [HRESULT = 0x"),
+                    hex("", 8, false),
+                    t("]"),
+                ],
+            ),
+        ],
+        &["Error and Failed to process single phase execution"],
+    ));
+
+    v.push(spec(
+        "Zookeeper",
+        vec![
+            tpl(140,
+                vec![
+                    t("2015-07-29 17:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(",")
+                    ,
+                    dec(100, 999),
+                    t(" - INFO  [QuorumPeer:/0.0.0.0:3888:QuorumCnxManager] - Connection broken for id "),
+                    dec(1, 4),
+                ],
+            ),
+            tpl(1,
+                vec![
+                    t("2015-07-29 17:"),
+                    dec(10, 60),
+                    t(":"),
+                    dec(10, 60),
+                    t(","),
+                    dec(100, 999),
+                    t(" - ERROR [CommitProcessor:2:NIOServerCnxn@180] - Unexpected Exception: java.nio.channels.CancelledKeyException"),
+                ],
+            ),
+        ],
+        &["ERROR and CommitProcessor"],
+    ));
+
+    v
+}
+
+/// Silences the unused-import lint for `ValueGen` while keeping the type in
+/// the module's public docs (used by `pair` in the DSL).
+#[allow(dead_code)]
+fn _keep(v: ValueGen) -> ValueGen {
+    v
+}

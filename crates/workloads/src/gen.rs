@@ -1,0 +1,368 @@
+//! The generator machinery: value generators, template specs, log specs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator for one variable position in a template.
+///
+/// Each variant embodies one of the runtime-pattern families of §2.3.
+#[derive(Debug, Clone)]
+pub enum ValueGen {
+    /// `prefix` + `digits` hex digits, e.g. `blk_1FF8A3` — fixed-prefix ids.
+    HexId {
+        /// Constant prefix (may be empty).
+        prefix: String,
+        /// Number of hex digits.
+        digits: usize,
+        /// Uppercase hex when true.
+        upper: bool,
+    },
+    /// A mostly-increasing decimal counter starting near `start`.
+    Counter {
+        /// Base value; the line index is added.
+        start: u64,
+        /// Extra random stride in `0..jitter` (0 = none).
+        jitter: u64,
+    },
+    /// A uniform decimal in `lo..hi`.
+    DecRange {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Exclusive upper bound.
+        hi: u64,
+    },
+    /// `2021-03-14 HH:MM:SS.mmm`-style timestamps advancing with the line
+    /// index — the "all values fall in a range" pattern.
+    Timestamp {
+        /// Date part, e.g. `2021-03-14`.
+        date: &'static str,
+        /// Starting second-of-day.
+        start_sec: u32,
+    },
+    /// An IPv4 address inside a fixed /16, e.g. `11.187.<*>.<*>`.
+    Ip {
+        /// The fixed two leading octets, e.g. `"11.187"`.
+        subnet: &'static str,
+    },
+    /// A path under a fixed root with a generated hex stem and extension.
+    Path {
+        /// Common root, e.g. `/root/usr/admin`.
+        root: &'static str,
+        /// File extension (with dot).
+        ext: &'static str,
+        /// Hex digits in the stem.
+        digits: usize,
+    },
+    /// A value drawn from a small weighted dictionary — nominal vectors.
+    Choice {
+        /// `(value, weight)` pairs.
+        options: &'static [(&'static str, u32)],
+    },
+    /// Two sub-values joined by a separator (e.g. `SUC#1604`).
+    Pair {
+        /// Left generator.
+        left: Box<ValueGen>,
+        /// Separator string.
+        sep: &'static str,
+        /// Right generator.
+        right: Box<ValueGen>,
+    },
+}
+
+impl ValueGen {
+    /// Renders one value for line `i`.
+    pub fn render(&self, rng: &mut StdRng, i: u64, out: &mut Vec<u8>) {
+        match self {
+            ValueGen::HexId {
+                prefix,
+                digits,
+                upper,
+            } => {
+                out.extend_from_slice(prefix.as_bytes());
+                for _ in 0..*digits {
+                    let d = rng.gen_range(0..16u32);
+                    let c = char::from_digit(d, 16).expect("hex digit");
+                    let c = if *upper { c.to_ascii_uppercase() } else { c };
+                    out.push(c as u8);
+                }
+            }
+            ValueGen::Counter { start, jitter } => {
+                let j = if *jitter == 0 { 0 } else { rng.gen_range(0..*jitter) };
+                out.extend_from_slice((start + i + j).to_string().as_bytes());
+            }
+            ValueGen::DecRange { lo, hi } => {
+                out.extend_from_slice(rng.gen_range(*lo..*hi).to_string().as_bytes());
+            }
+            ValueGen::Timestamp { date, start_sec } => {
+                let sec = (*start_sec as u64 + i / 50) % 86_400;
+                let ms = (i * 37 + 13) % 1000;
+                out.extend_from_slice(
+                    format!(
+                        "{date} {:02}:{:02}:{:02}.{:03}",
+                        sec / 3600,
+                        (sec / 60) % 60,
+                        sec % 60,
+                        ms
+                    )
+                    .as_bytes(),
+                );
+            }
+            ValueGen::Ip { subnet } => {
+                out.extend_from_slice(
+                    format!(
+                        "{subnet}.{}.{}",
+                        rng.gen_range(0..32u32),
+                        rng.gen_range(1..255u32)
+                    )
+                    .as_bytes(),
+                );
+            }
+            ValueGen::Path { root, ext, digits } => {
+                out.extend_from_slice(root.as_bytes());
+                out.push(b'/');
+                out.extend_from_slice(b"1FF8");
+                for _ in 0..*digits {
+                    let d = rng.gen_range(0..16u32);
+                    out.push(
+                        char::from_digit(d, 16)
+                            .expect("hex digit")
+                            .to_ascii_uppercase() as u8,
+                    );
+                }
+                out.extend_from_slice(ext.as_bytes());
+            }
+            ValueGen::Choice { options } => {
+                let total: u32 = options.iter().map(|(_, w)| w).sum();
+                let mut pick = rng.gen_range(0..total);
+                for (value, weight) in options.iter() {
+                    if pick < *weight {
+                        out.extend_from_slice(value.as_bytes());
+                        return;
+                    }
+                    pick -= weight;
+                }
+                unreachable!("weights cover the range");
+            }
+            ValueGen::Pair { left, sep, right } => {
+                left.render(rng, i, out);
+                out.extend_from_slice(sep.as_bytes());
+                right.render(rng, i, out);
+            }
+        }
+    }
+}
+
+/// One part of a template: literal text or a generated variable.
+#[derive(Debug, Clone)]
+pub enum Part {
+    /// Literal bytes.
+    Text(&'static str),
+    /// A generated variable.
+    Var(ValueGen),
+}
+
+/// One log template with a sampling weight.
+#[derive(Debug, Clone)]
+pub struct TemplateSpec {
+    /// Relative frequency among the log's templates.
+    pub weight: u32,
+    /// The template body.
+    pub parts: Vec<Part>,
+}
+
+impl TemplateSpec {
+    /// Renders one line (no trailing newline).
+    pub fn render(&self, rng: &mut StdRng, i: u64, out: &mut Vec<u8>) {
+        for part in &self.parts {
+            match part {
+                Part::Text(t) => out.extend_from_slice(t.as_bytes()),
+                Part::Var(v) => v.render(rng, i, out),
+            }
+        }
+    }
+}
+
+/// A complete synthetic log type.
+#[derive(Debug, Clone)]
+pub struct LogSpec {
+    /// Display name ("Log A", "Hdfs", ...).
+    pub name: String,
+    /// Templates with weights.
+    pub templates: Vec<TemplateSpec>,
+    /// Query commands in the style of Table 1; `queries[0]` is the primary
+    /// query used by the figure harnesses.
+    pub queries: Vec<String>,
+}
+
+impl LogSpec {
+    /// Generates at least `target_bytes` of log text (ends with a newline).
+    pub fn generate(&self, seed: u64, target_bytes: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&self.name));
+        let total_weight: u32 = self.templates.iter().map(|t| t.weight).sum();
+        let mut out = Vec::with_capacity(target_bytes + 256);
+        let mut i = 0u64;
+        while out.len() < target_bytes {
+            let mut pick = rng.gen_range(0..total_weight);
+            let template = self
+                .templates
+                .iter()
+                .find(|t| {
+                    if pick < t.weight {
+                        true
+                    } else {
+                        pick -= t.weight;
+                        false
+                    }
+                })
+                .expect("weights cover the range");
+            template.render(&mut rng, i, &mut out);
+            out.push(b'\n');
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Stable tiny hash so each log name gets its own stream for a given seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Convenience constructors used by the catalog.
+pub mod dsl {
+    use super::*;
+
+    /// Literal text part.
+    pub fn t(text: &'static str) -> Part {
+        Part::Text(text)
+    }
+
+    /// Hex-id variable.
+    pub fn hex(prefix: &'static str, digits: usize, upper: bool) -> Part {
+        Part::Var(ValueGen::HexId {
+            prefix: prefix.to_string(),
+            digits,
+            upper,
+        })
+    }
+
+    /// Counter variable.
+    pub fn counter(start: u64, jitter: u64) -> Part {
+        Part::Var(ValueGen::Counter { start, jitter })
+    }
+
+    /// Ranged decimal variable.
+    pub fn dec(lo: u64, hi: u64) -> Part {
+        Part::Var(ValueGen::DecRange { lo, hi })
+    }
+
+    /// Timestamp variable.
+    pub fn ts(date: &'static str, start_sec: u32) -> Part {
+        Part::Var(ValueGen::Timestamp { date, start_sec })
+    }
+
+    /// Subnet-confined IP variable.
+    pub fn ip(subnet: &'static str) -> Part {
+        Part::Var(ValueGen::Ip { subnet })
+    }
+
+    /// Rooted-path variable.
+    pub fn path(root: &'static str, ext: &'static str, digits: usize) -> Part {
+        Part::Var(ValueGen::Path { root, ext, digits })
+    }
+
+    /// Weighted-dictionary variable.
+    pub fn choice(options: &'static [(&'static str, u32)]) -> Part {
+        Part::Var(ValueGen::Choice { options })
+    }
+
+    /// Paired variable, e.g. `SUC#1604`.
+    pub fn pair(left: ValueGen, sep: &'static str, right: ValueGen) -> Part {
+        Part::Var(ValueGen::Pair {
+            left: Box::new(left),
+            sep,
+            right: Box::new(right),
+        })
+    }
+
+    /// A weighted template.
+    pub fn tpl(weight: u32, parts: Vec<Part>) -> TemplateSpec {
+        TemplateSpec { weight, parts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn render_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        ValueGen::HexId {
+            prefix: "blk_".into(),
+            digits: 4,
+            upper: true,
+        }
+        .render(&mut rng, 0, &mut out);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("blk_"));
+        assert_eq!(s.len(), 8);
+        assert!(s[4..].chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn timestamp_advances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = ValueGen::Timestamp {
+            date: "2021-03-14",
+            start_sec: 3600,
+        };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        g.render(&mut rng, 0, &mut a);
+        g.render(&mut rng, 5000, &mut b);
+        assert!(a.starts_with(b"2021-03-14 01:00:00"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn choice_respects_options() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = ValueGen::Choice {
+            options: &[("OK", 9), ("ERR", 1)],
+        };
+        let mut oks = 0;
+        for _ in 0..1000 {
+            let mut out = Vec::new();
+            g.render(&mut rng, 0, &mut out);
+            assert!(out == b"OK" || out == b"ERR");
+            if out == b"OK" {
+                oks += 1;
+            }
+        }
+        assert!(oks > 800 && oks < 1000, "oks {oks}");
+    }
+
+    #[test]
+    fn spec_generation() {
+        let spec = LogSpec {
+            name: "test".into(),
+            templates: vec![
+                tpl(3, vec![t("ok "), counter(0, 0)]),
+                tpl(1, vec![t("err "), hex("id_", 4, false)]),
+            ],
+            queries: vec!["err".into()],
+        };
+        let raw = spec.generate(1, 4096);
+        assert!(raw.len() >= 4096);
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("ok ")));
+        assert!(text.lines().any(|l| l.starts_with("err id_")));
+    }
+}

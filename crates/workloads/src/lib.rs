@@ -1,0 +1,132 @@
+//! Synthetic log workloads standing in for the paper's datasets.
+//!
+//! The paper evaluates on 21 types of Alibaba Cloud production logs (1.73 TB,
+//! private) and 16 public Loghub logs (77 GB). This crate substitutes seeded
+//! generators that reproduce the *structural* properties LogGrep exploits:
+//!
+//! * printf-style static templates per log type,
+//! * per-variable **runtime patterns** — fixed prefixes (`blk_<*>`),
+//!   timestamps confined to a range, IPs in one subnet, paths under a common
+//!   root, hex ids with shared stems,
+//! * **nominal** variables — small dictionaries of levels / error codes /
+//!   user names with skewed frequencies, and
+//! * rare "error" lines that the Table-1-style queries target.
+//!
+//! Everything is deterministic in `(log name, seed, size)`, so experiments
+//! are reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! let spec = workloads::by_name("Log A").unwrap();
+//! let raw = spec.generate(42, 64 * 1024);
+//! assert!(raw.len() >= 64 * 1024);
+//! assert!(!spec.queries.is_empty());
+//! ```
+
+pub mod catalog;
+pub mod gen;
+
+pub use gen::{LogSpec, Part, TemplateSpec, ValueGen};
+
+/// The 21 production-style logs (Log A .. Log U).
+pub fn production_logs() -> Vec<LogSpec> {
+    catalog::production()
+}
+
+/// The 16 public-style logs (Android .. Zookeeper).
+pub fn public_logs() -> Vec<LogSpec> {
+    catalog::public()
+}
+
+/// All 37 logs.
+pub fn all_logs() -> Vec<LogSpec> {
+    let mut v = production_logs();
+    v.extend(public_logs());
+    v
+}
+
+/// Looks a log up by name.
+pub fn by_name(name: &str) -> Option<LogSpec> {
+    all_logs().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper() {
+        assert_eq!(production_logs().len(), 21);
+        assert_eq!(public_logs().len(), 16);
+        assert_eq!(all_logs().len(), 37);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = all_logs().into_iter().map(|s| s.name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in all_logs().into_iter().take(5) {
+            let a = spec.generate(7, 8 * 1024);
+            let b = spec.generate(7, 8 * 1024);
+            assert_eq!(a, b, "{}", spec.name);
+            let c = spec.generate(8, 8 * 1024);
+            assert_ne!(a, c, "{} should vary by seed", spec.name);
+        }
+    }
+
+    #[test]
+    fn every_log_generates_clean_text() {
+        for spec in all_logs() {
+            let raw = spec.generate(1, 16 * 1024);
+            assert!(raw.len() >= 16 * 1024, "{} too small", spec.name);
+            assert!(!raw.contains(&0u8), "{} contains NUL", spec.name);
+            assert!(raw.ends_with(b"\n"), "{}", spec.name);
+            // No blank lines (every template renders nonempty).
+            for line in raw.split(|&b| b == b'\n') {
+                if line.is_empty() {
+                    continue; // Final split artifact.
+                }
+                assert!(line.len() > 4, "{}: short line {:?}", spec.name, line);
+            }
+        }
+    }
+
+    #[test]
+    fn primary_queries_hit_something() {
+        use loggrep::query::lang::Query;
+        for spec in all_logs() {
+            let raw = spec.generate(3, 256 * 1024);
+            let lines: Vec<&[u8]> = raw[..raw.len() - 1].split(|&b| b == b'\n').collect();
+            let q = Query::parse(&spec.queries[0])
+                .unwrap_or_else(|e| panic!("{}: bad query: {e}", spec.name));
+            let hits = lines
+                .iter()
+                .filter(|l| q.expr.matches_line(l, logparse::DEFAULT_DELIMS))
+                .count();
+            assert!(
+                hits > 0,
+                "{}: query `{}` found nothing in {} lines",
+                spec.name,
+                spec.queries[0],
+                lines.len()
+            );
+            // Queries should be selective, not match-everything.
+            assert!(
+                hits * 2 < lines.len(),
+                "{}: query `{}` matches {}/{} lines",
+                spec.name,
+                spec.queries[0],
+                hits,
+                lines.len()
+            );
+        }
+    }
+}

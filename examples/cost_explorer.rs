@@ -1,0 +1,80 @@
+//! Explores the Equation-1 cost model (§6): measures all five systems on
+//! one workload, prints the per-TB cost breakdown, and sweeps the query
+//! frequency to find where each trade-off flips.
+//!
+//! Run with: `cargo run --release --example cost_explorer`
+
+use baselines::{Clp, GzipGrep, LogGrepSystem, LogSystem, MiniEs};
+use bench::{measure_system, CostModel};
+
+fn main() {
+    let spec = workloads::by_name("Log B").expect("catalog has Log B");
+    let raw = spec.generate(7, 2 << 20);
+    println!(
+        "measuring all systems on {} ({:.1} MiB) ...\n",
+        spec.name,
+        raw.len() as f64 / (1 << 20) as f64
+    );
+
+    let systems: Vec<Box<dyn LogSystem>> = vec![
+        Box::new(GzipGrep),
+        Box::new(Clp::default()),
+        Box::new(MiniEs::default()),
+        Box::new(LogGrepSystem::sp()),
+        Box::new(LogGrepSystem::full()),
+    ];
+    let measurements: Vec<_> = systems
+        .iter()
+        .map(|sys| {
+            measure_system(sys.as_ref(), &spec.name, &raw, &spec.queries[0], 3)
+                .expect("measurement")
+        })
+        .collect();
+
+    let model = CostModel::default();
+    println!(
+        "{:<12} {:>8} {:>10} {:>12}  {:>9} {:>10} {:>8} {:>9}",
+        "system", "ratio", "MB/s", "query-ms", "storage$", "compress$", "query$", "total$/TB"
+    );
+    for m in &measurements {
+        let cost = model.cost_per_tb(m.ratio(), m.speed_mb_s(), m.query_secs_per_tb());
+        println!(
+            "{:<12} {:>8.2} {:>10.2} {:>12.2}  {:>9.2} {:>10.4} {:>8.4} {:>9.2}",
+            m.system,
+            m.ratio(),
+            m.speed_mb_s(),
+            m.query_secs * 1e3,
+            cost.storage,
+            cost.compression,
+            cost.query,
+            cost.total()
+        );
+    }
+
+    // Sweep query frequency: at what point does the low-latency system (ES)
+    // become cheaper than LogGrep? (§6.1 reports 7.4k-542k for production.)
+    let lg = &measurements[4];
+    let es = &measurements[2];
+    println!("\nquery-frequency sweep (total $/TB):");
+    println!("{:>12} {:>12} {:>12}", "frequency", "LogGrep", "ES");
+    for freq in [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0] {
+        let m = CostModel {
+            query_frequency: freq,
+            ..CostModel::default()
+        };
+        let lg_cost = m
+            .cost_per_tb(lg.ratio(), lg.speed_mb_s(), lg.query_secs_per_tb())
+            .total();
+        let es_cost = m
+            .cost_per_tb(es.ratio(), es.speed_mb_s(), es.query_secs_per_tb())
+            .total();
+        println!("{freq:>12.0} {lg_cost:>12.2} {es_cost:>12.2}");
+    }
+    match model.break_even_frequency(
+        (lg.ratio(), lg.speed_mb_s(), lg.query_secs_per_tb()),
+        (es.ratio(), es.speed_mb_s(), es.query_secs_per_tb()),
+    ) {
+        Some(f) => println!("\nES overtakes LogGrep above ~{f:.0} queries per retention period"),
+        None => println!("\nES never overtakes LogGrep at these measurements"),
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: compress a log block with LogGrep and grep it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use loggrep::{LogGrep, LogGrepConfig};
+
+fn main() {
+    // A small log block in the style of the paper's Figure 1.
+    let raw = b"\
+T134 bk.FF.13 read\n\
+T169 state: SUC#1604\n\
+T179 bk.C5.15 read\n\
+T181 state: ERR#1623\n\
+T190 bk.0A.02 read\n\
+T204 state: SUC#1611\n\
+T219 state: ERR#1604\n";
+
+    // Compress: parse static patterns, extract runtime patterns, build
+    // stamped Capsules, pack into a CapsuleBox.
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let (boxed, stats) = engine.compress_with_stats(raw).expect("clean text input");
+    println!(
+        "compressed {} bytes -> {} bytes ({} groups, {} capsules)",
+        stats.raw_size,
+        stats.compressed_size,
+        stats.groups,
+        stats.capsules
+    );
+
+    // The serialized form is what you would write to object storage.
+    let bytes = boxed.to_bytes();
+    let archive = loggrep::Archive::from_bytes(&bytes).expect("self-produced bytes");
+
+    // Grep-like queries: search strings joined by and/or/not; `*` matches
+    // within a single token.
+    for query in ["read", "state: ERR", "ERR#16 and state", "bk.*.15"] {
+        let result = archive.query(query).expect("valid query");
+        println!("\n$ loggrep query '{query}'   -> {} hit(s)", result.lines.len());
+        for line in result.lines_utf8() {
+            println!("  {line}");
+        }
+        println!(
+            "  [capsules decompressed: {}, stamp rejections: {}]",
+            result.stats.capsules_decompressed, result.stats.stamp_rejections
+        );
+    }
+}

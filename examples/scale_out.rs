@@ -1,0 +1,41 @@
+//! Scale-out demo (the paper's §8 future work): shard a day's logs across a
+//! simulated cluster, then compare single-node and multi-node query times.
+//!
+//! Run with: `cargo run --release --example scale_out`
+
+use cluster::Cluster;
+use loggrep::LogGrepConfig;
+use std::time::Instant;
+
+fn main() {
+    let spec = workloads::by_name("Log G").expect("catalog has Log G");
+    let raw = spec.generate(99, 16 << 20);
+    println!(
+        "dataset: {} ({:.1} MiB)\n",
+        spec.name,
+        raw.len() as f64 / (1 << 20) as f64
+    );
+
+    let query = &spec.queries[0];
+    for nodes in [1usize, 2, 4, 8] {
+        let mut c = Cluster::new(nodes, LogGrepConfig::default());
+        let t0 = Instant::now();
+        let blocks = c.ingest(&raw, 2 << 20).expect("clean input");
+        let ingest = t0.elapsed();
+
+        let t1 = Instant::now();
+        let result = c.query(query).expect("valid query");
+        let qtime = t1.elapsed();
+
+        println!(
+            "{nodes} node(s): {blocks} blocks, ingest {ingest:?}, query `{query}` -> {} hit(s) in {qtime:?} (stored {:.1} MiB)",
+            result.lines.len(),
+            c.stored_bytes() as f64 / (1 << 20) as f64
+        );
+    }
+    println!(
+        "\n(ingest parallelizes per block; queries scatter-gather across nodes; \
+         wall-clock speedups require more than the {} core(s) available here)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the LogGrep reproduction workspace.
+//!
+//! The real content lives in the member crates:
+//!
+//! * [`loggrep`] — the paper's system (compression + query engine);
+//! * [`codec`], [`strsearch`], [`logparse`] — substrates built from scratch;
+//! * [`baselines`] — gzip+grep, CLP, and the MiniEs comparators;
+//! * [`workloads`] — the 37 synthetic log types and their queries.
+//!
+//! This crate hosts the workspace-spanning integration tests (`tests/`) and
+//! the runnable examples (`examples/`).
+
+pub use baselines;
+pub use codec;
+pub use loggrep;
+pub use logparse;
+pub use strsearch;
+pub use workloads;

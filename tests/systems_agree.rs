@@ -1,0 +1,102 @@
+//! Cross-system equivalence: every evaluated system — LogGrep, LogGrep-SP,
+//! gzip+grep, CLP, MiniEs — must return exactly the same lines for every
+//! workload's queries. This is what makes the latency comparisons of the
+//! benchmark harness meaningful.
+
+use baselines::{Clp, GzipGrep, LogGrepSystem, LogSystem, MiniEs};
+
+fn systems() -> Vec<Box<dyn LogSystem>> {
+    vec![
+        Box::new(GzipGrep),
+        Box::new(Clp {
+            segment_lines: 512,
+        }),
+        Box::new(MiniEs {
+            flush_docs: 256,
+            merge_factor: 4,
+        }),
+        Box::new(LogGrepSystem::sp()),
+        Box::new(LogGrepSystem::full()),
+    ]
+}
+
+fn check_log(spec: &workloads::LogSpec, bytes: usize) {
+    let raw = spec.generate(11, bytes);
+    let reference_sys = GzipGrep;
+    let ref_stored = reference_sys.compress(&raw).unwrap();
+    let reference = reference_sys.open(&ref_stored).unwrap();
+
+    for sys in systems() {
+        let stored = sys
+            .compress(&raw)
+            .unwrap_or_else(|e| panic!("{} compress failed on {}: {e}", sys.name(), spec.name));
+        let archive = sys
+            .open(&stored)
+            .unwrap_or_else(|e| panic!("{} open failed on {}: {e}", sys.name(), spec.name));
+        for q in &spec.queries {
+            let got = archive
+                .query(q)
+                .unwrap_or_else(|e| panic!("{} query `{q}` failed on {}: {e}", sys.name(), spec.name));
+            let want = reference.query(q).unwrap();
+            assert_eq!(
+                got,
+                want,
+                "{} vs reference on {} query `{q}`: {} vs {} lines",
+                sys.name(),
+                spec.name,
+                got.len(),
+                want.len()
+            );
+            assert!(
+                !want.is_empty(),
+                "{}: query `{q}` matched nothing — workload bug",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn production_logs_agree() {
+    for spec in workloads::production_logs() {
+        check_log(&spec, 96 * 1024);
+    }
+}
+
+#[test]
+fn public_logs_agree() {
+    for spec in workloads::public_logs() {
+        check_log(&spec, 96 * 1024);
+    }
+}
+
+#[test]
+fn extra_adhoc_queries_agree() {
+    // Beyond each log's primary query, throw generic probes at a few logs.
+    let probes = [
+        "ERROR",
+        "INFO not ERROR",
+        "11.187.3",
+        "blk_*",
+        "a and b or c",
+        "zz-absent-zz",
+        "0",
+    ];
+    for spec in workloads::all_logs().into_iter().step_by(7) {
+        let raw = spec.generate(23, 48 * 1024);
+        let ref_sys = GzipGrep;
+        let reference = ref_sys.open(&ref_sys.compress(&raw).unwrap()).unwrap();
+        for sys in systems() {
+            let archive = sys.open(&sys.compress(&raw).unwrap()).unwrap();
+            for q in probes {
+                assert_eq!(
+                    archive.query(q).unwrap(),
+                    reference.query(q).unwrap(),
+                    "{} on {} query `{q}`",
+                    sys.name(),
+                    spec.name
+                );
+            }
+        }
+    }
+}
