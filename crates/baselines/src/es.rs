@@ -229,12 +229,15 @@ impl TermConstraint {
     }
 }
 
+/// Decoded lines of one stored block, shared between lookups.
+type BlockLines = Rc<Vec<Vec<u8>>>;
+
 /// An opened MiniEs index.
 pub struct EsArchive {
     segments: Vec<Segment>,
     total_docs: u32,
     /// Per-query stored-block cache: (segment, block) → lines.
-    stored_cache: RefCell<HashMap<(u32, u32), Rc<Vec<Vec<u8>>>>>,
+    stored_cache: RefCell<HashMap<(u32, u32), BlockLines>>,
 }
 
 impl EsArchive {

@@ -1,16 +1,39 @@
+//! Ad-hoc query profiler: compresses one workload, runs a few queries, and
+//! prints the per-stage telemetry breakdown in the same format as the CLI's
+//! `--trace` flag (`--json` switches to the machine-readable per-stage
+//! report from `bench::per_stage_json`).
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
     let spec = workloads::by_name("Log A").unwrap();
     let raw = spec.generate(42, 4 << 20);
     let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig::default());
     let (boxed, cstats) = engine.compress_with_stats(&raw).unwrap();
-    eprintln!("compress: ratio {:.1}, groups {}, capsules {}, real {} nominal {} plain {}",
-        cstats.ratio(), cstats.groups, cstats.capsules, cstats.real_vectors, cstats.nominal_vectors, cstats.plain_vectors);
+    eprintln!(
+        "compress: ratio {:.1}, groups {}, {} capsule(s)",
+        cstats.ratio(),
+        cstats.groups,
+        cstats.capsules,
+    );
     let archive = engine.open(boxed);
-    for q in [&spec.queries[0], "ERROR", "zz-absent"] {
-        let t = std::time::Instant::now();
+    for q in [spec.queries[0].as_str(), "ERROR", "zz-absent"] {
         let r = archive.query(q).unwrap();
-        eprintln!("query `{q}`: {:?} hits {} caps_decomp {} bytes_decomp {} stamp_rej {} groups_skipped {} rows_verified {}",
-            t.elapsed(), r.lines.len(), r.stats.capsules_decompressed, r.stats.bytes_decompressed,
-            r.stats.stamp_rejections, r.stats.groups_skipped, r.stats.rows_verified);
+        eprintln!(
+            "query `{q}`: {} hit(s), plan {:.3} ms / execute {:.3} ms",
+            r.lines.len(),
+            r.stats.plan_elapsed.as_secs_f64() * 1e3,
+            r.stats.execute_elapsed().as_secs_f64() * 1e3,
+        );
+    }
+
+    let snap = telemetry::snapshot();
+    if json {
+        print!("{}", bench::per_stage_json(&snap));
+    } else {
+        eprintln!("-- trace --");
+        eprint!("{}", telemetry::export_trace_text(&snap));
     }
 }

@@ -1,0 +1,86 @@
+//! Machine-readable per-stage reports derived from the telemetry registry.
+//!
+//! The harness enables [`telemetry`], runs a workload, then emits one JSON
+//! document combining the derived pipeline views ([`ArchiveStats`] /
+//! [`QueryStats`] rebuilt from the snapshot) with the raw per-stage
+//! span/counter export — the same data the CLI's `--trace --json` prints.
+
+use loggrep::{ArchiveStats, QueryStats};
+use telemetry::Snapshot;
+
+/// Renders one per-stage JSON report from a telemetry snapshot.
+pub fn per_stage_json(snap: &Snapshot) -> String {
+    let a = ArchiveStats::from_snapshot(snap);
+    let q = QueryStats::from_snapshot(snap);
+    let telemetry_json = telemetry::export_json(snap);
+    format!(
+        "{{\n\"compress\": {{\"raw_bytes\": {}, \"elapsed_secs\": {:.6}, \
+         \"real_vectors\": {}, \"nominal_vectors\": {}, \"plain_vectors\": {}, \
+         \"capsules\": {}, \"catch_all_lines\": {}}},\n\
+         \"query\": {{\"elapsed_secs\": {:.6}, \"plan_secs\": {:.6}, \
+         \"execute_secs\": {:.6}, \"capsules_decompressed\": {}, \
+         \"bytes_decompressed\": {}, \"stamp_rejections\": {}, \
+         \"groups_skipped\": {}, \"rows_verified\": {}}},\n\
+         \"telemetry\": {}\n}}\n",
+        a.raw_size,
+        a.elapsed.as_secs_f64(),
+        a.real_vectors,
+        a.nominal_vectors,
+        a.plain_vectors,
+        a.capsules,
+        a.catch_all_lines,
+        q.elapsed.as_secs_f64(),
+        q.plan_elapsed.as_secs_f64(),
+        q.execute_elapsed().as_secs_f64(),
+        q.capsules_decompressed,
+        q.bytes_decompressed,
+        q.stamp_rejections,
+        q.groups_skipped,
+        q.rows_verified,
+        telemetry_json.trim_end(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::HistogramSnapshot;
+
+    #[test]
+    fn per_stage_json_shape() {
+        let hist = |sum: u64| HistogramSnapshot {
+            count: 1,
+            sum,
+            min: sum,
+            max: sum,
+            buckets: vec![0; 65],
+        };
+        let snap = Snapshot {
+            counters: vec![
+                ("compress.bytes_raw".into(), 1024),
+                ("pack.capsules".into(), 7),
+                ("query.capsules_decompressed".into(), 2),
+            ],
+            gauges: vec![],
+            histograms: vec![
+                ("compress".into(), hist(2_000_000)),
+                ("query".into(), hist(300_000)),
+                ("query/plan".into(), hist(100_000)),
+            ],
+        };
+        let json = per_stage_json(&snap);
+        for key in [
+            "\"compress\"",
+            "\"query\"",
+            "\"telemetry\"",
+            "\"raw_bytes\": 1024",
+            "\"capsules\": 7",
+            "\"capsules_decompressed\": 2",
+            "\"plan_secs\": 0.000100",
+            "\"execute_secs\": 0.000200",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

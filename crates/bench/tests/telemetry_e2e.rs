@@ -1,0 +1,95 @@
+//! End-to-end check that the process-wide telemetry registry agrees with
+//! the per-run `ArchiveStats` / `QueryStats` the pipeline reports.
+//!
+//! Kept as one test function: the registry is process-global, and this
+//! integration binary owns its process, so a single function gives exact
+//! counter equality without cross-test interference.
+
+use loggrep::{ArchiveStats, LogGrep, LogGrepConfig, QueryStats};
+
+#[test]
+fn registry_agrees_with_per_run_stats() {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    let spec = workloads::by_name("Log C").unwrap();
+    let raw = spec.generate(11, 256 * 1024);
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let (boxed, cstats) = engine.compress_with_stats(&raw).unwrap();
+    let archive = engine.open(boxed);
+
+    // Compression: global counters equal the per-run ArchiveStats.
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.counter("compress.bytes_raw"), cstats.raw_size);
+    assert_eq!(snap.counter("pack.capsules") as usize, cstats.capsules);
+    assert_eq!(
+        snap.counter("extract.vectors.real") as usize,
+        cstats.real_vectors
+    );
+    assert_eq!(
+        snap.counter("extract.vectors.nominal") as usize,
+        cstats.nominal_vectors
+    );
+    assert_eq!(
+        snap.counter("extract.vectors.plain") as usize,
+        cstats.plain_vectors
+    );
+    assert_eq!(
+        snap.counter("parse.catch_all_lines") as u32,
+        cstats.catch_all_lines
+    );
+    let a_view = ArchiveStats::from_snapshot(&snap);
+    assert_eq!(a_view.raw_size, cstats.raw_size);
+    assert_eq!(a_view.capsules, cstats.capsules);
+    assert_eq!(a_view.real_vectors, cstats.real_vectors);
+    assert!(a_view.elapsed.as_nanos() > 0);
+
+    // Queries: for each, global counters (reset per query) equal the
+    // per-run QueryStats, and at least one selective query must have been
+    // answered partly by stamps (rejections without decompression).
+    let mut total_stamp_rejections = 0usize;
+    for q in [spec.queries[0].as_str(), "ERROR", "zz-absent"] {
+        telemetry::reset();
+        let result = archive.query(q).unwrap();
+        let snap = telemetry::snapshot();
+        assert_eq!(snap.counter("query.executed"), 1, "query `{q}`");
+        assert_eq!(
+            snap.counter("query.capsules_decompressed") as usize,
+            result.stats.capsules_decompressed,
+            "query `{q}`"
+        );
+        assert_eq!(
+            snap.counter("query.bytes_decompressed"),
+            result.stats.bytes_decompressed,
+            "query `{q}`"
+        );
+        assert_eq!(
+            snap.counter("query.stamp_rejections") as usize,
+            result.stats.stamp_rejections,
+            "query `{q}`"
+        );
+        assert_eq!(
+            snap.counter("query.groups_skipped") as usize,
+            result.stats.groups_skipped,
+            "query `{q}`"
+        );
+        assert_eq!(
+            snap.counter("query.rows_verified") as usize,
+            result.stats.rows_verified,
+            "query `{q}`"
+        );
+        let q_view = QueryStats::from_snapshot(&snap);
+        assert_eq!(
+            q_view.capsules_decompressed,
+            result.stats.capsules_decompressed
+        );
+        assert_eq!(q_view.stamp_rejections, result.stats.stamp_rejections);
+        assert!(q_view.elapsed >= q_view.plan_elapsed);
+        total_stamp_rejections += result.stats.stamp_rejections;
+    }
+    assert!(
+        total_stamp_rejections > 0,
+        "selective queries should reject at least one requirement via stamps"
+    );
+    telemetry::set_enabled(false);
+}

@@ -5,12 +5,21 @@
 //! * `compress <input.log> <output.lgb>` — compress a log file into a
 //!   CapsuleBox (64 MiB blocks by default, compressed in parallel);
 //! * `query <archive.lgb> <command>` — run a grep-like query;
-//! * `stat <archive.lgb>` — print archive statistics;
+//! * `stat <archive.lgb>` (alias `stats`) — print archive statistics;
 //! * `gen <log-name> <bytes> [seed]` — emit a synthetic workload log.
+//!
+//! Global flags, accepted anywhere on the command line:
+//!
+//! * `--trace` — enable the [`telemetry`] registry for this run and print a
+//!   per-stage breakdown (span tree + counters) to stderr afterwards; a
+//!   traced `query` also prints the predicted-vs-actual plan drift report;
+//! * `--json` — machine-readable output: `stat --json` prints the archive
+//!   statistics as JSON on stdout, and `--trace --json` switches the trace
+//!   footer to the telemetry JSON export.
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); see [`run`].
 
-use loggrep::{Archive, CapsuleBox, LogGrep, LogGrepConfig};
+use loggrep::{Archive, CapsuleBox, LogGrep, LogGrepConfig, PlanDrift};
 use std::io::{Read, Write};
 
 /// Multi-block container magic (a `.lgb` file is a sequence of
@@ -20,20 +29,58 @@ const FILE_MAGIC: &[u8; 8] = b"LGBFILE1";
 /// Block size used by `compress` (the paper's 64 MB log blocks).
 pub const BLOCK_SIZE: usize = 64 << 20;
 
+/// Global flags accepted anywhere on the command line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flags {
+    /// `--trace`: enable telemetry and print a per-stage trace footer.
+    pub trace: bool,
+    /// `--json`: machine-readable output where the subcommand supports it.
+    pub json: bool,
+}
+
+/// Strips the global flags out of `args`, returning the positional rest.
+fn parse_global_flags(args: &[String]) -> (Vec<String>, Flags) {
+    let mut flags = Flags::default();
+    let mut rest = Vec::with_capacity(args.len());
+    for a in args {
+        match a.as_str() {
+            "--trace" => flags.trace = true,
+            "--json" => flags.json = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    (rest, flags)
+}
+
 /// Runs the CLI with the given arguments (excluding `argv[0]`).
 ///
 /// Returns the process exit code; errors are printed to stderr.
 pub fn run(args: &[String]) -> i32 {
-    match dispatch(args) {
+    let (args, flags) = parse_global_flags(args);
+    if flags.trace {
+        telemetry::set_enabled(true);
+        telemetry::reset();
+    }
+    let code = match dispatch(&args, flags) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("loggrep: {e}");
             2
         }
+    };
+    if flags.trace {
+        let snap = telemetry::snapshot();
+        if flags.json {
+            eprint!("{}", telemetry::export_json(&snap));
+        } else {
+            eprintln!("-- trace --");
+            eprint!("{}", telemetry::export_trace_text(&snap));
+        }
     }
+    code
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String], flags: Flags) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("compress") => {
             let [input, output] = two(&args[1..], "compress <input.log> <output.lgb>")?;
@@ -41,11 +88,11 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         }
         Some("query") => {
             let [archive, command] = two(&args[1..], "query <archive.lgb> <command>")?;
-            query_file(archive, command)
+            query_file(archive, command, flags)
         }
-        Some("stat") => {
+        Some("stat") | Some("stats") => {
             let archive = one(&args[1..], "stat <archive.lgb>")?;
-            stat_file(archive)
+            stat_file(archive, flags.json)
         }
         Some("explain") => {
             let [archive, command] = two(&args[1..], "explain <archive.lgb> <command>")?;
@@ -68,8 +115,14 @@ pub fn usage() -> String {
      \x20 loggrep compress <input.log> <output.lgb>   compress a log file\n\
      \x20 loggrep query <archive.lgb> <command>       run a grep-like query\n\
      \x20 loggrep stat <archive.lgb>                  print archive statistics\n\
+     \x20                                             (alias: stats)\n\
      \x20 loggrep explain <archive.lgb> <command>     show the query plan\n\
      \x20 loggrep gen <log-name> <bytes> [seed]       print a synthetic log\n\
+     \n\
+     GLOBAL FLAGS:\n\
+     \x20 --trace   print a per-stage timing/counter breakdown to stderr;\n\
+     \x20           a traced query also reports plan-vs-execution drift\n\
+     \x20 --json    machine-readable output (stat --json; --trace --json)\n\
      \n\
      QUERY LANGUAGE:\n\
      \x20 search strings joined by and / or / not (left-associative), e.g.\n\
@@ -180,11 +233,14 @@ fn open_bytes(bytes: &[u8]) -> Result<Vec<Archive>, String> {
     Ok(archives)
 }
 
-fn query_file(path: &str, command: &str) -> Result<(), String> {
+fn query_file(path: &str, command: &str, flags: Flags) -> Result<(), String> {
     let archives = open_file(path)?;
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
     let mut total = 0usize;
+    let mut drift = PlanDrift::default();
+    let mut plan_elapsed = std::time::Duration::ZERO;
+    let mut elapsed = std::time::Duration::ZERO;
     for archive in &archives {
         let result = archive.query(command).map_err(|e| e.to_string())?;
         for line in &result.lines {
@@ -192,8 +248,29 @@ fn query_file(path: &str, command: &str) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         }
         total += result.lines.len();
+        if flags.trace {
+            // Satellite check: how far did the executed query drift from
+            // what the planner predicted without decompressing anything?
+            let explanation = archive.explain(command).map_err(|e| e.to_string())?;
+            drift.absorb(&explanation.drift(&result.stats));
+            plan_elapsed += result.stats.plan_elapsed;
+            elapsed += result.stats.elapsed;
+        }
+    }
+    // Under `--trace --json` stderr carries the telemetry JSON alone, so a
+    // consumer can parse it without filtering out the human summary.
+    if flags.trace && flags.json {
+        return Ok(());
     }
     eprintln!("({total} matching line(s))");
+    if flags.trace {
+        eprintln!(
+            "plan {:.3} ms / execute {:.3} ms",
+            plan_elapsed.as_secs_f64() * 1e3,
+            elapsed.saturating_sub(plan_elapsed).as_secs_f64() * 1e3,
+        );
+        eprint!("{drift}");
+    }
     Ok(())
 }
 
@@ -205,9 +282,16 @@ fn explain_file(path: &str, command: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn stat_file(path: &str) -> Result<(), String> {
+fn stat_file(path: &str, json: bool) -> Result<(), String> {
     let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
-    let archives = open_bytes(&bytes)?;
+    print!("{}", stat_report(&bytes, json)?);
+    Ok(())
+}
+
+/// Renders archive statistics from serialized `.lgb` bytes, as aligned text
+/// or a JSON object.
+fn stat_report(bytes: &[u8], json: bool) -> Result<String, String> {
+    let archives = open_bytes(bytes)?;
     let mut lines = 0u64;
     let mut raw = 0u64;
     let mut groups = 0usize;
@@ -219,14 +303,25 @@ fn stat_file(path: &str) -> Result<(), String> {
         groups += b.groups.len();
         capsules += b.capsules.len();
     }
-    println!("blocks:        {}", archives.len());
-    println!("lines:         {lines}");
-    println!("raw size:      {}", human(raw as usize));
-    println!("stored size:   {}", human(bytes.len()));
-    println!("ratio:         {:.2}x", raw as f64 / bytes.len().max(1) as f64);
-    println!("groups:        {groups}");
-    println!("capsules:      {capsules}");
-    Ok(())
+    let ratio = raw as f64 / bytes.len().max(1) as f64;
+    if json {
+        return Ok(format!(
+            "{{\n  \"blocks\": {},\n  \"lines\": {lines},\n  \"raw_bytes\": {raw},\n  \
+             \"stored_bytes\": {},\n  \"ratio\": {ratio:.4},\n  \"groups\": {groups},\n  \
+             \"capsules\": {capsules}\n}}\n",
+            archives.len(),
+            bytes.len(),
+        ));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("blocks:        {}\n", archives.len()));
+    out.push_str(&format!("lines:         {lines}\n"));
+    out.push_str(&format!("raw size:      {}\n", human(raw as usize)));
+    out.push_str(&format!("stored size:   {}\n", human(bytes.len())));
+    out.push_str(&format!("ratio:         {ratio:.2}x\n"));
+    out.push_str(&format!("groups:        {groups}\n"));
+    out.push_str(&format!("capsules:      {capsules}\n"));
+    Ok(out)
 }
 
 fn gen_log(args: &[String]) -> Result<(), String> {
@@ -367,8 +462,38 @@ mod tests {
     #[test]
     fn usage_lists_subcommands() {
         let u = usage();
-        for cmd in ["compress", "query", "stat", "explain", "gen"] {
+        for cmd in ["compress", "query", "stat", "stats", "explain", "gen", "--trace", "--json"] {
             assert!(u.contains(cmd), "missing {cmd}");
         }
+    }
+
+    #[test]
+    fn global_flags_strip_anywhere() {
+        let args: Vec<String> = ["--trace", "stat", "a.lgb", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, flags) = parse_global_flags(&args);
+        assert!(flags.trace);
+        assert!(flags.json);
+        assert_eq!(rest, vec!["stat".to_string(), "a.lgb".to_string()]);
+    }
+
+    #[test]
+    fn stat_report_text_and_json() {
+        let spec = workloads::by_name("Log C").unwrap();
+        let boxed = LogGrep::new(LogGrepConfig::default())
+            .compress(&spec.generate(3, 64 * 1024))
+            .unwrap();
+        let bytes = single_block_file(&boxed);
+        let text = stat_report(&bytes, false).unwrap();
+        assert!(text.contains("blocks:        1"), "{text}");
+        assert!(text.contains("ratio:"), "{text}");
+        let json = stat_report(&bytes, true).unwrap();
+        assert!(json.contains("\"blocks\": 1"), "{json}");
+        for key in ["lines", "raw_bytes", "stored_bytes", "ratio", "groups", "capsules"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -150,7 +150,8 @@ impl Cluster {
     /// Scatter-gather query: every node evaluates the command against its
     /// blocks in parallel; results merge in global order.
     pub fn query(&self, command: &str) -> Result<ClusterResult, String> {
-        let partials: Vec<Mutex<Option<Result<Vec<(usize, u32, Vec<u8>)>, String>>>> =
+        type Partial = Result<Vec<(usize, u32, Vec<u8>)>, String>;
+        let partials: Vec<Mutex<Option<Partial>>> =
             self.nodes.iter().map(|_| Mutex::new(None)).collect();
         crossbeam::thread::scope(|scope| {
             for (node, slot) in self.nodes.iter().zip(&partials) {

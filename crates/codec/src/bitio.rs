@@ -160,6 +160,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::unusual_byte_groupings)] // grouped as padding|write2|write1
     fn lsb_first_layout_matches_deflate_convention() {
         let mut w = BitWriter::new();
         w.write_bits(0b101, 3);

@@ -88,6 +88,40 @@ pub trait Codec: Send + Sync {
     ///
     /// Returns [`CodecError`] if the buffer is truncated or corrupt.
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
+
+    /// [`Codec::compress`] plus per-codec byte accounting.
+    ///
+    /// When telemetry is enabled, records `codec.<name>.compress.bytes_in`
+    /// / `.bytes_out` counters; otherwise identical to `compress`. Pipeline
+    /// call sites (the Capsule packer) use this so `--trace` can break
+    /// stored bytes down by codec.
+    fn compress_tracked(&self, input: &[u8]) -> Vec<u8> {
+        let out = self.compress(input);
+        if telemetry::enabled() {
+            let name = self.name();
+            telemetry::counter(&format!("codec.{name}.compress.bytes_in")).add(input.len() as u64);
+            telemetry::counter(&format!("codec.{name}.compress.bytes_out")).add(out.len() as u64);
+        }
+        out
+    }
+
+    /// [`Codec::decompress`] plus per-codec byte accounting
+    /// (`codec.<name>.decompress.bytes_in` / `.bytes_out`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the buffer is truncated or corrupt.
+    fn decompress_tracked(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let out = self.decompress(input)?;
+        if telemetry::enabled() {
+            let name = self.name();
+            telemetry::counter(&format!("codec.{name}.decompress.bytes_in"))
+                .add(input.len() as u64);
+            telemetry::counter(&format!("codec.{name}.decompress.bytes_out"))
+                .add(out.len() as u64);
+        }
+        Ok(out)
+    }
 }
 
 /// The identity codec: stores data uncompressed (behind a length header).
@@ -155,6 +189,21 @@ mod tests {
         let packed = c.compress(b"hello world");
         assert!(c.decompress(&packed[..packed.len() - 1]).is_err());
         assert!(c.decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn tracked_hooks_record_per_codec_bytes() {
+        telemetry::set_enabled(true);
+        let c = Store;
+        let data = b"tracked roundtrip payload";
+        let packed = c.compress_tracked(data);
+        let unpacked = c.decompress_tracked(&packed).unwrap();
+        assert_eq!(unpacked, data);
+        telemetry::set_enabled(false);
+        let snap = telemetry::snapshot();
+        assert!(snap.counter("codec.store.compress.bytes_in") >= data.len() as u64);
+        assert!(snap.counter("codec.store.compress.bytes_out") >= packed.len() as u64);
+        assert!(snap.counter("codec.store.decompress.bytes_out") >= data.len() as u64);
     }
 
     #[test]

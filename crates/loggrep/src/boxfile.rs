@@ -251,7 +251,7 @@ impl CapsuleBox {
         let start = meta.offset as usize;
         let end = start + meta.clen as usize;
         let codec = codec_by_id(meta.codec)?;
-        Ok(codec.decompress(&self.blob[start..end])?)
+        Ok(codec.decompress_tracked(&self.blob[start..end])?)
     }
 }
 

@@ -48,10 +48,12 @@ impl<'a> Packer<'a> {
 
     /// Compresses and appends one Capsule payload; returns its id.
     fn push(&mut self, payload: &[u8], layout: Layout, stamp: Stamp, rows: u32) -> u32 {
+        let _span = telemetry::span("encode");
         // Tiny payloads skip the heavy codec: headers would dominate.
         let codec_id = if payload.len() < 64 { 0 } else { self.main_codec_id };
         let codec = crate::capsule::codec_by_id(codec_id).expect("known codec id");
-        let compressed = codec.compress(payload);
+        let compressed = codec.compress_tracked(payload);
+        telemetry::counter!("pack.capsules", 1);
         let meta = CapsuleMeta {
             layout,
             rows,
@@ -113,11 +115,16 @@ impl LogGrep {
             return Err(Error::UnsupportedByte { offset });
         }
         let start = Instant::now();
+        let _compress_span = telemetry::span("compress");
+        telemetry::counter!("compress.bytes_raw", raw.len() as u64);
         let lines: Vec<&[u8]> = split_lines(raw);
 
         // Parser: static patterns from a 5 % sample, then full parse.
-        let parser = Parser::train(&self.config.parser, lines.iter().copied());
-        let parsed = parser.parse_all(lines.iter().copied());
+        let parsed = {
+            let _span = telemetry::span("parse");
+            let parser = Parser::train(&self.config.parser, lines.iter().copied());
+            parser.parse_all(lines.iter().copied())
+        };
 
         let mut stats = ArchiveStats {
             raw_size: raw.len() as u64,
@@ -185,9 +192,14 @@ impl LogGrep {
         vector_id: u64,
         stats: &mut ArchiveStats,
     ) -> VectorMeta {
-        match extract_vector(values, &self.config, vector_id) {
+        let extraction = {
+            let _span = telemetry::span("extract");
+            extract_vector(values, &self.config, vector_id)
+        };
+        match extraction {
             Extraction::Real(ex) => {
                 stats.real_vectors += 1;
+                telemetry::counter!("extract.vectors.real", 1);
                 let sub_caps: Vec<u32> = ex
                     .sub_values
                     .iter()
@@ -203,6 +215,7 @@ impl LogGrep {
             }
             Extraction::Nominal(ex) => {
                 stats.nominal_vectors += 1;
+                telemetry::counter!("extract.vectors.nominal", 1);
                 // Dictionary payload: regions padded per pattern width
                 // (fixed mode) or newline-delimited (w/o fixed).
                 let (dict_payload, dict_layout, dict_rows) = if self.config.fixed_length {
@@ -247,6 +260,7 @@ impl LogGrep {
             }
             Extraction::Plain => {
                 stats.plain_vectors += 1;
+                telemetry::counter!("extract.vectors.plain", 1);
                 let capsule = packer.push_values(values.iter().map(|v| v.as_slice()));
                 VectorMeta::Plain { capsule }
             }

@@ -174,10 +174,7 @@ pub fn decimal_width(v: u32) -> u32 {
 /// Formats a dictionary index as zero-padded fixed-width decimal.
 pub fn format_index(idx: u32, width: u32) -> Vec<u8> {
     let s = idx.to_string();
-    let mut out = Vec::with_capacity(width as usize);
-    for _ in s.len()..width as usize {
-        out.push(b'0');
-    }
+    let mut out = vec![b'0'; (width as usize).saturating_sub(s.len())];
     out.extend_from_slice(s.as_bytes());
     out
 }

@@ -118,6 +118,7 @@ pub fn extract<'a>(
         pattern.sub_stamps[v] = Stamp::of(vals.iter().copied());
     }
 
+    telemetry::counter!("extract.outlier_rows", outlier_rows.len() as u64);
     Some(RealExtraction {
         pattern,
         sub_values,
@@ -134,6 +135,7 @@ fn expand(
     rng: &mut StdRng,
 ) -> Vec<Leaf> {
     debug_assert!(!values.is_empty());
+    telemetry::counter!("extract.tree_rounds", 1);
     if values.iter().all(|v| *v == values[0]) {
         return vec![Leaf::Const(values[0].to_vec())];
     }

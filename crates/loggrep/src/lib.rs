@@ -50,6 +50,7 @@ pub use boxfile::{Archive, CapsuleBox};
 pub use config::LogGrepConfig;
 pub use engine::LogGrep;
 pub use error::{Error, Result};
+pub use query::explain::{Explanation, GroupDecision, PlanDrift};
 pub use query::lang::Query;
 pub use query::QueryResult;
 pub use stats::{ArchiveStats, QueryStats};

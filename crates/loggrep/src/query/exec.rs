@@ -46,15 +46,20 @@ impl Archive {
     pub fn query(&self, command: &str) -> Result<QueryResult> {
         let query = Query::parse(command)?;
         let start = Instant::now();
+        let _query_span = telemetry::span("query");
+        telemetry::counter!("query.executed", 1);
         let mut ctx = ExecCtx::new(self);
+        ctx.stats.capsules_total = self.boxed.capsules.len() as u32;
 
         let line_numbers = if self.use_query_cache {
             match self.cache.get(command) {
                 Some(cached) => {
                     ctx.stats.cache_hit = true;
+                    telemetry::counter!("query.cache.hits", 1);
                     cached
                 }
                 None => {
+                    telemetry::counter!("query.cache.misses", 1);
                     let lines = ctx.eval_expr(&query.expr)?.into_vec();
                     self.cache.put(command, lines.clone());
                     lines
@@ -64,7 +69,10 @@ impl Archive {
             ctx.eval_expr(&query.expr)?.into_vec()
         };
 
-        let lines = ctx.reconstruct(&line_numbers)?;
+        let lines = {
+            let _span = telemetry::span("reconstruct");
+            ctx.reconstruct(&line_numbers)?
+        };
         let mut stats = ctx.stats;
         stats.elapsed = start.elapsed();
         Ok(QueryResult {
@@ -110,9 +118,12 @@ impl<'a> ExecCtx<'a> {
         if let Some(p) = self.payloads.get(&id) {
             return Ok(p.clone());
         }
+        let _span = telemetry::span("decompress");
         let bytes = self.archive.boxed.decompress_capsule(id)?;
         self.stats.capsules_decompressed += 1;
         self.stats.bytes_decompressed += bytes.len() as u64;
+        telemetry::counter!("query.capsules_decompressed", 1);
+        telemetry::counter!("query.bytes_decompressed", bytes.len() as u64);
         let rc = Rc::new(bytes);
         self.payloads.insert(id, rc.clone());
         Ok(rc)
@@ -169,10 +180,13 @@ impl<'a> ExecCtx<'a> {
 
     /// Rows of a Capsule whose values satisfy `(mode, needle)`.
     fn capsule_find(&mut self, id: u32, needle: &[u8], mode: Mode) -> Result<Vec<u32>> {
-        let meta = self.meta(id);
         let payload = self.payload(id)?;
+        let _span = telemetry::span("search");
+        let meta = self.meta(id);
         let view = crate::capsule::CapsuleView::new(&payload, meta)?;
-        Ok(view.find(needle, mode))
+        let hits = view.find(needle, mode);
+        telemetry::counter!("query.capsule_scans", 1);
+        Ok(hits)
     }
 
     /// Stamp pre-filter (§5.1): false means the requirement cannot match and
@@ -181,11 +195,30 @@ impl<'a> ExecCtx<'a> {
         if !self.archive.use_stamps {
             return true;
         }
+        let _span = telemetry::span("stamp");
+        telemetry::counter!("query.stamp_checks", 1);
         let ok = self.meta(id).stamp.admits(needle);
         if !ok {
             self.stats.stamp_rejections += 1;
+            telemetry::counter!("query.stamp_rejections", 1);
         }
         ok
+    }
+
+    /// Counts one row materialized for wildcard/overflow verification.
+    fn note_row_verified(&mut self) {
+        self.stats.rows_verified += 1;
+        telemetry::counter!("query.rows_verified", 1);
+    }
+
+    /// Runs the Capsule-locating planner (§5.1) under the `plan` span,
+    /// accumulating its wall time into the per-query plan/execute split.
+    fn plan_timed(&mut self, segs: &[SegRef<'_>], needle: &[u8], mode: Mode) -> Plan {
+        let _span = telemetry::span("plan");
+        let t = Instant::now();
+        let p = plan(segs, needle, mode);
+        self.stats.plan_elapsed += t.elapsed();
+        p
     }
 
     // ------------------------------------------------------------------
@@ -214,8 +247,8 @@ impl<'a> ExecCtx<'a> {
         match expr {
             Expr::Str(s) => {
                 let mut out = Vec::with_capacity(skip.len());
-                for gid in 0..skip.len() {
-                    if skip[gid] {
+                for (gid, &skipped) in skip.iter().enumerate() {
+                    if skipped {
                         out.push(RowSet::empty());
                     } else {
                         out.push(self.eval_search_in_group(s, gid)?);
@@ -272,7 +305,7 @@ impl<'a> ExecCtx<'a> {
                 let mut verified = Vec::new();
                 for row in candidates.iter() {
                     let line = self.render_row(gid, row)?;
-                    self.stats.rows_verified += 1;
+                    self.note_row_verified();
                     if s.matches_line(&line, DEFAULT_DELIMS) {
                         verified.push(row);
                     }
@@ -298,12 +331,13 @@ impl<'a> ExecCtx<'a> {
                 Piece::Slot(i) => SegRef::Var(*i),
             })
             .collect();
-        match plan(&segs, kw, Mode::Contains) {
+        match self.plan_timed(&segs, kw, Mode::Contains) {
             Plan::All => Ok(RowSet::all(nrows)),
             Plan::Overflow => self.brute_force_group(gid, |line| strsearch::contains(line, kw)),
             Plan::Conjs(conjs) => {
                 if conjs.is_empty() {
                     self.stats.groups_skipped += 1;
+                    telemetry::counter!("query.groups_skipped", 1);
                     return Ok(RowSet::empty());
                 }
                 let mut out = RowSet::empty();
@@ -418,7 +452,7 @@ impl<'a> ExecCtx<'a> {
             })
             .collect();
         let pattern_rows = || VectorMeta::pattern_row_map(outlier_rows, nrows);
-        match plan(&segs, needle, mode) {
+        match self.plan_timed(&segs, needle, mode) {
             Plan::All => Ok(RowSet::from_sorted(pattern_rows())),
             Plan::Overflow => {
                 // Scan the variable vector by materializing values.
@@ -426,7 +460,7 @@ impl<'a> ExecCtx<'a> {
                 let mut hits = Vec::new();
                 for (pr, &row) in map.iter().enumerate() {
                     let v = self.real_value(pattern, sub_caps, pr as u32)?;
-                    self.stats.rows_verified += 1;
+                    self.note_row_verified();
                     if value_matches(&v, needle, mode) {
                         hits.push(row);
                     }
@@ -489,6 +523,7 @@ impl<'a> ExecCtx<'a> {
             // Jump straight to the region (Σ countᵢ×lenᵢ, §5.2) and scan it.
             let hits: Vec<u32> = if fixed {
                 let payload = self.payload(dict_cap)?;
+                let _span = telemetry::span("search");
                 let start = region.byte_offset;
                 let end = start + region.count as usize * region.width as usize;
                 if end > payload.len() {
@@ -502,6 +537,7 @@ impl<'a> ExecCtx<'a> {
             } else {
                 let meta = self.meta(dict_cap);
                 let payload = self.payload(dict_cap)?;
+                let _span = telemetry::span("search");
                 let view = crate::capsule::CapsuleView::new(&payload, meta)?;
                 view.find_in_rows(
                     needle,
@@ -557,7 +593,7 @@ impl<'a> ExecCtx<'a> {
                 Segment::Var(v) => SegRef::Var(*v),
             })
             .collect();
-        match plan(&segs, needle, mode) {
+        match self.plan_timed(&segs, needle, mode) {
             Plan::All | Plan::Overflow => true,
             Plan::Conjs(conjs) => {
                 if !self.archive.use_stamps {
@@ -568,9 +604,13 @@ impl<'a> ExecCtx<'a> {
                         p.pattern.sub_stamps[req.var].admits(&needle[req.lo..req.hi])
                     })
                 };
+                if !conjs.is_empty() {
+                    telemetry::counter!("query.stamp_checks", 1);
+                }
                 let ok = conjs.iter().any(admits_all);
                 if !ok && !conjs.is_empty() {
                     self.stats.stamp_rejections += 1;
+                    telemetry::counter!("query.stamp_rejections", 1);
                 }
                 ok
             }
@@ -674,7 +714,7 @@ impl<'a> ExecCtx<'a> {
         let mut hits = Vec::new();
         for row in 0..nrows {
             let line = self.render_row(gid, row)?;
-            self.stats.rows_verified += 1;
+            self.note_row_verified();
             if pred(&line) {
                 hits.push(row);
             }

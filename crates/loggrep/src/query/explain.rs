@@ -10,6 +10,7 @@ use crate::error::Result;
 use crate::pattern::Segment;
 use crate::query::lang::Query;
 use crate::query::plan::{plan, Mode, Plan, SegRef};
+use crate::stats::QueryStats;
 use crate::vector::VectorMeta;
 use logparse::Piece;
 use std::fmt;
@@ -19,8 +20,13 @@ use std::fmt;
 pub enum GroupDecision {
     /// The keyword lies inside the static pattern: every row matches.
     AllRows,
-    /// No possible match: the group is skipped without decompression.
-    Skip,
+    /// No possible match: the group is skipped without decompression —
+    /// either the static pattern already excludes the keyword
+    /// (`stamp_rejected == 0`) or every requirement died on a stamp.
+    Skip {
+        /// Requirements rejected by stamps on the way to this decision.
+        stamp_rejected: usize,
+    },
     /// `conjunctions` possible matches touching `capsules` Capsules, of
     /// which `stamp_rejected` requirements already fail their stamps.
     Scan {
@@ -67,9 +73,137 @@ impl Explanation {
             .filter(|&g| {
                 self.searches
                     .iter()
-                    .all(|s| s.decisions[g] == GroupDecision::Skip)
+                    .all(|s| matches!(s.decisions[g], GroupDecision::Skip { .. }))
             })
             .count()
+    }
+
+    /// Compares this explanation's predictions against the stats of an
+    /// actual execution of the same query on the same archive.
+    pub fn drift(&self, stats: &QueryStats) -> PlanDrift {
+        let mut predicted_skips = 0usize;
+        let mut predicted_scan_capsules = 0usize;
+        let mut predicted_stamp_rejections = 0usize;
+        let mut has_wildcards = false;
+        for sp in &self.searches {
+            for d in &sp.decisions {
+                match d {
+                    GroupDecision::Skip { stamp_rejected } => {
+                        predicted_skips += 1;
+                        predicted_stamp_rejections += stamp_rejected;
+                    }
+                    GroupDecision::Scan {
+                        capsules,
+                        stamp_rejected,
+                        ..
+                    } => {
+                        predicted_scan_capsules += capsules;
+                        predicted_stamp_rejections += stamp_rejected;
+                    }
+                    GroupDecision::WildcardVerify => has_wildcards = true,
+                    GroupDecision::AllRows | GroupDecision::FullScan => {}
+                }
+            }
+        }
+        PlanDrift {
+            predicted_skips,
+            actual_groups_skipped: stats.groups_skipped,
+            predicted_scan_capsules,
+            actual_capsules_decompressed: stats.capsules_decompressed,
+            predicted_stamp_rejections,
+            actual_stamp_rejections: stats.stamp_rejections,
+            capsules_total: stats.capsules_total as usize,
+            has_wildcards,
+        }
+    }
+}
+
+/// Predicted-vs-actual agreement between [`Archive::explain`] and one
+/// executed query — the drift report printed after a traced query.
+///
+/// The executor is lazy (progressive matching stops evaluating a group once
+/// a conjunction dies, and an `and`'s right side never runs on groups its
+/// left side emptied), so actuals are *at most* the predictions for skips
+/// and stamp rejections. Decompression has no such bound: reconstructing
+/// matched rows decompresses Capsules the locating plan never touches.
+#[derive(Debug, Clone, Default)]
+pub struct PlanDrift {
+    /// (search, group) pairs the planner decided to skip.
+    pub predicted_skips: usize,
+    /// Group skips the executor actually took (lazy: ≤ predicted).
+    pub actual_groups_skipped: usize,
+    /// Upper bound on distinct Capsules the locating plan may touch
+    /// (summed across searches, so shared Capsules count once per search).
+    pub predicted_scan_capsules: usize,
+    /// Capsules actually decompressed, including row reconstruction.
+    pub actual_capsules_decompressed: usize,
+    /// Requirements the planner already saw stamps reject.
+    pub predicted_stamp_rejections: usize,
+    /// Requirements stamps rejected during execution (lazy: ≤ predicted).
+    pub actual_stamp_rejections: usize,
+    /// Total Capsules in the archive (0 when stats did not record it).
+    pub capsules_total: usize,
+    /// Whether any search string had wildcards. The executor then plans on
+    /// literal fragments the explanation never sees, so the lazy-execution
+    /// bounds below do not apply and [`Self::consistent`] is vacuously true.
+    pub has_wildcards: bool,
+}
+
+impl PlanDrift {
+    /// Accumulates another block's drift into this one, so a multi-block
+    /// archive can report one combined drift.
+    pub fn absorb(&mut self, other: &PlanDrift) {
+        self.predicted_skips += other.predicted_skips;
+        self.actual_groups_skipped += other.actual_groups_skipped;
+        self.predicted_scan_capsules += other.predicted_scan_capsules;
+        self.actual_capsules_decompressed += other.actual_capsules_decompressed;
+        self.predicted_stamp_rejections += other.predicted_stamp_rejections;
+        self.actual_stamp_rejections += other.actual_stamp_rejections;
+        self.capsules_total += other.capsules_total;
+        self.has_wildcards |= other.has_wildcards;
+    }
+
+    /// True when the execution stayed within the planner's predictions
+    /// (vacuously true for wildcard queries and cache hits — both execute
+    /// less than the plan describes).
+    pub fn consistent(&self) -> bool {
+        self.has_wildcards
+            || (self.actual_groups_skipped <= self.predicted_skips
+                && self.actual_stamp_rejections <= self.predicted_stamp_rejections)
+    }
+}
+
+impl fmt::Display for PlanDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan vs execution:")?;
+        writeln!(
+            f,
+            "  group skips       predicted {:<6} actual {}",
+            self.predicted_skips, self.actual_groups_skipped
+        )?;
+        writeln!(
+            f,
+            "  stamp rejections  predicted {:<6} actual {}",
+            self.predicted_stamp_rejections, self.actual_stamp_rejections
+        )?;
+        let total = if self.capsules_total > 0 {
+            format!(" (of {})", self.capsules_total)
+        } else {
+            String::new()
+        };
+        writeln!(
+            f,
+            "  capsules          scan-bound {:<5} decompressed {}{total}",
+            self.predicted_scan_capsules, self.actual_capsules_decompressed
+        )?;
+        if self.has_wildcards {
+            writeln!(f, "  (wildcard query: execution plans on literal fragments)")?;
+        }
+        writeln!(
+            f,
+            "  consistent: {}",
+            if self.consistent() { "yes" } else { "NO — executor exceeded the plan" }
+        )
     }
 }
 
@@ -81,7 +215,7 @@ impl fmt::Display for Explanation {
             for (g, d) in sp.decisions.iter().enumerate() {
                 let what = match d {
                     GroupDecision::AllRows => "ALL (keyword in static pattern)".to_string(),
-                    GroupDecision::Skip => "skip".to_string(),
+                    GroupDecision::Skip { .. } => "skip".to_string(),
                     GroupDecision::Scan {
                         conjunctions,
                         capsules,
@@ -94,7 +228,7 @@ impl fmt::Display for Explanation {
                         "wildcard: filter + verify by reconstruction".to_string()
                     }
                 };
-                if *d != GroupDecision::Skip {
+                if !matches!(d, GroupDecision::Skip { .. }) {
                     writeln!(
                         f,
                         "    group {g} [{} rows] {}: {what}",
@@ -141,7 +275,9 @@ impl Archive {
                 decisions.push(match plan(&segs, kw, Mode::Contains) {
                     Plan::All => GroupDecision::AllRows,
                     Plan::Overflow => GroupDecision::FullScan,
-                    Plan::Conjs(conjs) if conjs.is_empty() => GroupDecision::Skip,
+                    Plan::Conjs(conjs) if conjs.is_empty() => {
+                        GroupDecision::Skip { stamp_rejected: 0 }
+                    }
                     Plan::Conjs(conjs) => {
                         let mut capsules = std::collections::HashSet::new();
                         let mut stamp_rejected = 0usize;
@@ -160,7 +296,7 @@ impl Archive {
                         if capsules.is_empty() {
                             // Every requirement died on a stamp: the group
                             // is skipped without touching compressed data.
-                            GroupDecision::Skip
+                            GroupDecision::Skip { stamp_rejected }
                         } else {
                             GroupDecision::Scan {
                                 conjunctions: conjs.len(),
@@ -239,10 +375,13 @@ impl Archive {
                 ..
             } => {
                 // Same could-match test the executor runs: pattern structure
-                // plus the per-sub-variable stamps.
-                let could = patterns.iter().any(|p| {
+                // plus the per-sub-variable stamps. Rejections are counted
+                // per dictionary pattern region, exactly as the executor
+                // does, so a drift report can bound actual by predicted.
+                let mut could = false;
+                for p in patterns {
                     if part.len() as u32 > p.max_len {
-                        return false;
+                        continue;
                     }
                     let segs: Vec<SegRef<'_>> = p
                         .pattern
@@ -254,15 +393,22 @@ impl Archive {
                         })
                         .collect();
                     match plan(&segs, part, Mode::Contains) {
-                        Plan::All | Plan::Overflow => true,
-                        Plan::Conjs(conjs) => conjs.iter().any(|conj| {
-                            conj.iter().all(|req| {
-                                p.pattern.sub_stamps[req.var]
-                                    .admits(&part[req.lo..req.hi])
-                            })
-                        }),
+                        Plan::All | Plan::Overflow => could = true,
+                        Plan::Conjs(conjs) => {
+                            let ok = conjs.iter().any(|conj| {
+                                conj.iter().all(|req| {
+                                    p.pattern.sub_stamps[req.var]
+                                        .admits(&part[req.lo..req.hi])
+                                })
+                            });
+                            if ok {
+                                could = true;
+                            } else if !conjs.is_empty() {
+                                *stamp_rejected += 1;
+                            }
+                        }
                     }
-                });
+                }
                 if could {
                     capsules.insert(*dict_cap);
                     capsules.insert(*index_cap);
@@ -296,11 +442,7 @@ mod tests {
     fn static_hit_explains_as_all() {
         let a = archive();
         let ex = a.explain("crash").unwrap();
-        assert!(ex
-            .searches[0]
-            .decisions
-            .iter()
-            .any(|d| *d == GroupDecision::AllRows));
+        assert!(ex.searches[0].decisions.contains(&GroupDecision::AllRows));
     }
 
     #[test]
@@ -336,6 +478,39 @@ mod tests {
         let text = a.explain("crash and 0040").unwrap().to_string();
         assert!(text.contains("explain: crash and 0040"));
         assert!(text.contains("groups dead"));
+    }
+
+    #[test]
+    fn drift_bounds_hold_for_literal_queries() {
+        let a = archive();
+        for q in ["crash", "0040", "crash and 0040", "zzz-never", "fine or bad"] {
+            let ex = a.explain(q).unwrap();
+            let result = a.query(q).unwrap();
+            let drift = ex.drift(&result.stats);
+            assert!(!drift.has_wildcards);
+            assert!(drift.consistent(), "query `{q}`: {drift}");
+            assert!(
+                drift.actual_groups_skipped <= drift.predicted_skips,
+                "query `{q}`: {drift}"
+            );
+            assert!(
+                drift.actual_stamp_rejections <= drift.predicted_stamp_rejections,
+                "query `{q}`: {drift}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_is_vacuous_for_wildcards() {
+        let a = archive();
+        let ex = a.explain("jo*b").unwrap();
+        let result = a.query("jo*b").unwrap();
+        let drift = ex.drift(&result.stats);
+        assert!(drift.has_wildcards);
+        assert!(drift.consistent());
+        let text = drift.to_string();
+        assert!(text.contains("plan vs execution"));
+        assert!(text.contains("wildcard"));
     }
 
     #[test]

@@ -302,7 +302,7 @@ fn sub_m(ctx: &mut Ctx<'_>) -> Vec<Conj> {
                     if overlap >= kw.len() {
                         continue; // Would be fully inside; handled above.
                     }
-                    if &c[o..] == &kw[..overlap] {
+                    if c[o..] == kw[..overlap] {
                         out.extend(prefix_m(ctx, i + 1, overlap));
                     }
                     if ctx.overflow {
@@ -337,6 +337,7 @@ mod tests {
 
     /// Oracle: does `kw` relate to any concatenation of assignments drawn
     /// from `choices` per var under `mode`? Exhaustive over tiny alphabets.
+    #[allow(clippy::needless_range_loop)] // `r` indexes the inner per-var lists
     fn oracle(segs: &[SegRef<'_>], choices: &[&[&[u8]]], kw: &[u8], mode: Mode) -> Vec<usize> {
         // Each "row" = one assignment per variable (same row index in each
         // variable's choice list).
@@ -364,6 +365,7 @@ mod tests {
     }
 
     /// Evaluates a plan against the same assignment table.
+    #[allow(clippy::needless_range_loop)] // `r` indexes the inner per-var lists
     fn eval_plan(plan: &Plan, choices: &[&[&[u8]]], kw: &[u8]) -> Vec<usize> {
         let rows = choices.first().map(|c| c.len()).unwrap_or(1);
         match plan {

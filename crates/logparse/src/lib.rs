@@ -186,6 +186,11 @@ impl Parser {
             }
             total_lines += 1;
         }
+        telemetry::counter!("parse.lines", total_lines as u64);
+        telemetry::counter!(
+            "parse.catch_all_lines",
+            groups[CATCH_ALL as usize].rows() as u64
+        );
         ParsedBlock {
             templates: self.templates.clone(),
             groups,

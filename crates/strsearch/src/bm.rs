@@ -51,9 +51,9 @@ impl BoyerMoore {
         }
         // Pass 2: fill remaining shifts from the active border width.
         j = border[0];
-        for k in 0..=m {
-            if shift[k] == 0 {
-                shift[k] = j;
+        for (k, s) in shift.iter_mut().enumerate() {
+            if *s == 0 {
+                *s = j;
             }
             if k == j {
                 j = border[j];

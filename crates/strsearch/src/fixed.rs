@@ -41,7 +41,7 @@ impl<'a> FixedRows<'a> {
     pub fn new(buf: &'a [u8], width: usize, pad: u8) -> Self {
         if width > 0 {
             assert!(
-                buf.len() % width == 0,
+                buf.len().is_multiple_of(width),
                 "buffer length {} not a multiple of width {width}",
                 buf.len()
             );
@@ -53,11 +53,7 @@ impl<'a> FixedRows<'a> {
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        if self.width == 0 {
-            0
-        } else {
-            self.buf.len() / self.width
-        }
+        self.buf.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// The row width in bytes.

@@ -1,0 +1,278 @@
+//! Snapshot exporters: aligned text for terminals, JSON for machines.
+//!
+//! Both render a [`Snapshot`]; neither touches the live registry, so an
+//! export is internally consistent with the snapshot it was taken from.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+
+/// Renders a snapshot as aligned, human-readable text.
+///
+/// Histograms print count, total, mean, p50/p99, and max; span histograms
+/// (recorded in nanoseconds) are detected by their `/`-joined names being
+/// conventional but are formatted the same way — callers that want
+/// duration formatting should use the `ns` columns directly.
+pub fn export_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = name_width(snap.counters.iter().map(|(n, _)| n.as_str()));
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let width = name_width(snap.gauges.iter().map(|(n, _)| n.as_str()));
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let width = name_width(snap.histograms.iter().map(|(n, _)| n.as_str()));
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {name:<width$}  count={} sum={} mean={:.1} p50={} p99={} max={}\n",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max,
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn name_width<'a>(names: impl Iterator<Item = &'a str>) -> usize {
+    names.map(str::len).max().unwrap_or(0)
+}
+
+/// Renders a snapshot as a JSON object:
+///
+/// ```json
+/// {
+///   "counters": {"parse.lines": 120},
+///   "gauges": {},
+///   "histograms": {
+///     "query/plan": {"count": 1, "sum": 53200, "min": 53200,
+///                     "max": 53200, "mean": 53200.0,
+///                     "p50": 65535, "p90": 65535, "p99": 65535}
+///   }
+/// }
+/// ```
+///
+/// Hand-rolled (no serialization dependency); names are JSON-escaped.
+pub fn export_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    push_entries(&mut out, &snap.counters, |out, v| {
+        out.push_str(&v.to_string());
+    });
+    out.push_str("},\n  \"gauges\": {");
+    push_entries(&mut out, &snap.gauges, |out, v| {
+        out.push_str(&v.to_string());
+    });
+    out.push_str("},\n  \"histograms\": {");
+    push_entries(&mut out, &snap.histograms, |out, h| {
+        push_histogram_json(out, h);
+    });
+    out.push_str("}\n}\n");
+    out
+}
+
+fn push_entries<T>(out: &mut String, entries: &[(String, T)], mut value: impl FnMut(&mut String, &T)) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, name);
+        out.push_str(": ");
+        value(out, v);
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_histogram_json(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99),
+    ));
+}
+
+/// Renders the per-stage trace view of a snapshot: the span tree (each
+/// histogram name is a `/`-joined path) with total milliseconds, call
+/// counts, and percent-of-parent, followed by the non-zero counters.
+///
+/// This is the format behind the CLI's `--trace` flag; tools that want the
+/// machine-readable equivalent use [`export_json`] on the same snapshot.
+pub fn export_trace_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.histograms.is_empty() {
+        out.push_str("stages:\n");
+        // Sorted names put children directly under their parent prefix.
+        let labels: Vec<String> = snap
+            .histograms
+            .iter()
+            .map(|(name, _)| {
+                let depth = name.matches('/').count();
+                let leaf = name.rsplit('/').next().unwrap_or(name);
+                format!("{}{leaf}", "  ".repeat(depth))
+            })
+            .collect();
+        let width = labels.iter().map(String::len).max().unwrap_or(0);
+        for ((name, h), label) in snap.histograms.iter().zip(&labels) {
+            let ms = h.sum as f64 / 1e6;
+            let pct = parent_sum(snap, name)
+                .filter(|&p| p > 0)
+                .map(|p| format!("  {:5.1}%", h.sum as f64 * 100.0 / p as f64))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  {label:<width$}  {ms:>10.3} ms  x{:<6}{pct}\n",
+                h.count
+            ));
+        }
+    }
+    let live: Vec<&(String, u64)> = snap.counters.iter().filter(|&&(_, v)| v > 0).collect();
+    if !live.is_empty() {
+        out.push_str("counters:\n");
+        let width = live.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in live {
+            out.push_str(&format!("  {name:<width$}  {value}\n"));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no stages recorded — telemetry disabled?)\n");
+    }
+    out
+}
+
+/// Sum of the parent span's histogram, if `name` has a parent.
+fn parent_sum(snap: &Snapshot, name: &str) -> Option<u64> {
+    let (parent, _) = name.rsplit_once('/')?;
+    snap.histogram(parent).map(|h| h.sum)
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample_snapshot() -> Snapshot {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(2000);
+        Snapshot {
+            counters: vec![("parse.lines".into(), 120)],
+            gauges: vec![("cache.bytes".into(), -5)],
+            histograms: vec![("query/plan".into(), h.snapshot())],
+        }
+    }
+
+    #[test]
+    fn text_lists_all_sections() {
+        let text = export_text(&sample_snapshot());
+        assert!(text.contains("counters:"));
+        assert!(text.contains("parse.lines"));
+        assert!(text.contains("120"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("cache.bytes"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("query/plan"));
+        assert!(text.contains("count=2"));
+    }
+
+    #[test]
+    fn empty_snapshot_text() {
+        assert_eq!(export_text(&Snapshot::default()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = export_json(&sample_snapshot());
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"parse.lines\": 120"));
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"cache.bytes\": -5"));
+        assert!(json.contains("\"query/plan\": {\"count\": 2"));
+        // Balanced braces (coarse structural check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+    }
+
+    #[test]
+    fn trace_text_shows_stage_tree_and_percentages() {
+        let hist = |sum: u64, count: u64| {
+            let h = Histogram::new();
+            for _ in 0..count {
+                h.record(sum / count);
+            }
+            h.snapshot()
+        };
+        let snap = Snapshot {
+            counters: vec![
+                ("query.stamp_rejections".into(), 4),
+                ("query.zero".into(), 0),
+            ],
+            gauges: vec![],
+            histograms: vec![
+                ("query".into(), hist(2_000_000, 1)),
+                ("query/plan".into(), hist(500_000, 2)),
+            ],
+        };
+        let text = export_trace_text(&snap);
+        assert!(text.contains("stages:"), "{text}");
+        assert!(text.contains("query"), "{text}");
+        // Child indented under parent with a percent-of-parent column.
+        assert!(text.contains("  plan"), "{text}");
+        assert!(text.contains("25.0%"), "{text}");
+        assert!(text.contains("x2"), "{text}");
+        // Zero counters are suppressed, live ones shown.
+        assert!(text.contains("query.stamp_rejections"), "{text}");
+        assert!(!text.contains("query.zero"), "{text}");
+        assert!(
+            export_trace_text(&Snapshot::default()).contains("no stages recorded")
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,196 @@
+//! The process-wide metric registry.
+//!
+//! Metrics are created on first use and leaked ([`Box::leak`]) so handles
+//! are `&'static` and recording never takes a lock; the name maps behind
+//! mutexes are only touched on first resolution of a name and when taking
+//! a [`Snapshot`].
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<HashMap<String, &'static Counter>>,
+    gauges: Mutex<HashMap<String, &'static Gauge>>,
+    histograms: Mutex<HashMap<String, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn intern<T>(map: &Mutex<HashMap<String, &'static T>>, name: &str, make: fn() -> T) -> &'static T {
+    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&m) = map.get(name) {
+        return m;
+    }
+    let leaked: &'static T = Box::leak(Box::new(make()));
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+/// Resolves (creating on first use) the counter with the given name.
+pub fn counter(name: &str) -> &'static Counter {
+    intern(&registry().counters, name, Counter::new)
+}
+
+/// Resolves (creating on first use) the gauge with the given name.
+pub fn gauge(name: &str) -> &'static Gauge {
+    intern(&registry().gauges, name, Gauge::new)
+}
+
+/// Resolves (creating on first use) the histogram with the given name.
+pub fn histogram(name: &str) -> &'static Histogram {
+    intern(&registry().histograms, name, Histogram::new)
+}
+
+/// Zeroes every registered metric (handles stay valid).
+///
+/// Used by the CLI between pipeline runs and by tests; concurrent
+/// recorders may land updates after the reset.
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.lock().unwrap_or_else(|e| e.into_inner()).values() {
+        c.reset();
+    }
+    for g in reg.gauges.lock().unwrap_or_else(|e| e.into_inner()).values() {
+        g.reset();
+    }
+    for h in reg
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+    {
+        h.reset();
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` for every histogram (span paths live here).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of a counter, 0 if it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Value of a gauge, 0 if it was never touched.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// State of a histogram, `None` if it was never touched.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Histograms whose name starts with `prefix` (e.g. `"query"` selects
+    /// the whole query span subtree).
+    pub fn histograms_under<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a (String, HistogramSnapshot)> {
+        self.histograms.iter().filter(move |(n, _)| {
+            n == prefix || (n.starts_with(prefix) && n.as_bytes().get(prefix.len()) == Some(&b'/'))
+        })
+    }
+
+    /// True when no metric holds any data.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&(_, v)| v == 0)
+            && self.gauges.iter().all(|&(_, v)| v == 0)
+            && self.histograms.iter().all(|(_, h)| h.count == 0)
+    }
+}
+
+/// Captures the current state of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(n, c)| (n.clone(), c.get()))
+        .collect();
+    let mut gauges: Vec<(String, i64)> = reg
+        .gauges
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(n, g)| (n.clone(), g.get()))
+        .collect();
+    let mut histograms: Vec<(String, HistogramSnapshot)> = reg
+        .histograms
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(n, h)| (n.clone(), h.snapshot()))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_handle() {
+        let a = counter("registry.test.same") as *const Counter;
+        let b = counter("registry.test.same") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_reads_and_prefix_filter() {
+        counter("registry.test.snap").add(7);
+        gauge("registry.test.gauge").set(-3);
+        histogram("registry.test.tree/a").record(1);
+        histogram("registry.test.tree/a/b").record(2);
+        histogram("registry.test.treeish").record(3);
+        let snap = snapshot();
+        assert_eq!(snap.counter("registry.test.snap"), 7);
+        assert_eq!(snap.gauge("registry.test.gauge"), -3);
+        assert_eq!(snap.counter("registry.test.absent"), 0);
+        assert!(snap.histogram("registry.test.absent").is_none());
+        let under: Vec<&str> = snap
+            .histograms_under("registry.test.tree/a")
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(under, ["registry.test.tree/a", "registry.test.tree/a/b"]);
+        // Names sorted.
+        let mut sorted = snap.counters.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(snap.counters, sorted);
+    }
+}

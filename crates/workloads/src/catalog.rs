@@ -48,6 +48,7 @@ fn lvl() -> crate::gen::Part {
 }
 
 /// The 21 production-style logs.
+#[allow(clippy::vec_init_then_push)] // one push per log keeps the catalog diffable
 pub fn production() -> Vec<LogSpec> {
     let mut v = Vec::new();
 
@@ -698,6 +699,7 @@ pub fn production() -> Vec<LogSpec> {
 }
 
 /// The 16 public-style logs.
+#[allow(clippy::vec_init_then_push)] // one push per log keeps the catalog diffable
 pub fn public() -> Vec<LogSpec> {
     let mut v = Vec::new();
 

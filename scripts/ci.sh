@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI gate: release build, full test suite, and clippy with warnings denied.
+# Run from anywhere; operates on the repository this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

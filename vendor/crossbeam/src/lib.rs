@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate: only the scoped-thread API
+//! this workspace uses, implemented on top of `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to [`scope`]'s closure and to spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; joining returns the closure's value.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing the environment can
+    /// be spawned; all threads are joined before `scope` returns. Returns
+    /// `Err` if the closure (or an unjoined child) panicked, matching the
+    /// crossbeam signature.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let counter = &counter;
+                    scope.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<usize>()
+        })
+        .expect("scope ok");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(total, (0..8).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn panic_surfaces_as_err() {
+        let r = crate::thread::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

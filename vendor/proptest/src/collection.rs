@@ -1,0 +1,80 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // Exclusive.
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lengths_respect_range() {
+        let mut rng = TestRng::deterministic("vec_lengths");
+        let s = vec(any::<u8>(), 2..5);
+        let mut lens = [0usize; 8];
+        for _ in 0..500 {
+            lens[s.sample(&mut rng).len()] += 1;
+        }
+        assert_eq!(lens[0] + lens[1], 0);
+        assert!(lens[2] > 0 && lens[3] > 0 && lens[4] > 0);
+        assert_eq!(lens[5] + lens[6] + lens[7], 0);
+    }
+
+    #[test]
+    fn exact_size() {
+        let mut rng = TestRng::deterministic("vec_exact");
+        assert_eq!(vec(any::<u8>(), 7).sample(&mut rng).len(), 7);
+    }
+}

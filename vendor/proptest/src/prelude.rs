@@ -1,0 +1,5 @@
+//! The proptest prelude: everything tests conventionally import.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Map, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,113 @@
+//! String generation from a character-class regex subset.
+//!
+//! Supports patterns of the form used by this workspace's tests: sequences
+//! of atoms, each a literal character or a character class `[...]`
+//! (with `a-z`-style ranges and literal members), optionally followed by a
+//! `{n}` or `{lo,hi}` repetition. Everything else is treated literally.
+
+use crate::test_runner::TestRng;
+
+/// Samples one string matching the pattern subset.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let (choices, next) = if chars[i] == '[' {
+            let (class, after) = parse_class(&chars, i + 1);
+            (class, after)
+        } else {
+            (vec![chars[i]], i + 1)
+        };
+        let (lo, hi, after_rep) = parse_repeat(&chars, next);
+        i = after_rep;
+        let span = (hi - lo + 1) as u64;
+        let n = lo + rng.below(span) as usize;
+        for _ in 0..n {
+            let pick = rng.below(choices.len() as u64) as usize;
+            out.push(choices[pick]);
+        }
+    }
+    out
+}
+
+/// Parses a character class body starting just past `[`; returns the member
+/// characters and the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut members = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        // `x-y` range (with `-` neither first nor before `]`).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in a..=b {
+                if let Some(c) = char::from_u32(c) {
+                    members.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            members.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!members.is_empty(), "empty character class in pattern");
+    (members, i + 1) // Skip `]`.
+}
+
+/// Parses an optional `{n}` / `{lo,hi}` at `i`; returns `(lo, hi, next)`.
+fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let mut j = i + 1;
+    let mut lo = 0usize;
+    while j < chars.len() && chars[j].is_ascii_digit() {
+        lo = lo * 10 + chars[j] as usize - '0' as usize;
+        j += 1;
+    }
+    let mut hi = lo;
+    if j < chars.len() && chars[j] == ',' {
+        j += 1;
+        hi = 0;
+        while j < chars.len() && chars[j].is_ascii_digit() {
+            hi = hi * 10 + chars[j] as usize - '0' as usize;
+            j += 1;
+        }
+    }
+    assert!(j < chars.len() && chars[j] == '}', "unterminated repetition");
+    assert!(lo <= hi, "bad repetition bounds");
+    (lo, hi, j + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_repeats() {
+        let mut rng = TestRng::deterministic("string_pattern");
+        for _ in 0..500 {
+            let s = sample_pattern("[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn literals_and_stars() {
+        let mut rng = TestRng::deterministic("string_literal");
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+        let s = sample_pattern("[ab*]{0,6}", &mut rng);
+        assert!(s.len() <= 6);
+        assert!(s.chars().all(|c| matches!(c, 'a' | 'b' | '*')));
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let mut rng = TestRng::deterministic("string_exact");
+        assert_eq!(sample_pattern("x{3}", &mut rng), "xxx");
+        let s = sample_pattern("[0-9]{6}", &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.chars().all(|c| c.is_ascii_digit()));
+    }
+}

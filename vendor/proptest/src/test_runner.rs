@@ -1,0 +1,103 @@
+//! Test-runner support types: configuration, RNG, and case errors.
+
+use std::fmt;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property case (carried out of the test body by `prop_assert*`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic generator driving all strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A deterministic generator whose stream depends only on `label`
+    /// (typically the test function name), so every test has an independent
+    /// but reproducible stream.
+    pub fn deterministic(label: &str) -> Self {
+        let mut seed = 0xcbf29ce484222325u64; // FNV-1a over the label.
+        for b in label.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_give_distinct_streams() {
+        let a = TestRng::deterministic("a").next_u64();
+        let b = TestRng::deterministic("b").next_u64();
+        assert_ne!(a, b);
+        assert_eq!(a, TestRng::deterministic("a").next_u64());
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut rng = TestRng::deterministic("below");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+}
