@@ -1,0 +1,186 @@
+//! Thread-scaling benchmark: compresses one workload and runs a full-scan
+//! plus a selective query at each requested thread count, then reports the
+//! speedup relative to the serial run.
+//!
+//! ```text
+//! parallel_scaling [--threads 1,2,4] [--log "Log C"] [--bytes N] [--out BENCH_parallel.json]
+//! ```
+//!
+//! The output JSON holds one entry per thread count — wall times, computed
+//! speedups, and the full per-stage telemetry report from
+//! [`bench::per_stage_json`] — so regressions in either scaling or stage
+//! breakdown are visible from one file.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    threads: Vec<usize>,
+    log: String,
+    bytes: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: vec![1, 2, 4],
+        log: "Log C".to_string(),
+        bytes: 4 << 20,
+        out: "BENCH_parallel.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--threads" => {
+                args.threads = value(i)
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("thread count"))
+                    .collect();
+                i += 2;
+            }
+            "--log" => {
+                args.log = value(i);
+                i += 2;
+            }
+            "--bytes" => {
+                args.bytes = value(i).parse().expect("byte count");
+                i += 2;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 2;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+struct Run {
+    threads: usize,
+    compress_secs: f64,
+    compress_mb_s: f64,
+    scan_secs: f64,
+    scan_hits: usize,
+    selective_secs: f64,
+    selective_hits: usize,
+    per_stage: String,
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = workloads::by_name(&args.log)
+        .unwrap_or_else(|| panic!("unknown log `{}`", args.log));
+    let raw = spec.generate(42, args.bytes);
+    // A full scan: the wildcard forces verification of every candidate row
+    // by reconstruction, touching each group (see query exec §5).
+    let scan_query = "wor*er";
+    let selective_query = spec.queries[0].as_str();
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &threads in &args.threads {
+        telemetry::set_enabled(true);
+        telemetry::reset();
+        let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig {
+            threads,
+            ..loggrep::LogGrepConfig::default()
+        });
+
+        let t0 = Instant::now();
+        let boxed = engine.compress(&raw).unwrap();
+        let compress_secs = t0.elapsed().as_secs_f64();
+
+        let archive = engine.open(boxed);
+        // Fresh archives per query keep the query cache out of the timing;
+        // best-of-3 damps scheduler noise.
+        let time_query = |q: &str| -> (f64, usize) {
+            let mut best = f64::INFINITY;
+            let mut hits = 0;
+            for _ in 0..3 {
+                archive.clear_caches();
+                let t = Instant::now();
+                let r = archive.query(q).unwrap();
+                best = best.min(t.elapsed().as_secs_f64());
+                hits = r.lines.len();
+            }
+            (best, hits)
+        };
+        let (scan_secs, scan_hits) = time_query(scan_query);
+        let (selective_secs, selective_hits) = time_query(selective_query);
+
+        let per_stage = bench::per_stage_json(&telemetry::snapshot());
+        telemetry::set_enabled(false);
+
+        eprintln!(
+            "threads {threads}: compress {:.3}s ({:.1} MB/s), scan {:.4}s ({scan_hits} hits), \
+             selective {:.4}s ({selective_hits} hits)",
+            compress_secs,
+            raw.len() as f64 / 1e6 / compress_secs,
+            scan_secs,
+            selective_secs,
+        );
+        runs.push(Run {
+            threads,
+            compress_secs,
+            compress_mb_s: raw.len() as f64 / 1e6 / compress_secs,
+            scan_secs,
+            scan_hits,
+            selective_secs,
+            selective_hits,
+            per_stage,
+        });
+    }
+
+    let serial = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .unwrap_or(&runs[0]);
+    let (serial_compress, serial_scan, serial_selective) =
+        (serial.compress_secs, serial.scan_secs, serial.selective_secs);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "\"log\": \"{}\",", args.log);
+    // Speedups only materialize up to the host's core count — record it so
+    // flat curves on small machines read as environment, not regression.
+    let _ = writeln!(json, "\"host_threads\": {},", pool::default_threads());
+    let _ = writeln!(json, "\"raw_bytes\": {},", raw.len());
+    let _ = writeln!(json, "\"scan_query\": \"{scan_query}\",");
+    let _ = writeln!(
+        json,
+        "\"selective_query\": \"{}\",",
+        selective_query.replace('"', "\\\"")
+    );
+    let _ = writeln!(json, "\"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "{{\"threads\": {}, \"compress_secs\": {:.6}, \"compress_mb_s\": {:.2}, \
+             \"compress_speedup\": {:.3}, \"scan_secs\": {:.6}, \"scan_hits\": {}, \
+             \"scan_speedup\": {:.3}, \"selective_secs\": {:.6}, \"selective_hits\": {}, \
+             \"selective_speedup\": {:.3},\n\"per_stage\": {}}}{comma}",
+            r.threads,
+            r.compress_secs,
+            r.compress_mb_s,
+            serial_compress / r.compress_secs,
+            r.scan_secs,
+            r.scan_hits,
+            serial_scan / r.scan_secs,
+            r.selective_secs,
+            r.selective_hits,
+            serial_selective / r.selective_secs,
+            r.per_stage.trim_end(),
+        );
+    }
+    let _ = writeln!(json, "]\n}}");
+
+    std::fs::write(&args.out, &json).expect("write output");
+    eprintln!("wrote {}", args.out);
+}

@@ -146,34 +146,33 @@ fn two<'a>(args: &'a [String], usage: &str) -> Result<[&'a str; 2], String> {
 }
 
 /// Compresses `input` into a multi-block `.lgb` archive, one CapsuleBox per
-/// 64 MiB of raw log, blocks compressed in parallel with crossbeam threads.
+/// 64 MiB of raw log, blocks compressed in parallel on the worker pool.
+///
+/// A failed block aborts the whole run with that block's error — nothing is
+/// written to `output` (previously a failure became an empty block and a
+/// corrupt archive).
 pub fn compress_file(input: &str, output: &str) -> Result<(), String> {
     let raw = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
     let blocks = split_blocks(&raw);
-    let engine = LogGrep::new(LogGrepConfig::default());
 
-    // Compress blocks in parallel, preserving order.
-    let mut boxes: Vec<Option<Vec<u8>>> = vec![None; blocks.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, block) in blocks.iter().enumerate() {
-            let engine = &engine;
-            handles.push((i, scope.spawn(move |_| engine.compress(block).map(|b| b.to_bytes()))));
-        }
-        for (i, h) in handles {
-            boxes[i] = Some(h.join().expect("compression thread panicked").map_err(|e| e.to_string()).unwrap_or_default());
-        }
-    })
-    .map_err(|_| "compression thread panicked".to_string())?;
+    // One pool level is enough: with several blocks, parallelize across
+    // blocks and keep each engine serial; a single block instead keeps the
+    // pool for the engine's internal capsule/extract fan-out.
+    let engine_threads = if blocks.len() > 1 { 1 } else { 0 };
+    let engine = LogGrep::new(LogGrepConfig {
+        threads: engine_threads,
+        ..LogGrepConfig::default()
+    });
+    let block_pool = pool::Pool::from_env();
+    let boxes = block_pool
+        .try_map(&blocks, |_, block| engine.compress(block).map(|b| b.to_bytes()))
+        .map_err(|e| e.to_string())?;
 
     let mut out = Vec::new();
     out.extend_from_slice(FILE_MAGIC);
-    for b in boxes.into_iter().flatten() {
-        if b.is_empty() {
-            return Err("a block failed to compress".to_string());
-        }
+    for b in &boxes {
         out.extend_from_slice(&(b.len() as u64).to_le_bytes());
-        out.extend_from_slice(&b);
+        out.extend_from_slice(b);
     }
     std::fs::write(output, &out).map_err(|e| format!("write {output}: {e}"))?;
     println!(

@@ -265,6 +265,9 @@ pub struct Archive {
     pub(crate) cache: crate::query::cache::QueryCache,
     pub(crate) use_query_cache: bool,
     pub(crate) use_stamps: bool,
+    /// Query worker-pool size; `0` resolves through `LOGGREP_THREADS` /
+    /// `available_parallelism`. Results are identical for every value.
+    pub(crate) threads: usize,
     /// Lazily built map: line number → (group id, group row).
     line_index: std::sync::OnceLock<Vec<(u32, u32)>>,
 }
@@ -282,6 +285,7 @@ impl Archive {
             cache: crate::query::cache::QueryCache::new(),
             use_query_cache: true,
             use_stamps: true,
+            threads: 0,
             line_index: std::sync::OnceLock::new(),
         }
     }
@@ -307,6 +311,22 @@ impl Archive {
     /// Disables/enables stamp filtering ("w/o stamp" ablation).
     pub fn set_stamps(&mut self, on: bool) {
         self.use_stamps = on;
+    }
+
+    /// Sets the query worker-pool size (`0` = auto). Query results and
+    /// statistics are identical for every value; only latency changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Caps the query cache at `entries` entries (LRU; `0` = unbounded).
+    pub fn set_query_cache_entries(&mut self, entries: usize) {
+        self.cache.set_capacity(entries);
+    }
+
+    /// Drops the query-result cache, so benchmarks can re-time a query cold.
+    pub fn clear_caches(&self) {
+        self.cache.clear();
     }
 
     /// The underlying box.

@@ -45,6 +45,13 @@ pub struct LogGrepConfig {
     pub codec_name: String,
     /// Seed for the randomized choices in tree expansion (reproducibility).
     pub seed: u64,
+    /// Worker-pool size for parallel capsule encoding and query execution;
+    /// `0` (the default) resolves through `LOGGREP_THREADS` /
+    /// `available_parallelism`. Output is byte-identical for every value.
+    pub threads: usize,
+    /// Maximum entries the per-archive query cache holds before LRU
+    /// eviction; `0` means unbounded.
+    pub query_cache_entries: usize,
 }
 
 impl Default for LogGrepConfig {
@@ -65,6 +72,8 @@ impl Default for LogGrepConfig {
             use_query_cache: true,
             codec_name: "lzma-lite".to_string(),
             seed: 0x1095_5e23,
+            threads: 0,
+            query_cache_entries: 256,
         }
     }
 }
@@ -133,6 +142,13 @@ mod tests {
         assert_eq!(c.delimiter_attempts, 3);
         assert!(c.use_runtime_real && c.use_runtime_nominal);
         assert!(c.use_stamps && c.fixed_length && c.use_query_cache);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_auto_with_bounded_cache() {
+        let c = LogGrepConfig::default();
+        assert_eq!(c.threads, 0); // 0 = LOGGREP_THREADS / available_parallelism.
+        assert!(c.query_cache_entries > 0);
     }
 
     #[test]

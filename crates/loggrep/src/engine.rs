@@ -10,6 +10,7 @@ use crate::extract::{extract_vector, Extraction};
 use crate::stats::ArchiveStats;
 use crate::vector::VectorMeta;
 use logparse::Parser;
+use pool::Pool;
 use std::time::Instant;
 
 /// The LogGrep compressor.
@@ -28,11 +29,26 @@ pub struct LogGrep {
     config: LogGrepConfig,
 }
 
-/// Accumulates Capsules while assembling a box.
+/// One pending Capsule: its payload plus the metadata known at submission.
+struct CapsuleJob {
+    payload: Vec<u8>,
+    layout: Layout,
+    stamp: Stamp,
+    rows: u32,
+}
+
+/// Accumulates Capsule *jobs* while assembling a box.
+///
+/// `push` only records the payload and assigns the id — the expensive codec
+/// work happens in [`Packer::finish`], which fans the pure
+/// [`encode_capsule`] stage out across the worker pool and then commits the
+/// results **in submission order**. Capsule ids, metadata order, and blob
+/// layout therefore depend only on the submission sequence, never on
+/// scheduling: parallel and serial compression produce byte-identical
+/// archives.
 struct Packer<'a> {
     config: &'a LogGrepConfig,
-    metas: Vec<CapsuleMeta>,
-    blob: Vec<u8>,
+    jobs: Vec<CapsuleJob>,
     main_codec_id: u8,
 }
 
@@ -40,31 +56,22 @@ impl<'a> Packer<'a> {
     fn new(config: &'a LogGrepConfig) -> Result<Self> {
         Ok(Self {
             config,
-            metas: Vec::new(),
-            blob: Vec::new(),
+            jobs: Vec::new(),
             main_codec_id: codec_id_by_name(&config.codec_name)?,
         })
     }
 
-    /// Compresses and appends one Capsule payload; returns its id.
-    fn push(&mut self, payload: &[u8], layout: Layout, stamp: Stamp, rows: u32) -> u32 {
-        let _span = telemetry::span("encode");
-        // Tiny payloads skip the heavy codec: headers would dominate.
-        let codec_id = if payload.len() < 64 { 0 } else { self.main_codec_id };
-        let codec = crate::capsule::codec_by_id(codec_id).expect("known codec id");
-        let compressed = codec.compress_tracked(payload);
+    /// Records one Capsule payload for encoding; returns its id.
+    fn push(&mut self, payload: Vec<u8>, layout: Layout, stamp: Stamp, rows: u32) -> u32 {
         telemetry::counter!("pack.capsules", 1);
-        let meta = CapsuleMeta {
+        let id = self.jobs.len() as u32;
+        self.jobs.push(CapsuleJob {
+            payload,
             layout,
-            rows,
             stamp,
-            offset: self.blob.len() as u64,
-            clen: compressed.len() as u64,
-            codec: codec_id,
-        };
-        self.blob.extend_from_slice(&compressed);
-        self.metas.push(meta);
-        (self.metas.len() - 1) as u32
+            rows,
+        });
+        id
     }
 
     /// Builds a Capsule from values (padding per the config) and returns
@@ -74,7 +81,7 @@ impl<'a> Packer<'a> {
         I: IntoIterator<Item = &'v [u8]> + Clone,
     {
         let (payload, layout, stamp, rows) = build_payload(values, self.config.fixed_length);
-        self.push(&payload, layout, stamp, rows)
+        self.push(payload, layout, stamp, rows)
     }
 
     /// Builds the outlier Capsule: always delimited (outliers have wildly
@@ -84,8 +91,48 @@ impl<'a> Packer<'a> {
         I: IntoIterator<Item = &'v [u8]> + Clone,
     {
         let (payload, layout, stamp, rows) = build_payload(values, false);
-        self.push(&payload, layout, stamp, rows)
+        self.push(payload, layout, stamp, rows)
     }
+
+    /// Number of Capsules recorded so far.
+    fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Encodes all recorded Capsules (fanned out across `pool`) and commits
+    /// them sequentially in submission order.
+    fn finish(self, pool: &Pool) -> (Vec<CapsuleMeta>, Vec<u8>) {
+        let main_codec_id = self.main_codec_id;
+        let encoded = pool.map(&self.jobs, |_, job| {
+            encode_capsule(&job.payload, main_codec_id)
+        });
+        let mut metas = Vec::with_capacity(self.jobs.len());
+        let mut blob = Vec::new();
+        for (job, (compressed, codec_id)) in self.jobs.iter().zip(&encoded) {
+            metas.push(CapsuleMeta {
+                layout: job.layout,
+                rows: job.rows,
+                stamp: job.stamp,
+                offset: blob.len() as u64,
+                clen: compressed.len() as u64,
+                codec: *codec_id,
+            });
+            blob.extend_from_slice(compressed);
+        }
+        (metas, blob)
+    }
+}
+
+/// The pure encode stage: compresses one Capsule payload, returning the
+/// compressed bytes and the codec id actually used. Safe to run on any
+/// worker thread — it touches no shared state beyond telemetry.
+fn encode_capsule(payload: &[u8], main_codec_id: u8) -> (Vec<u8>, u8) {
+    let _ctx = telemetry::context("compress");
+    let _span = telemetry::span("encode");
+    // Tiny payloads skip the heavy codec: headers would dominate.
+    let codec_id = if payload.len() < 64 { 0 } else { main_codec_id };
+    let codec = crate::capsule::codec_by_id(codec_id).expect("known codec id");
+    (codec.compress_tracked(payload), codec_id)
 }
 
 impl LogGrep {
@@ -132,9 +179,33 @@ impl LogGrep {
             ..Default::default()
         };
 
+        let pool = Pool::new(self.config.threads);
+
+        // Extractor (§4.1): every variable vector is extracted independently
+        // — the outcome depends only on `(values, config, vector_id)` — so
+        // the stage fans out across the pool in deterministic order.
+        let mut extract_jobs: Vec<(usize, usize, u64)> = Vec::new();
+        let mut vector_id = 0u64;
+        for (tid, group) in parsed.groups.iter().enumerate() {
+            if group.rows() == 0 {
+                continue;
+            }
+            for slot in 0..group.vars.len() {
+                vector_id += 1;
+                extract_jobs.push((tid, slot, vector_id));
+            }
+        }
+        let extractions = pool.map(&extract_jobs, |_, &(tid, slot, vid)| {
+            let _ctx = telemetry::context("compress");
+            let _span = telemetry::span("extract");
+            extract_vector(&parsed.groups[tid].vars[slot], &self.config, vid)
+        });
+
+        // Assembler: walk groups in order, consuming the extractions in the
+        // same order they were submitted, recording Capsule jobs.
         let mut packer = Packer::new(&self.config)?;
         let mut groups = Vec::new();
-        let mut vector_id = 0u64;
+        let mut extractions = extractions.into_iter();
         for (tid, group) in parsed.groups.iter().enumerate() {
             if group.rows() == 0 {
                 continue;
@@ -142,8 +213,8 @@ impl LogGrep {
             let template = parsed.templates[tid].clone();
             let mut vectors = Vec::with_capacity(group.vars.len());
             for values in &group.vars {
-                vector_id += 1;
-                let meta = self.encode_vector(values, &mut packer, vector_id, &mut stats);
+                let extraction = extractions.next().expect("one extraction per vector");
+                let meta = self.assemble_vector(values, extraction, &mut packer, &mut stats);
                 vectors.push(meta);
             }
             groups.push(GroupMeta {
@@ -153,12 +224,15 @@ impl LogGrep {
             });
         }
         stats.groups = groups.len();
-        stats.capsules = packer.metas.len();
+        stats.capsules = packer.len();
+
+        // Packer: encode every Capsule across the pool, commit in order.
+        let (capsules, blob) = packer.finish(&pool);
 
         let boxed = CapsuleBox {
             groups,
-            capsules: packer.metas,
-            blob: packer.blob,
+            capsules,
+            blob,
             total_lines: parsed.total_lines,
             raw_size: raw.len() as u64,
             fixed_length: self.config.fixed_length,
@@ -181,21 +255,20 @@ impl LogGrep {
         let mut archive = Archive::from_box(boxed);
         archive.set_query_cache(self.config.use_query_cache);
         archive.set_stamps(self.config.use_stamps);
+        archive.set_threads(self.config.threads);
+        archive.set_query_cache_entries(self.config.query_cache_entries);
         archive
     }
 
-    /// Encodes one variable vector (the Extractor + Assembler of §3).
-    fn encode_vector(
+    /// Assembles one variable vector from its extraction (the Assembler of
+    /// §3): builds payloads and records Capsule jobs with the Packer.
+    fn assemble_vector(
         &self,
         values: &[Vec<u8>],
+        extraction: Extraction<'_>,
         packer: &mut Packer<'_>,
-        vector_id: u64,
         stats: &mut ArchiveStats,
     ) -> VectorMeta {
-        let extraction = {
-            let _span = telemetry::span("extract");
-            extract_vector(values, &self.config, vector_id)
-        };
         match extraction {
             Extraction::Real(ex) => {
                 stats.real_vectors += 1;
@@ -240,7 +313,7 @@ impl LogGrep {
                     (payload, Layout::Delimited, ex.dict_values.len() as u32)
                 };
                 let dict_stamp = Stamp::of(ex.dict_values.iter().map(|v| v.as_slice()));
-                let dict_cap = packer.push(&dict_payload, dict_layout, dict_stamp, dict_rows);
+                let dict_cap = packer.push(dict_payload, dict_layout, dict_stamp, dict_rows);
 
                 // Index payload: fixed-width decimals (IdxLen digits).
                 let formatted: Vec<Vec<u8>> = ex

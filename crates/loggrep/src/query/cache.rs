@@ -1,54 +1,169 @@
 //! The Query Cache (§3): a map from query command to its location result,
 //! so repeated queries — common in the *refining mode* where an engineer
 //! builds a command up gradually — skip the matching phase entirely.
+//!
+//! The cache is **bounded**: once it holds `capacity` entries, storing a
+//! new result evicts the least-recently-used one (refining sessions touch a
+//! handful of commands; an unbounded map would grow with every distinct
+//! query ever run against a long-lived archive). Evictions are counted
+//! locally and on the `query.cache.evictions` telemetry counter.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// A thread-safe query-result cache keyed by the raw query text.
-#[derive(Debug, Default)]
+/// Default entry cap (see [`crate::LogGrepConfig::query_cache_entries`]).
+pub const DEFAULT_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct Entry {
+    lines: Vec<u32>,
+    /// Logical timestamp of the last get/put touching this entry.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// Monotonic logical clock driving LRU order.
+    tick: u64,
+    /// Maximum entries before eviction; 0 = unbounded.
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe, LRU-bounded query-result cache keyed by the raw query
+/// text.
+#[derive(Debug)]
 pub struct QueryCache {
-    inner: Mutex<HashMap<String, Vec<u32>>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl QueryCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default entry cap.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty cache holding at most `capacity` entries
+    /// (`0` = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                capacity,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Changes the entry cap, evicting LRU entries if now over it.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        while over_capacity(&inner) {
+            evict_lru(&mut inner);
+        }
+    }
+
     /// Looks up a prior result (cloned line-number list).
     pub fn get(&self, query: &str) -> Option<Vec<u32>> {
-        let found = self.inner.lock().get(query).cloned();
-        match found {
-            Some(v) => {
-                *self.hits.lock() += 1;
-                Some(v)
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(query) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let lines = entry.lines.clone();
+                inner.hits += 1;
+                Some(lines)
             }
             None => {
-                *self.misses.lock() += 1;
+                inner.misses += 1;
                 None
             }
         }
     }
 
-    /// Stores a result.
+    /// Stores a result, evicting the least-recently-used entry if full.
     pub fn put(&self, query: &str, lines: Vec<u32>) {
-        self.inner.lock().insert(query.to_string(), lines);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(query) {
+            entry.lines = lines;
+            entry.last_used = tick;
+            return;
+        }
+        if inner.capacity > 0 && inner.map.len() >= inner.capacity {
+            evict_lru(&mut inner);
+        }
+        inner.map.insert(
+            query.to_string(),
+            Entry {
+                lines,
+                last_used: tick,
+            },
+        );
     }
 
     /// `(hits, misses)` counters.
     pub fn counters(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
     }
 
-    /// Drops all entries and counters.
+    /// Number of entries evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and counters (the capacity is kept).
     pub fn clear(&self) {
-        self.inner.lock().clear();
-        *self.hits.lock() = 0;
-        *self.misses.lock() = 0;
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+        inner.evictions = 0;
+    }
+}
+
+fn over_capacity(inner: &Inner) -> bool {
+    inner.capacity > 0 && inner.map.len() > inner.capacity
+}
+
+/// Removes the least-recently-used entry. O(entries), which is fine at the
+/// small caps this cache runs with.
+fn evict_lru(inner: &mut Inner) {
+    let victim = inner
+        .map
+        .iter()
+        .min_by_key(|(_, e)| e.last_used)
+        .map(|(k, _)| k.clone());
+    if let Some(victim) = victim {
+        inner.map.remove(&victim);
+        inner.evictions += 1;
+        telemetry::counter!("query.cache.evictions", 1);
     }
 }
 
@@ -65,5 +180,57 @@ mod tests {
         assert_eq!(c.counters(), (1, 1));
         c.clear();
         assert_eq!(c.get("q"), None);
+    }
+
+    #[test]
+    fn lru_eviction_fires_at_the_cap() {
+        let c = QueryCache::with_capacity(2);
+        c.put("a", vec![1]);
+        c.put("b", vec![2]);
+        assert_eq!(c.evictions(), 0);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert_eq!(c.get("a"), Some(vec![1]));
+        c.put("c", vec![3]);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("b"), None, "LRU entry evicted");
+        assert_eq!(c.get("a"), Some(vec![1]));
+        assert_eq!(c.get("c"), Some(vec![3]));
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_evict() {
+        let c = QueryCache::with_capacity(2);
+        c.put("a", vec![1]);
+        c.put("b", vec![2]);
+        c.put("a", vec![9]);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get("a"), Some(vec![9]));
+        assert_eq!(c.get("b"), Some(vec![2]));
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let c = QueryCache::with_capacity(8);
+        for i in 0..8 {
+            c.put(&format!("q{i}"), vec![i]);
+        }
+        c.set_capacity(3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 5);
+        // The three most recently stored survive.
+        for i in 5..8 {
+            assert_eq!(c.get(&format!("q{i}")), Some(vec![i]), "q{i}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let c = QueryCache::with_capacity(0);
+        for i in 0..1000u32 {
+            c.put(&format!("q{i}"), vec![i]);
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.evictions(), 0);
     }
 }

@@ -14,10 +14,23 @@ use crate::stats::QueryStats;
 use crate::vector::VectorMeta;
 use crate::PAD;
 use logparse::{Piece, DEFAULT_DELIMS};
+use parking_lot::Mutex;
+use pool::Pool;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use strsearch::FixedRows;
+
+/// Shards of the decompressed-payload cache. Capsules are assigned by id,
+/// so concurrent workers touching different Capsules rarely share a lock.
+const CACHE_SHARDS: usize = 16;
+
+/// A leaf search fans out across groups only when the candidate groups hold
+/// at least this many rows; below it, thread spawns outweigh the scans.
+const PARALLEL_EVAL_MIN_ROWS: u32 = 4096;
+
+/// Reconstruction fans out across line chunks only above this many lines.
+const PARALLEL_RECONSTRUCT_MIN_LINES: usize = 256;
 
 /// The result of a query: matching lines in original log order.
 #[derive(Debug, Clone)]
@@ -48,7 +61,8 @@ impl Archive {
         let start = Instant::now();
         let _query_span = telemetry::span("query");
         telemetry::counter!("query.executed", 1);
-        let mut ctx = ExecCtx::new(self);
+        let shared = ExecShared::new(self);
+        let mut ctx = ExecCtx::new(&shared);
         ctx.stats.capsules_total = self.boxed.capsules.len() as u32;
 
         let line_numbers = if self.use_query_cache {
@@ -85,26 +99,56 @@ impl Archive {
     /// Reconstructs every stored line in original order (the full-decompress
     /// path, used by tests and the `ggrep`-style fallback).
     pub fn reconstruct_all(&self) -> Result<Vec<Vec<u8>>> {
-        let mut ctx = ExecCtx::new(self);
+        let shared = ExecShared::new(self);
+        let mut ctx = ExecCtx::new(&shared);
         let all: Vec<u32> = (0..self.boxed.total_lines).collect();
         ctx.reconstruct(&all)
     }
 }
 
-/// Per-query execution context: decompressed-payload cache + statistics.
-struct ExecCtx<'a> {
+/// Per-query state shared by every worker: the archive handle, the worker
+/// pool, and the sharded decompressed-payload caches.
+///
+/// The caches use `Arc` payloads behind sharded mutexes, so any worker can
+/// decompress or reuse any Capsule. A Capsule is decompressed **while its
+/// shard is locked**: a concurrent worker asking for the same Capsule
+/// blocks and reuses the result, so each Capsule is decompressed exactly
+/// once per query and `capsules_decompressed` matches the serial count.
+struct ExecShared<'a> {
     archive: &'a Archive,
-    payloads: HashMap<u32, Rc<Vec<u8>>>,
-    delim_ranges: HashMap<u32, Rc<Vec<(usize, usize)>>>,
+    pool: Pool,
+    payloads: Vec<Mutex<HashMap<u32, Arc<Vec<u8>>>>>,
+    delim_ranges: Vec<CacheShard<Vec<(usize, usize)>>>,
+}
+
+/// One shard of a per-query Capsule-keyed cache.
+type CacheShard<T> = Mutex<HashMap<u32, Arc<T>>>;
+
+impl<'a> ExecShared<'a> {
+    fn new(archive: &'a Archive) -> Self {
+        Self {
+            archive,
+            pool: Pool::new(archive.threads),
+            payloads: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            delim_ranges: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+/// Per-worker execution context: a handle on the shared state plus this
+/// worker's own statistics, merged by the coordinator when the worker is
+/// done. The coordinating (caller-side) context is just worker zero.
+struct ExecCtx<'a> {
+    shared: &'a ExecShared<'a>,
+    archive: &'a Archive,
     stats: QueryStats,
 }
 
 impl<'a> ExecCtx<'a> {
-    fn new(archive: &'a Archive) -> Self {
+    fn new(shared: &'a ExecShared<'a>) -> Self {
         Self {
-            archive,
-            payloads: HashMap::new(),
-            delim_ranges: HashMap::new(),
+            shared,
+            archive: shared.archive,
             stats: QueryStats::default(),
         }
     }
@@ -114,26 +158,34 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// Decompresses (and caches) one Capsule payload.
-    fn payload(&mut self, id: u32) -> Result<Rc<Vec<u8>>> {
-        if let Some(p) = self.payloads.get(&id) {
+    fn payload(&mut self, id: u32) -> Result<Arc<Vec<u8>>> {
+        let shard = &self.shared.payloads[id as usize % CACHE_SHARDS];
+        let mut shard = shard.lock();
+        if let Some(p) = shard.get(&id) {
             return Ok(p.clone());
         }
+        // Decompress under the shard lock: see [`ExecShared`].
         let _span = telemetry::span("decompress");
         let bytes = self.archive.boxed.decompress_capsule(id)?;
         self.stats.capsules_decompressed += 1;
         self.stats.bytes_decompressed += bytes.len() as u64;
         telemetry::counter!("query.capsules_decompressed", 1);
         telemetry::counter!("query.bytes_decompressed", bytes.len() as u64);
-        let rc = Rc::new(bytes);
-        self.payloads.insert(id, rc.clone());
-        Ok(rc)
+        let arc = Arc::new(bytes);
+        shard.insert(id, arc.clone());
+        Ok(arc)
     }
 
     /// Row byte-ranges of a delimited Capsule (cached).
-    fn ranges(&mut self, id: u32) -> Result<Rc<Vec<(usize, usize)>>> {
-        if let Some(r) = self.delim_ranges.get(&id) {
-            return Ok(r.clone());
+    fn ranges(&mut self, id: u32) -> Result<Arc<Vec<(usize, usize)>>> {
+        {
+            let shard = self.shared.delim_ranges[id as usize % CACHE_SHARDS].lock();
+            if let Some(r) = shard.get(&id) {
+                return Ok(r.clone());
+            }
         }
+        // Computed outside the shard lock (it needs the payload lock); a
+        // concurrent duplicate computation is idempotent.
         let payload = self.payload(id)?;
         let mut ranges = Vec::new();
         let mut start = 0usize;
@@ -146,9 +198,11 @@ impl<'a> ExecCtx<'a> {
         if start != payload.len() {
             return Err(Error::Corrupt("delimited capsule missing trailer".into()));
         }
-        let rc = Rc::new(ranges);
-        self.delim_ranges.insert(id, rc.clone());
-        Ok(rc)
+        let arc = Arc::new(ranges);
+        self.shared.delim_ranges[id as usize % CACHE_SHARDS]
+            .lock()
+            .insert(id, arc.clone());
+        Ok(arc)
     }
 
     /// The unpadded value of `row` in a Capsule.
@@ -245,17 +299,7 @@ impl<'a> ExecCtx<'a> {
 
     fn eval_expr_groups(&mut self, expr: &Expr, skip: &[bool]) -> Result<Vec<RowSet>> {
         match expr {
-            Expr::Str(s) => {
-                let mut out = Vec::with_capacity(skip.len());
-                for (gid, &skipped) in skip.iter().enumerate() {
-                    if skipped {
-                        out.push(RowSet::empty());
-                    } else {
-                        out.push(self.eval_search_in_group(s, gid)?);
-                    }
-                }
-                Ok(out)
-            }
+            Expr::Str(s) => self.eval_str_over_groups(s, skip),
             Expr::And(a, b) => {
                 let ra = self.eval_expr_groups(a, skip)?;
                 let skip_b: Vec<bool> = ra
@@ -286,6 +330,51 @@ impl<'a> ExecCtx<'a> {
                 Ok(ra.iter().zip(&rb).map(|(x, y)| x.subtract(y)).collect())
             }
         }
+    }
+
+    /// Evaluates one search string over every non-skipped group, fanning
+    /// out across the worker pool when the candidate set is large enough.
+    ///
+    /// Groups partition the lines, so per-group evaluations are independent;
+    /// workers share the Capsule caches through [`ExecShared`] and their
+    /// statistics are merged here in group order. Results are identical to
+    /// the serial loop for every pool size.
+    fn eval_str_over_groups(&mut self, s: &SearchString, skip: &[bool]) -> Result<Vec<RowSet>> {
+        let shared = self.shared;
+        let candidate_rows: u32 = skip
+            .iter()
+            .enumerate()
+            .filter(|&(_, &skipped)| !skipped)
+            .map(|(gid, _)| self.archive.boxed.groups[gid].rows())
+            .sum();
+        let active = skip.iter().filter(|&&skipped| !skipped).count();
+        if shared.pool.threads() == 1 || active < 2 || candidate_rows < PARALLEL_EVAL_MIN_ROWS {
+            let mut out = Vec::with_capacity(skip.len());
+            for (gid, &skipped) in skip.iter().enumerate() {
+                if skipped {
+                    out.push(RowSet::empty());
+                } else {
+                    out.push(self.eval_search_in_group(s, gid)?);
+                }
+            }
+            return Ok(out);
+        }
+        let gids: Vec<usize> = (0..skip.len()).collect();
+        let results = shared.pool.try_map(&gids, |_, &gid| {
+            if skip[gid] {
+                return Ok((RowSet::empty(), QueryStats::default()));
+            }
+            let _ctx = telemetry::context("query");
+            let mut worker = ExecCtx::new(shared);
+            let rows = worker.eval_search_in_group(s, gid)?;
+            Ok::<_, Error>((rows, worker.stats))
+        })?;
+        let mut out = Vec::with_capacity(results.len());
+        for (rows, worker_stats) in results {
+            self.stats.merge(&worker_stats);
+            out.push(rows);
+        }
+        Ok(out)
     }
 
     fn eval_search_in_group(&mut self, s: &SearchString, gid: usize) -> Result<RowSet> {
@@ -722,23 +811,54 @@ impl<'a> ExecCtx<'a> {
         Ok(RowSet::from_sorted(hits))
     }
 
+    /// Renders one line number through the line index.
+    fn render_line(&mut self, index: &[(u32, u32)], lineno: u32) -> Result<Vec<u8>> {
+        let &(gid, row) = index
+            .get(lineno as usize)
+            .ok_or_else(|| Error::Corrupt("line number out of range".into()))?;
+        if gid == u32::MAX {
+            return Err(Error::Corrupt("line number missing from groups".into()));
+        }
+        self.render_row(gid as usize, row)
+    }
+
     /// Reconstructs the given global line numbers, in ascending line order.
     ///
     /// Groups hold their rows in original order, so entries of one group are
     /// naturally ordered; across groups the stored line numbers (logical
     /// timestamps) restore the global order, as in §3's Reconstruction.
+    ///
+    /// Large result sets are rendered in parallel: the sorted line list is
+    /// split into contiguous chunks, each chunk rendered by a pool worker
+    /// (sharing the Capsule caches), and the chunks concatenated in order —
+    /// output and statistics match the serial loop exactly.
     fn reconstruct(&mut self, line_numbers: &[u32]) -> Result<Vec<Vec<u8>>> {
+        let shared = self.shared;
         let wanted = RowSet::from_unsorted(line_numbers.to_vec());
         let index = self.archive.line_index();
-        let mut out = Vec::with_capacity(wanted.len());
-        for lineno in wanted.iter() {
-            let &(gid, row) = index
-                .get(lineno as usize)
-                .ok_or_else(|| Error::Corrupt("line number out of range".into()))?;
-            if gid == u32::MAX {
-                return Err(Error::Corrupt("line number missing from groups".into()));
+        let lines: Vec<u32> = wanted.iter().collect();
+        if shared.pool.threads() == 1 || lines.len() < PARALLEL_RECONSTRUCT_MIN_LINES {
+            let mut out = Vec::with_capacity(lines.len());
+            for &lineno in &lines {
+                out.push(self.render_line(index, lineno)?);
             }
-            out.push(self.render_row(gid as usize, row)?);
+            return Ok(out);
+        }
+        let chunk = lines.len().div_ceil(shared.pool.threads() * 4);
+        let chunks = shared.pool.map_chunks(&lines, chunk, |_, chunk_lines| {
+            let _ctx = telemetry::context("query/reconstruct");
+            let mut worker = ExecCtx::new(shared);
+            let mut rendered = Vec::with_capacity(chunk_lines.len());
+            for &lineno in chunk_lines {
+                rendered.push(worker.render_line(index, lineno)?);
+            }
+            Ok::<_, Error>((rendered, worker.stats))
+        });
+        let mut out = Vec::with_capacity(lines.len());
+        for chunk_result in chunks {
+            let (rendered, worker_stats) = chunk_result?;
+            self.stats.merge(&worker_stats);
+            out.extend(rendered);
         }
         Ok(out)
     }

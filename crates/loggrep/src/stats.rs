@@ -101,6 +101,20 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
+    /// Folds a worker's statistics into this one. Counters add up;
+    /// `plan_elapsed` adds (it is per-call planner time, like in a serial
+    /// run); `elapsed` and `capsules_total` are whole-query notions owned
+    /// by the coordinating context and are left untouched.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.plan_elapsed += other.plan_elapsed;
+        self.capsules_decompressed += other.capsules_decompressed;
+        self.bytes_decompressed += other.bytes_decompressed;
+        self.stamp_rejections += other.stamp_rejections;
+        self.groups_skipped += other.groups_skipped;
+        self.rows_verified += other.rows_verified;
+        self.cache_hit |= other.cache_hit;
+    }
+
     /// The non-planning part of `elapsed` (saturating).
     pub fn execute_elapsed(&self) -> Duration {
         self.elapsed.saturating_sub(self.plan_elapsed)
@@ -174,6 +188,33 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(odd.execute_elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_adds_worker_counters() {
+        let mut main = QueryStats {
+            elapsed: Duration::from_micros(500),
+            capsules_total: 10,
+            capsules_decompressed: 1,
+            ..Default::default()
+        };
+        let worker = QueryStats {
+            plan_elapsed: Duration::from_micros(5),
+            capsules_decompressed: 2,
+            bytes_decompressed: 64,
+            stamp_rejections: 3,
+            rows_verified: 4,
+            ..Default::default()
+        };
+        main.merge(&worker);
+        assert_eq!(main.capsules_decompressed, 3);
+        assert_eq!(main.bytes_decompressed, 64);
+        assert_eq!(main.stamp_rejections, 3);
+        assert_eq!(main.rows_verified, 4);
+        assert_eq!(main.plan_elapsed, Duration::from_micros(5));
+        // Whole-query fields untouched.
+        assert_eq!(main.elapsed, Duration::from_micros(500));
+        assert_eq!(main.capsules_total, 10);
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod span;
 pub use export::{export_json, export_text, export_trace_text};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{counter, gauge, histogram, reset, snapshot, Snapshot};
-pub use span::{span, span_path, Span};
+pub use span::{context, span, span_path, Context, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

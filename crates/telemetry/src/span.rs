@@ -66,6 +66,48 @@ pub fn span_path() -> Option<String> {
     SPAN_STACK.with(|stack| stack.borrow().last().cloned())
 }
 
+/// A context frame: re-roots this thread's span stack at an **absolute**
+/// path without recording anything on drop.
+///
+/// Worker threads use this to attribute their spans under the pipeline
+/// stage that fanned them out — a worker that opens
+/// `context("compress")` and then `span("encode")` records under
+/// `"compress/encode"`, exactly like the serial pipeline, even though the
+/// `compress` span itself lives on the spawning thread. Each worker's
+/// stack is thread-local, so concurrent workers never interleave paths.
+#[derive(Debug)]
+pub struct Context {
+    /// `None` for inert contexts created while telemetry was disabled.
+    armed: Option<String>,
+}
+
+/// Pushes an absolute `path` as the current thread's span root; the frame
+/// pops when the guard drops. No histogram is recorded — this only shapes
+/// the paths of spans opened underneath it.
+pub fn context(path: &str) -> Context {
+    if !crate::enabled() {
+        return Context { armed: None };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(path.to_string()));
+    Context {
+        armed: Some(path.to_string()),
+    }
+}
+
+impl Drop for Context {
+    fn drop(&mut self) {
+        let Some(path) = self.armed.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|p| *p == path) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(armed) = self.armed.take() else {
@@ -136,6 +178,24 @@ mod tests {
         assert!(snap.histogram("span.test.mt/span.test.mt").is_none());
         assert!(snap.histogram("span.test.mt/leaf/leaf").is_none());
         assert!(snap.histogram("span.test.mt/leaf/span.test.mt").is_none());
+    }
+
+    #[test]
+    fn context_reroots_worker_spans() {
+        let _guard = crate::enable_lock();
+        crate::set_enabled(true);
+        std::thread::spawn(|| {
+            let _ctx = context("span.test.ctx");
+            let _leaf = span("leaf");
+        })
+        .join()
+        .unwrap();
+        crate::set_enabled(false);
+        let snap = crate::snapshot();
+        // The nested span lands under the context path...
+        assert_eq!(snap.histogram("span.test.ctx/leaf").unwrap().count, 1);
+        // ...but the context itself records no histogram.
+        assert!(snap.histogram("span.test.ctx").is_none());
     }
 
     #[test]

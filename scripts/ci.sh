@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite, and clippy with warnings denied.
+# CI gate: release build, full test suite at two worker-pool sizes, clippy
+# with warnings denied, and the thread-scaling benchmark.
 # Run from anywhere; operates on the repository this script lives in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+
+# The whole suite must pass with the pool forced serial and forced wide:
+# parallel code paths are required to be behaviorally identical to serial
+# ones (see crates/loggrep/tests/parallel_determinism.rs).
+LOGGREP_THREADS=1 cargo test -q
+LOGGREP_THREADS=4 cargo test -q
+
 cargo clippy --all-targets -- -D warnings
+
+# Thread-scaling benchmark; BENCH_parallel.json records wall times, speedups
+# vs serial, and the per-stage telemetry breakdown for each thread count.
+./target/release/parallel_scaling --threads 1,2,4 --out BENCH_parallel.json
