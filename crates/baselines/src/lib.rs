@@ -18,6 +18,9 @@
 //! semantics (the [`loggrep::query::lang`] oracle), so the benchmark harness
 //! can compare latencies on identical result sets.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod clp;
 pub mod es;
 pub mod ggrep;

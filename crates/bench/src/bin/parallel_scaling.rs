@@ -11,6 +11,8 @@
 //! [`bench::per_stage_json`] — so regressions in either scaling or stage
 //! breakdown are visible from one file.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

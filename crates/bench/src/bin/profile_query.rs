@@ -3,6 +3,8 @@
 //! `--trace` flag (`--json` switches to the machine-readable per-stage
 //! report from `bench::per_stage_json`).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     telemetry::set_enabled(true);

@@ -379,8 +379,8 @@ pub fn strictness(logs: &[LogSpec]) {
                         }
                     }
                     Extraction::Nominal(ex) => {
-                        let regions =
-                            loggrep::vector::VectorMeta::dict_regions(&ex.patterns);
+                        let regions = loggrep::vector::VectorMeta::dict_regions(&ex.patterns)
+                            .unwrap_or_default();
                         for r in &regions {
                             let vals = &ex.dict_values
                                 [r.first_index as usize..(r.first_index + r.count) as usize];

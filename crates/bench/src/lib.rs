@@ -6,6 +6,9 @@
 //! default to laptop scale and can be increased with the
 //! `LOGGREP_BENCH_BYTES` environment variable.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod experiments;
 pub mod runner;

@@ -19,6 +19,9 @@
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); see [`run`].
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use loggrep::{Archive, CapsuleBox, LogGrep, LogGrepConfig, PlanDrift};
 use std::io::{Read, Write};
 
@@ -81,29 +84,33 @@ pub fn run(args: &[String]) -> i32 {
 }
 
 fn dispatch(args: &[String], flags: Flags) -> Result<(), String> {
-    match args.first().map(String::as_str) {
-        Some("compress") => {
-            let [input, output] = two(&args[1..], "compress <input.log> <output.lgb>")?;
+    let Some((cmd, rest)) = args.split_first() else {
+        print!("{}", usage());
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "compress" => {
+            let [input, output] = two(rest, "compress <input.log> <output.lgb>")?;
             compress_file(input, output)
         }
-        Some("query") => {
-            let [archive, command] = two(&args[1..], "query <archive.lgb> <command>")?;
+        "query" => {
+            let [archive, command] = two(rest, "query <archive.lgb> <command>")?;
             query_file(archive, command, flags)
         }
-        Some("stat") | Some("stats") => {
-            let archive = one(&args[1..], "stat <archive.lgb>")?;
+        "stat" | "stats" => {
+            let archive = one(rest, "stat <archive.lgb>")?;
             stat_file(archive, flags.json)
         }
-        Some("explain") => {
-            let [archive, command] = two(&args[1..], "explain <archive.lgb> <command>")?;
+        "explain" => {
+            let [archive, command] = two(rest, "explain <archive.lgb> <command>")?;
             explain_file(archive, command)
         }
-        Some("gen") => gen_log(&args[1..]),
-        Some("help") | None => {
+        "gen" => gen_log(rest),
+        "help" => {
             print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand `{other}`\n{}", usage())),
+        other => Err(format!("unknown subcommand `{other}`\n{}", usage())),
     }
 }
 
@@ -190,18 +197,18 @@ fn split_blocks(raw: &[u8]) -> Vec<&[u8]> {
     let mut blocks = Vec::new();
     let mut start = 0usize;
     while start < raw.len() {
-        let mut end = (start + BLOCK_SIZE).min(raw.len());
+        let mut end = start.saturating_add(BLOCK_SIZE).min(raw.len());
         if end < raw.len() {
             // Extend to the next newline so lines never straddle blocks.
-            while end < raw.len() && raw[end - 1] != b'\n' {
+            while end < raw.len() && raw.get(end - 1) != Some(&b'\n') {
                 end += 1;
             }
         }
-        blocks.push(&raw[start..end]);
+        blocks.push(raw.get(start..end).unwrap_or_default());
         start = end;
     }
     if blocks.is_empty() {
-        blocks.push(&raw[0..0]);
+        blocks.push(&[]);
     }
     blocks
 }
@@ -213,21 +220,22 @@ pub fn open_file(path: &str) -> Result<Vec<Archive>, String> {
 }
 
 fn open_bytes(bytes: &[u8]) -> Result<Vec<Archive>, String> {
-    if bytes.len() < 8 || &bytes[..8] != FILE_MAGIC {
+    if bytes.get(..8) != Some(FILE_MAGIC.as_slice()) {
         return Err("not a loggrep archive (bad magic)".to_string());
     }
     let mut archives = Vec::new();
-    let mut pos = 8usize;
-    while pos < bytes.len() {
-        if pos + 8 > bytes.len() {
+    let mut rest = bytes.get(8..).unwrap_or_default();
+    while !rest.is_empty() {
+        let Some((header, tail)) = rest.split_first_chunk::<8>() else {
             return Err("truncated block header".to_string());
-        }
-        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes")) as usize;
-        pos += 8;
-        let end = pos.checked_add(len).filter(|&e| e <= bytes.len())
-            .ok_or_else(|| "truncated block".to_string())?;
-        archives.push(Archive::from_bytes(&bytes[pos..end]).map_err(|e| e.to_string())?);
-        pos = end;
+        };
+        let len = usize::try_from(u64::from_le_bytes(*header))
+            .map_err(|_| "block length overflow".to_string())?;
+        let Some(block) = tail.get(..len) else {
+            return Err("truncated block".to_string());
+        };
+        archives.push(Archive::from_bytes(block).map_err(|e| e.to_string())?);
+        rest = tail.get(len..).unwrap_or_default();
     }
     Ok(archives)
 }

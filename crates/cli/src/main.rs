@@ -1,5 +1,7 @@
 //! The `loggrep` binary. See [`cli::usage`] for the interface.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(cli::run(&args));

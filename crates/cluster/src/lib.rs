@@ -26,6 +26,9 @@
 //! assert_eq!(hits.lines.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use loggrep::{Archive, LogGrep, LogGrepConfig};
 use parking_lot::Mutex;
 

@@ -88,8 +88,9 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
-        while self.nbits <= 56 && self.pos < self.bytes.len() {
-            self.acc |= (self.bytes[self.pos] as u64) << self.nbits;
+        while self.nbits <= 56 {
+            let Some(&b) = self.bytes.get(self.pos) else { break };
+            self.acc |= u64::from(b) << self.nbits;
             self.pos += 1;
             self.nbits += 8;
         }

@@ -51,7 +51,7 @@ impl Codec for Cm1 {
         if expected_len == 0 {
             return Ok(Vec::new());
         }
-        let mut dec = RangeDecoder::new(&input[consumed..])?;
+        let mut dec = RangeDecoder::new(input.get(consumed..).unwrap_or_default())?;
         let mut model = fresh_model();
         let mut out = Vec::with_capacity(expected_len.min(1 << 20));
         let mut prev = 0u8;
@@ -59,6 +59,7 @@ impl Codec for Cm1 {
             if dec.overrun() {
                 return Err(CodecError::new("cm1: input exhausted"));
             }
+            // lint:allow(no-panic-in-decode) — model has 256 contexts; prev is a u8
             let b = model[prev as usize].decode(&mut dec) as u8;
             out.push(b);
             prev = b;

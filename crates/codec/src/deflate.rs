@@ -158,7 +158,7 @@ impl Codec for Deflate {
         if expected_len == 0 {
             return Ok(Vec::new());
         }
-        let mut r = BitReader::new(&input[consumed..]);
+        let mut r = BitReader::new(input.get(consumed..).unwrap_or_default());
         let litlen_lens = read_len_table(&mut r, NUM_LITLEN)?;
         let dist_lens = read_len_table(&mut r, NUM_DIST)?;
         let litlen_dec = Decoder::from_lengths(&litlen_lens)?;
@@ -174,20 +174,26 @@ impl Codec for Deflate {
                 out.push(sym as u8);
             } else {
                 let lc = sym - 257;
-                if lc >= 29 {
-                    return Err(CodecError::new("deflate: invalid length code"));
-                }
-                let len = LEN_BASE[lc] + r.read_bits(LEN_EXTRA[lc])? as u32;
+                let (base, extra) = match (LEN_BASE.get(lc), LEN_EXTRA.get(lc)) {
+                    (Some(&b), Some(&e)) => (b, e),
+                    _ => return Err(CodecError::new("deflate: invalid length code")),
+                };
+                let ext = r.read_bits(extra)? as u32;
+                let len = base + ext;
                 let dc = dist_dec.decode(&mut r)? as usize;
-                if dc >= 30 {
-                    return Err(CodecError::new("deflate: invalid distance code"));
-                }
-                let dist = (DIST_BASE[dc] + r.read_bits(DIST_EXTRA[dc])? as u32) as usize;
+                let (dbase, dextra) = match (DIST_BASE.get(dc), DIST_EXTRA.get(dc)) {
+                    (Some(&b), Some(&e)) => (b, e),
+                    _ => return Err(CodecError::new("deflate: invalid distance code")),
+                };
+                let dext = r.read_bits(dextra)? as u32;
+                let dsum = dbase + dext;
+                let dist = dsum as usize;
                 if dist == 0 || dist > out.len() {
                     return Err(CodecError::new("deflate: distance out of range"));
                 }
                 let start = out.len() - dist;
                 for i in 0..len as usize {
+                    // lint:allow(no-panic-in-decode) — dist ≤ out.len() above; out grows past start+i before each read
                     let b = out[start + i];
                     out.push(b);
                 }

@@ -123,11 +123,13 @@ impl Codec for FastLz {
             if lit_len == 15 {
                 lit_len += get_ext_len(input, &mut pos)?;
             }
-            let lit_end = pos + lit_len as usize;
-            if lit_end > input.len() {
-                return Err(CodecError::new("fastlz: truncated literals"));
-            }
-            out.extend_from_slice(&input[pos..lit_end]);
+            let lit_end = pos
+                .checked_add(lit_len as usize)
+                .ok_or_else(|| CodecError::new("fastlz: literal run overflow"))?;
+            let lits = input
+                .get(pos..lit_end)
+                .ok_or_else(|| CodecError::new("fastlz: truncated literals"))?;
+            out.extend_from_slice(lits);
             pos = lit_end;
             if out.len() > expected_len {
                 return Err(CodecError::new("fastlz: output exceeds declared length"));
@@ -135,10 +137,10 @@ impl Codec for FastLz {
             if out.len() == expected_len && pos == input.len() {
                 return Ok(out);
             }
-            if pos + 2 > input.len() {
+            let Some((off, _)) = input.get(pos..).and_then(|t| t.split_first_chunk::<2>()) else {
                 return Err(CodecError::new("fastlz: truncated offset"));
-            }
-            let dist = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+            };
+            let dist = u16::from_le_bytes(*off) as usize;
             pos += 2;
             let mut match_len = (token & 0x0f) as u32;
             if match_len == 15 {
@@ -156,11 +158,13 @@ impl Codec for FastLz {
             if dist > out.len() {
                 return Err(CodecError::new("fastlz: distance out of range"));
             }
-            if out.len() + match_len as usize > expected_len {
+            let match_len = match_len as usize;
+            if out.len() + match_len > expected_len {
                 return Err(CodecError::new("fastlz: output exceeds declared length"));
             }
             let start = out.len() - dist;
-            for i in 0..match_len as usize {
+            for i in 0..match_len {
+                // lint:allow(no-panic-in-decode) — dist ≤ out.len() above; out grows past start+i before each read
                 let b = out[start + i];
                 out.push(b);
             }

@@ -195,22 +195,28 @@ impl Decoder {
         if max > MAX_CODE_LEN {
             return Err(CodecError::new("huffman: code length exceeds limit"));
         }
-        let mut count = vec![0u32; (MAX_CODE_LEN + 1) as usize];
+        let slots = MAX_CODE_LEN as usize;
+        let mut count = vec![0u32; slots + 1];
         for &l in lens {
+            // `l <= MAX_CODE_LEN` was checked above, so the slot exists.
             if l > 0 {
-                count[l as usize] += 1;
+                if let Some(slot) = count.get_mut(l as usize) {
+                    *slot += 1;
+                }
             }
         }
         // Validate the Kraft sum.
         let unit = 1u64 << MAX_CODE_LEN;
         let kraft: u64 = (1..=MAX_CODE_LEN)
-            .map(|l| (count[l as usize] as u64) << (MAX_CODE_LEN - l))
+            .map(|l| u64::from(count.get(l as usize).copied().unwrap_or(0)) << (MAX_CODE_LEN - l))
             .sum();
         if kraft > unit {
             return Err(CodecError::new("huffman: oversubscribed code lengths"));
         }
-        let mut symbols: Vec<u32> = (0..lens.len() as u32).filter(|&s| lens[s as usize] > 0).collect();
-        symbols.sort_by_key(|&s| (lens[s as usize], s));
+        let mut symbols: Vec<u32> = (0..lens.len() as u32)
+            .filter(|&s| lens.get(s as usize).is_some_and(|&l| l > 0))
+            .collect();
+        symbols.sort_by_key(|&s| (lens.get(s as usize).copied().unwrap_or(0), s));
         Ok(Self { count, symbols })
     }
 
@@ -226,9 +232,14 @@ impl Decoder {
         let mut index: u32 = 0; // Index of first symbol of this length.
         for len in 1..=MAX_CODE_LEN {
             code |= r.read_bits(1)? as u32;
-            let count = self.count[len as usize];
+            let count = self.count.get(len as usize).copied().unwrap_or(0);
             if code < first + count {
-                return Ok(self.symbols[(index + (code - first)) as usize]);
+                let off = index + (code - first);
+                return self
+                    .symbols
+                    .get(off as usize)
+                    .copied()
+                    .ok_or_else(|| CodecError::new("huffman: invalid code"));
             }
             index += count;
             first = (first + count) << 1;

@@ -27,6 +27,9 @@
 //! assert_eq!(codec.decompress(&packed).unwrap(), data);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bitio;
 pub mod cm1;
 pub mod deflate;
@@ -145,7 +148,7 @@ impl Codec for Store {
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
         let (len, consumed) = varint::get_uvarint(input)
             .ok_or_else(|| CodecError::new("store: truncated length header"))?;
-        let body = &input[consumed..];
+        let body = input.get(consumed..).unwrap_or_default();
         if body.len() != len as usize {
             return Err(CodecError::new(format!(
                 "store: length mismatch (header {} vs body {})",

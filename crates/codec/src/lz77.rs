@@ -231,6 +231,7 @@ pub fn expand_into(tokens: &[Token], out: &mut Vec<u8>) -> Result<(), usize> {
                 let start = out.len() - dist;
                 // Overlapping copies must proceed byte by byte.
                 for i in 0..len as usize {
+                    // lint:allow(no-panic-in-decode) — dist ≤ out.len() above; out grows past start+i before each read
                     let b = out[start + i];
                     out.push(b);
                 }

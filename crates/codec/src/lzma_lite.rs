@@ -203,7 +203,7 @@ impl Codec for LzmaLite {
         if expected_len == 0 {
             return Ok(Vec::new());
         }
-        let mut dec = RangeDecoder::new(&input[consumed..])?;
+        let mut dec = RangeDecoder::new(input.get(consumed..).unwrap_or_default())?;
         let mut model = Model::new();
         let mut state = STATE_LIT;
         let mut rep0: u32 = 0;
@@ -213,12 +213,15 @@ impl Codec for LzmaLite {
             if dec.overrun() {
                 return Err(CodecError::new("lzma-lite: input exhausted"));
             }
+            // lint:allow(no-panic-in-decode) — state is one of the STATE_* constants, all within the model arrays
             if dec.decode_bit(&mut model.is_match[state]) == 0 {
                 let prev = out.last().copied().unwrap_or(0);
+                // lint:allow(no-panic-in-decode) — lit_ctx reduces prev into the literal-table range
                 let b = model.literals[Model::lit_ctx(prev)].decode(&mut dec);
                 out.push(b as u8);
                 state = STATE_LIT;
             } else {
+                // lint:allow(no-panic-in-decode) — state is one of the STATE_* constants, all within the model arrays
                 let (len, dist) = if dec.decode_bit(&mut model.is_rep[state]) == 1 {
                     let len = model.rep_len.decode(&mut dec);
                     state = STATE_REP;
@@ -241,11 +244,13 @@ impl Codec for LzmaLite {
                 if dist == 0 || dist > out.len() {
                     return Err(CodecError::new("lzma-lite: distance out of range"));
                 }
-                if out.len() + len as usize > expected_len {
+                let len = len as usize;
+                if out.len() + len > expected_len {
                     return Err(CodecError::new("lzma-lite: output exceeds declared length"));
                 }
                 let start = out.len() - dist;
-                for i in 0..len as usize {
+                for i in 0..len {
+                    // lint:allow(no-panic-in-decode) — dist ≤ out.len() above; out grows past start+i before each read
                     let b = out[start + i];
                     out.push(b);
                 }

@@ -141,7 +141,7 @@ impl<'a> RangeDecoder<'a> {
             return Err(CodecError::new("range coder: input shorter than header"));
         }
         let mut code = 0u32;
-        for &b in &input[1..5] {
+        for &b in input.get(1..5).unwrap_or_default() {
             code = (code << 8) | b as u32;
         }
         Ok(Self {
@@ -180,7 +180,9 @@ impl<'a> RangeDecoder<'a> {
     /// Decodes one bit under the adaptive probability `prob`.
     #[inline]
     pub fn decode_bit(&mut self, prob: &mut Prob) -> u32 {
-        let bound = (self.range >> PROB_BITS) * prob.0 as u32;
+        // range >> 11 and an 11-bit probability cannot overflow a u32 product.
+        let p = u32::from(prob.0);
+        let bound = (self.range >> PROB_BITS) * p;
         let bit = if self.code < bound {
             self.range = bound;
             0
@@ -245,6 +247,7 @@ impl BitTree {
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> u32 {
         let mut node = 1usize;
         for _ in 0..self.nbits {
+            // lint:allow(no-panic-in-decode) — node < 2^nbits = probs.len() by the shift structure
             let bit = dec.decode_bit(&mut self.probs[node]);
             node = (node << 1) | bit as usize;
         }

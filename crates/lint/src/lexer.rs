@@ -1,0 +1,362 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with line numbers plus the set of
+//! `// lint:allow(<rule>) — <reason>` suppression comments. The lexer
+//! understands exactly enough Rust to keep the rule matchers honest:
+//! line and (nested) block comments, string / raw-string / byte-string
+//! literals, char literals vs. lifetimes, identifiers, numbers, and
+//! single-character punctuation. It deliberately does not build a full
+//! syntax tree — the rules in [`crate::rules`] work on token windows.
+
+/// The coarse kind of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `as`, ...).
+    Ident,
+    /// Lifetime (`'a`). The text excludes the leading quote.
+    Lifetime,
+    /// Numeric literal (floats lex as `Num '.' Num`, which the rules
+    /// never need to distinguish).
+    Num,
+    /// String, raw-string, byte-string, or char literal (text is the
+    /// raw source slice including quotes).
+    Str,
+    /// A single punctuation character (`+`, `[`, `::` lexes as two).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// Byte offset of the token's first character.
+    pub start: usize,
+}
+
+impl Token {
+    /// True if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` comments found, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes `src` into tokens and suppression comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(b.len(), |p| i + p);
+                parse_allow(&src[i + 2..end], line, &mut out.allows);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(b, i);
+                push(&mut out.tokens, TokKind::Str, &src[i..end], line, i);
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'` followed by an
+                // ident char NOT later closed by `'` (i.e. `'a` but not `'a'`).
+                let next_ident = b
+                    .get(i + 1)
+                    .is_some_and(|&n| n.is_ascii_alphabetic() || n == b'_');
+                let closes = next_ident && b.get(i + 2) == Some(&b'\'');
+                if next_ident && !closes {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    push(&mut out.tokens, TokKind::Lifetime, &src[i + 1..j], line, i);
+                    i = j;
+                } else {
+                    let (end, newlines) = scan_char(b, i);
+                    push(&mut out.tokens, TokKind::Str, &src[i..end], line, i);
+                    line += newlines;
+                    i = end;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                // String prefixes: b"..", r"..", br"..", r#".."#, etc.
+                let next = b.get(j).copied();
+                let raw = matches!(word, "r" | "br" | "rb") && matches!(next, Some(b'"' | b'#'));
+                let plain = word == "b" && next == Some(b'"');
+                if raw {
+                    let (end, newlines) = scan_raw_string(b, j);
+                    push(&mut out.tokens, TokKind::Str, &src[i..end], line, i);
+                    line += newlines;
+                    i = end;
+                } else if plain {
+                    let (end, newlines) = scan_string(b, j);
+                    push(&mut out.tokens, TokKind::Str, &src[i..end], line, i);
+                    line += newlines;
+                    i = end;
+                } else {
+                    push(&mut out.tokens, TokKind::Ident, word, line, i);
+                    i = j;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                push(&mut out.tokens, TokKind::Num, &src[i..j], line, i);
+                i = j;
+            }
+            _ => {
+                push(&mut out.tokens, TokKind::Punct, &src[i..i + 1], line, i);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokKind, text: &str, line: u32, start: usize) {
+    tokens.push(Token {
+        kind,
+        text: text.to_string(),
+        line,
+        start,
+    });
+}
+
+/// Scans a `"`-delimited string starting at `b[at] == b'"'`.
+/// Returns (one past the closing quote, newline count inside).
+fn scan_string(b: &[u8], at: usize) -> (usize, u32) {
+    let mut i = at + 1;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        match b[i] {
+            // An escape skips the next byte — but a line continuation
+            // (`\` before a newline) still advances the line counter.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Scans a raw string whose `#* "` part starts at `b[at]`.
+fn scan_raw_string(b: &[u8], at: usize) -> (usize, u32) {
+    let mut hashes = 0usize;
+    let mut i = at;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return (i, 0); // Malformed; bail without consuming further.
+    }
+    i += 1;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&h| h == b'#').count() == hashes {
+            return (i + 1 + hashes, newlines);
+        } else {
+            i += 1;
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Scans a char literal starting at `b[at] == b'\''`.
+fn scan_char(b: &[u8], at: usize) -> (usize, u32) {
+    let mut i = at + 1;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'\'' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Parses a line comment body, recording it if it is a `lint:allow`.
+fn parse_allow(body: &str, line: u32, allows: &mut Vec<Allow>) {
+    let t = body.trim_start();
+    let Some(rest) = t.strip_prefix("lint:allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = rest[close + 1..]
+        .trim_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':' | ','));
+    allows.push(Allow {
+        line,
+        rules,
+        has_reason: !reason.is_empty(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_keywords_punct() {
+        let l = lex("fn main() { x.unwrap(); }");
+        let idents: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "main", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let l = lex(r#"let s = "a.unwrap() [0]";"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l = lex(r##"let s = r#"x.unwrap()"#; let b = b"idx[0]"; let c = br"[1]";"##);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn line_continuations_in_strings_count_lines() {
+        // `\` before a newline continues a string literal; the lines it
+        // spans must still advance the line counter.
+        let src = "let s = \"a\\\n b\\\n c\";\nlet x = y;";
+        let l = lex(src);
+        let x = l.tokens.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 4);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let l = lex("fn f<'a>(x: &'a u8) -> char { 'b' }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Str && t.text == "'b'"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("a /* x /* y */ z\n */ b\nc");
+        let idents: Vec<_> = l.tokens.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(idents, vec![("a", 1), ("b", 2), ("c", 3)]);
+    }
+
+    #[test]
+    fn allow_comment_with_reason() {
+        let l = lex("x(); // lint:allow(no-panic-in-decode) — bounded by construction\n");
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rules, vec!["no-panic-in-decode"]);
+        assert!(l.allows[0].has_reason);
+        assert_eq!(l.allows[0].line, 1);
+    }
+
+    #[test]
+    fn allow_comment_without_reason() {
+        let l = lex("// lint:allow(no-as-truncation)\ny();");
+        assert_eq!(l.allows.len(), 1);
+        assert!(!l.allows[0].has_reason);
+    }
+
+    #[test]
+    fn allow_comment_multiple_rules() {
+        let l = lex("// lint:allow(a, b) - both fine\n");
+        assert_eq!(l.allows[0].rules, vec!["a", "b"]);
+        assert!(l.allows[0].has_reason);
+    }
+}

@@ -1,0 +1,135 @@
+//! Project-specific static analysis for untrusted decode paths.
+//!
+//! LogGrep queries archives without fully decompressing them, so the
+//! CapsuleBox parser, wire reader, and codec decompressors routinely
+//! consume bytes this process did not produce. This crate walks the
+//! workspace with a hand-rolled Rust lexer and enforces the rules
+//! documented in DESIGN.md ("Static analysis & untrusted-input
+//! hardening"): no panics in decode paths, no unbounded wire-sized
+//! pre-allocation, checked length arithmetic, no truncating casts of
+//! wire integers, and crate-root hygiene.
+//!
+//! Run it as `cargo run -p lint` (add `--json` for machine-readable
+//! output); `scripts/ci.sh` enforces it before tests.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::Diagnostic;
+
+/// Lints every workspace source file under `root` and returns the
+/// diagnostics sorted by file and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut diags = Vec::new();
+    for file in files {
+        let Ok(src) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = relative(root, &file);
+        if let Some(scope) = config::scope_for(&rel) {
+            diags.extend(rules::check_source(&rel, &src, scope));
+        }
+        if let Some(is_lib) = crate_root_kind(&rel) {
+            diags.extend(rules::check_crate_root(&rel, &src, is_lib));
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}
+
+/// Renders diagnostics as a JSON array (no external deps, so by hand).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&d.file),
+            d.line,
+            escape(d.rule),
+            escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted by the caller).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// If `rel` is a crate root, returns `Some(is_lib)`.
+fn crate_root_kind(rel: &str) -> Option<bool> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["src", "lib.rs"] | ["crates", _, "src", "lib.rs"] => Some(true),
+        ["src", "main.rs"] | ["crates", _, "src", "main.rs"] => Some(false),
+        ["crates", _, "src", "bin", f] if f.ends_with(".rs") => Some(false),
+        _ => None,
+    }
+}

@@ -1,0 +1,56 @@
+//! CLI driver: `cargo run -p lint [--json] [root]`.
+//!
+//! Exits 0 when the workspace is clean, 1 when any diagnostic fires,
+//! and 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: lint [--json] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = PathBuf::from(other),
+            other => {
+                eprintln!("lint: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("lint: {} is not a workspace root (no Cargo.toml)", root.display());
+        return ExitCode::from(2);
+    }
+    let diags = match lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", lint::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("lint: clean");
+        } else {
+            println!("lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

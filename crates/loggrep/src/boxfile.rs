@@ -11,8 +11,9 @@ use logparse::{Piece, Template};
 
 /// Magic bytes of the container format.
 const MAGIC: &[u8; 4] = b"LGRB";
-/// Current format version.
-const VERSION: u8 = 1;
+/// Current format version. Version 2 added the CRC-32 integrity
+/// trailer and requires the metadata stream to be fully consumed.
+const VERSION: u8 = 2;
 
 /// Metadata of one group (all entries of one static pattern).
 #[derive(Debug, Clone)]
@@ -106,17 +107,38 @@ impl CapsuleBox {
         }
 
         w.put_bytes(&self.blob);
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let crc = crate::wire::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
     }
 
     /// Deserializes a box.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Corrupt`] on truncation, bad magic, or structural
-    /// inconsistencies (e.g. capsule payload ranges outside the blob).
+    /// Returns [`Error::Corrupt`] on truncation, bad magic, a CRC-32
+    /// trailer mismatch, or structural inconsistencies (e.g. capsule
+    /// payload ranges outside the blob, group rows not summing to
+    /// `total_lines`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let mut r = Reader::new(bytes);
+        // The CRC-32 trailer goes first: any bit-level damage is caught
+        // before the damaged bytes are interpreted structurally.
+        let body_len = bytes
+            .len()
+            .checked_sub(4)
+            .ok_or_else(|| Error::Corrupt("missing checksum trailer".into()))?;
+        let body = bytes
+            .get(..body_len)
+            .ok_or_else(|| Error::Corrupt("missing checksum trailer".into()))?;
+        let want = match bytes.get(body_len..) {
+            Some([a, b, c, d]) => u32::from_le_bytes([*a, *b, *c, *d]),
+            _ => return Err(Error::Corrupt("missing checksum trailer".into())),
+        };
+        if crate::wire::crc32(body) != want {
+            return Err(Error::Corrupt("checksum mismatch".into()));
+        }
+        let mut r = Reader::new(body);
         if r.get_raw(4)? != MAGIC {
             return Err(Error::Corrupt("bad magic".into()));
         }
@@ -128,16 +150,10 @@ impl CapsuleBox {
         let total_lines = r.get_u32()?;
         let raw_size = r.get_u64()?;
 
-        let ngroups = r.get_usize()?;
-        if ngroups > r.remaining() {
-            return Err(Error::Corrupt("group count".into()));
-        }
+        let ngroups = r.get_len(r.remaining())?;
         let mut groups = Vec::with_capacity(ngroups);
         for _ in 0..ngroups {
-            let npieces = r.get_usize()?;
-            if npieces > r.remaining() {
-                return Err(Error::Corrupt("piece count".into()));
-            }
+            let npieces = r.get_len(r.remaining())?;
             let mut pieces = Vec::with_capacity(npieces);
             let mut next_slot = 0usize;
             for _ in 0..npieces {
@@ -156,7 +172,7 @@ impl CapsuleBox {
             }
             let template = Template::from_pieces(pieces);
             let line_numbers = r.get_ascending_u32s()?;
-            let nvec = r.get_usize()?;
+            let nvec = r.get_len(r.remaining())?;
             if nvec != template.slots() {
                 return Err(Error::Corrupt("vector/slot mismatch".into()));
             }
@@ -171,10 +187,7 @@ impl CapsuleBox {
             });
         }
 
-        let ncaps = r.get_usize()?;
-        if ncaps > r.remaining() {
-            return Err(Error::Corrupt("capsule count".into()));
-        }
+        let ncaps = r.get_len(r.remaining())?;
         let mut capsules = Vec::with_capacity(ncaps);
         for _ in 0..ncaps {
             let layout = match r.get_u8()? {
@@ -205,6 +218,9 @@ impl CapsuleBox {
         }
 
         let blob = r.get_bytes()?.to_vec();
+        if r.remaining() != 0 {
+            return Err(Error::Corrupt("trailing bytes after blob".into()));
+        }
         // Validate capsule ranges and references up front so later accesses
         // cannot go out of bounds.
         for c in &capsules {
@@ -212,24 +228,71 @@ impl CapsuleBox {
                 .offset
                 .checked_add(c.clen)
                 .ok_or_else(|| Error::Corrupt("capsule range overflow".into()))?;
-            if end as usize > blob.len() {
+            if end > blob.len() as u64 {
                 return Err(Error::Corrupt("capsule range outside blob".into()));
             }
             codec_by_id(c.codec)?;
         }
+        let mut rows_total = 0u64;
         for g in &groups {
+            let rows = g.rows();
+            rows_total += u64::from(rows);
             for v in &g.vectors {
                 for cid in v.capsules() {
                     if cid as usize >= capsules.len() {
                         return Err(Error::Corrupt("capsule id out of range".into()));
                     }
                 }
+                match v {
+                    VectorMeta::Real { outlier_rows, .. } => {
+                        // Outlier rows must be vector-local, strictly
+                        // ascending, and in range — `pattern_row_map` and
+                        // the outlier lookup in query exec rely on it.
+                        let ascending = outlier_rows
+                            .iter()
+                            .zip(outlier_rows.iter().skip(1))
+                            .all(|(a, b)| a < b);
+                        if !ascending || outlier_rows.last().is_some_and(|&last| last >= rows) {
+                            return Err(Error::Corrupt("outlier rows out of range".into()));
+                        }
+                    }
+                    VectorMeta::Nominal {
+                        patterns, dict_len, ..
+                    } => {
+                        // Region arithmetic must not overflow, and the
+                        // per-pattern counts must sum to the dictionary
+                        // length (the §5.2 direct-jump computation).
+                        VectorMeta::dict_regions(patterns)?;
+                        let counted: u64 =
+                            patterns.iter().map(|p| u64::from(p.count)).sum();
+                        if counted != u64::from(*dict_len) {
+                            return Err(Error::Corrupt("dictionary count mismatch".into()));
+                        }
+                    }
+                    VectorMeta::Plain { .. } => {}
+                }
+            }
+            // Line numbers are ascending by wire construction; they must
+            // also be strictly ascending (each row is a distinct line)
+            // and in range.
+            let strict = g
+                .line_numbers
+                .iter()
+                .zip(g.line_numbers.iter().skip(1))
+                .all(|(a, b)| a < b);
+            if !strict {
+                return Err(Error::Corrupt("duplicate line numbers".into()));
             }
             if let Some(&last) = g.line_numbers.last() {
                 if last >= total_lines {
                     return Err(Error::Corrupt("line number out of range".into()));
                 }
             }
+        }
+        // Groups partition the block's lines, so their row counts must sum
+        // to `total_lines`; `Archive::line_index` sizes its table by it.
+        if rows_total != u64::from(total_lines) {
+            return Err(Error::Corrupt("group rows do not sum to total_lines".into()));
         }
 
         Ok(Self {
@@ -248,10 +311,19 @@ impl CapsuleBox {
             .capsules
             .get(id as usize)
             .ok_or_else(|| Error::Corrupt("capsule id out of range".into()))?;
-        let start = meta.offset as usize;
-        let end = start + meta.clen as usize;
+        let start = usize::try_from(meta.offset)
+            .map_err(|_| Error::Corrupt("capsule offset overflow".into()))?;
+        let clen = usize::try_from(meta.clen)
+            .map_err(|_| Error::Corrupt("capsule length overflow".into()))?;
+        let end = start
+            .checked_add(clen)
+            .ok_or_else(|| Error::Corrupt("capsule range overflow".into()))?;
+        let payload = self
+            .blob
+            .get(start..end)
+            .ok_or_else(|| Error::Corrupt("capsule range outside blob".into()))?;
         let codec = codec_by_id(meta.codec)?;
-        Ok(codec.decompress_tracked(&self.blob[start..end])?)
+        Ok(codec.decompress_tracked(payload)?)
     }
 }
 
@@ -293,10 +365,13 @@ impl Archive {
     /// The line-number → (group, row) map, built on first use.
     pub(crate) fn line_index(&self) -> &[(u32, u32)] {
         self.line_index.get_or_init(|| {
+            // lint:allow(no-untrusted-prealloc) — from_bytes enforces Σ group rows == total_lines, so this allocation is bounded by the archive's actual row count
             let mut index = vec![(u32::MAX, u32::MAX); self.boxed.total_lines as usize];
             for (gid, g) in self.boxed.groups.iter().enumerate() {
                 for (row, &lineno) in g.line_numbers.iter().enumerate() {
-                    index[lineno as usize] = (gid as u32, row as u32);
+                    if let Some(slot) = index.get_mut(lineno as usize) {
+                        *slot = (gid as u32, row as u32);
+                    }
                 }
             }
             index
@@ -408,6 +483,37 @@ mod tests {
             let _ = CapsuleBox::from_bytes(&bad);
             bad[i] ^= 0x1;
         }
+    }
+
+    #[test]
+    fn single_bit_flips_rejected_by_checksum() {
+        let bytes = tiny_box().to_bytes();
+        let mut bad = bytes.clone();
+        for i in 0..bad.len() {
+            for bit in [0x01u8, 0x10, 0x80] {
+                bad[i] ^= bit;
+                assert!(CapsuleBox::from_bytes(&bad).is_err(), "flip {i}:{bit:#x} accepted");
+                bad[i] ^= bit;
+            }
+        }
+    }
+
+    #[test]
+    fn rows_must_sum_to_total_lines() {
+        let mut b = tiny_box();
+        b.total_lines = 3; // Lies: the only group has 2 rows.
+        let bytes = b.to_bytes(); // to_bytes stamps a valid CRC over the lie.
+        assert!(CapsuleBox::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let bytes = tiny_box().to_bytes();
+        let mut body = bytes[..bytes.len() - 4].to_vec();
+        body.push(0xAB);
+        let crc = crate::wire::crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        assert!(CapsuleBox::from_bytes(&body).is_err());
     }
 
     #[test]

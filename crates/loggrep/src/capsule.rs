@@ -98,7 +98,7 @@ pub fn codec_by_id(id: u8) -> Result<Box<dyn codec::Codec>> {
         4 => "cm1",
         _ => return Err(Error::Corrupt(format!("unknown codec id {id}"))),
     };
-    Ok(codec::by_name(name).expect("static codec table"))
+    codec::by_name(name).ok_or_else(|| Error::Corrupt(format!("codec {name} unavailable")))
 }
 
 /// Maps a codec name to its on-disk id.
@@ -158,8 +158,9 @@ impl<'a> CapsuleView<'a> {
     pub fn new(payload: &'a [u8], meta: &CapsuleMeta) -> Result<Self> {
         match meta.layout {
             Layout::Padded { width } => {
-                let width = width as usize;
-                if width == 0 || payload.len() != width * meta.rows as usize {
+                // Compare in u64 so width * rows cannot overflow usize.
+                let expected = u64::from(width) * u64::from(meta.rows);
+                if width == 0 || payload.len() as u64 != expected {
                     return Err(Error::Corrupt(format!(
                         "padded capsule size {} != width {} * rows {}",
                         payload.len(),
@@ -167,22 +168,21 @@ impl<'a> CapsuleView<'a> {
                         meta.rows
                     )));
                 }
-                Ok(CapsuleView::Padded(FixedRows::new(payload, width, PAD)))
+                Ok(CapsuleView::Padded(FixedRows::new(payload, width as usize, PAD)))
             }
             Layout::Raw => Ok(CapsuleView::Raw(payload)),
             Layout::Delimited => {
-                // Payload is value '\n' value '\n' ... (trailing newline).
-                let mut values: Vec<&[u8]> = Vec::with_capacity(meta.rows as usize);
-                if !payload.is_empty() {
-                    if *payload.last().unwrap() != b'\n' {
-                        return Err(Error::Corrupt("delimited capsule missing trailer".into()));
+                // Payload is value '\n' value '\n' ... (trailing newline),
+                // so the declared row count can never exceed the payload
+                // size — the bound caps the reservation for corrupt metas.
+                let mut values: Vec<&[u8]> =
+                    Vec::with_capacity((meta.rows as usize).min(payload.len()));
+                match payload.split_last() {
+                    None => {}
+                    Some((&b'\n', body)) => values.extend(body.split(|&b| b == b'\n')),
+                    Some(_) => {
+                        return Err(Error::Corrupt("delimited capsule missing trailer".into()))
                     }
-                    values.extend(payload[..payload.len() - 1].split(|&b| b == b'\n'));
-                    // An empty payload body after the split of "" yields one
-                    // empty value; normalize for rows == 0.
-                }
-                if meta.rows == 0 {
-                    values.clear();
                 }
                 if values.len() != meta.rows as usize {
                     return Err(Error::Corrupt(format!(
@@ -214,6 +214,7 @@ impl<'a> CapsuleView<'a> {
     pub fn raw(&self) -> &'a [u8] {
         match self {
             CapsuleView::Raw(p) => p,
+            // lint:allow(no-panic-in-decode) — programming-error guard, not data-dependent: callers dispatch on the layout they validated
             _ => panic!("capsule is not raw"),
         }
     }
@@ -222,11 +223,15 @@ impl<'a> CapsuleView<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `row` is out of range.
+    /// Panics if `row` is out of range; callers bound `row` by
+    /// [`CapsuleView::rows`] (row sources — search hits, row maps — are
+    /// validated against the view before lookup).
     pub fn value(&self, row: usize) -> &'a [u8] {
         match self {
             CapsuleView::Padded(f) => f.value(row),
+            // lint:allow(no-panic-in-decode) — contract documented above: callers bound row by rows()
             CapsuleView::Delimited { values, .. } => values[row],
+            // lint:allow(no-panic-in-decode) — programming-error guard, not data-dependent: callers dispatch on the layout they validated
             CapsuleView::Raw(_) => panic!("raw capsules have no row addressing"),
         }
     }
@@ -242,22 +247,26 @@ impl<'a> CapsuleView<'a> {
             CapsuleView::Delimited { values, payload } => {
                 if needle.is_empty() {
                     return (0..values.len() as u32)
-                        .filter(|&r| mode != Mode::Exact || values[r as usize].is_empty())
+                        .filter(|&r| {
+                            mode != Mode::Exact
+                                || values.get(r as usize).copied().unwrap_or_default().is_empty()
+                        })
                         .collect();
                 }
                 // KMP over the whole payload narrows candidates; each
                 // candidate record is verified for the anchored modes.
+                // Record numbers are re-checked against the value table so
+                // a count disagreement degrades to a miss, never a panic.
                 let candidates = Kmp::new(needle).find_records(payload, b'\n');
                 candidates
                     .into_iter()
                     .filter(|&r| {
-                        let v = values[r];
-                        match mode {
+                        values.get(r).copied().is_some_and(|v| match mode {
                             Mode::Contains => true,
                             Mode::Prefix => v.starts_with(needle),
                             Mode::Suffix => v.ends_with(needle),
                             Mode::Exact => v == needle,
-                        }
+                        })
                     })
                     .map(|r| r as u32)
                     .collect()
@@ -270,21 +279,18 @@ impl<'a> CapsuleView<'a> {
     /// jumps, §5.2). Returned rows are absolute (re-based on `start`).
     pub fn find_in_rows(&self, needle: &[u8], mode: Mode, start: u32, end: u32) -> Vec<u32> {
         match self {
-            CapsuleView::Padded(f) => f
-                .slice_rows(start as usize, end as usize)
-                .find(needle, mode)
-                .into_iter()
-                .map(|r| r + start)
-                .collect(),
+            CapsuleView::Padded(f) => {
+                let slice = f.slice_rows(start as usize, end as usize);
+                slice.find(needle, mode).into_iter().map(|r| r + start).collect()
+            }
             CapsuleView::Delimited { values, .. } => (start..end.min(values.len() as u32))
                 .filter(|&r| {
-                    let v = values[r as usize];
-                    match mode {
+                    values.get(r as usize).copied().is_some_and(|v| match mode {
                         Mode::Contains => strsearch::contains(v, needle),
                         Mode::Prefix => v.starts_with(needle),
                         Mode::Suffix => v.ends_with(needle),
                         Mode::Exact => v == needle,
-                    }
+                    })
                 })
                 .collect(),
             CapsuleView::Raw(_) => Vec::new(),

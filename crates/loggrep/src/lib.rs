@@ -32,6 +32,9 @@
 //! assert_eq!(hits.lines.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod boxfile;
 pub mod capsule;
 pub mod config;

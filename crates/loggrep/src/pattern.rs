@@ -57,35 +57,40 @@ impl RuntimePattern {
     ) -> bool {
         match self.segments.get(seg_idx) {
             None => rest.is_empty(),
-            Some(Segment::Const(c)) => {
-                if rest.starts_with(c) {
-                    self.match_segments(&rest[c.len()..], seg_idx + 1, captures)
-                } else {
-                    false
-                }
-            }
+            Some(Segment::Const(c)) => match rest.strip_prefix(c.as_slice()) {
+                Some(tail) => self.match_segments(tail, seg_idx + 1, captures),
+                None => false,
+            },
             Some(Segment::Var(v)) => {
                 // Find where the variable ends: either at the next constant
                 // (try every occurrence, backtracking) or at the end.
                 match self.segments.get(seg_idx + 1) {
-                    None => {
-                        captures[*v] = rest;
-                        true
-                    }
+                    None => match captures.get_mut(*v) {
+                        Some(slot) => {
+                            *slot = rest;
+                            true
+                        }
+                        None => false,
+                    },
                     Some(Segment::Const(c)) => {
                         let mut from = 0usize;
                         while let Some(at) = find_from(rest, c, from) {
-                            captures[*v] = &rest[..at];
-                            if self.match_segments(&rest[at + c.len()..], seg_idx + 2, captures) {
+                            let head = rest.get(..at).unwrap_or_default();
+                            let tail = rest.get(at + c.len()..).unwrap_or_default();
+                            match captures.get_mut(*v) {
+                                Some(slot) => *slot = head,
+                                None => return false,
+                            }
+                            if self.match_segments(tail, seg_idx + 2, captures) {
                                 return true;
                             }
                             from = at + 1;
                         }
                         false
                     }
-                    Some(Segment::Var(_)) => {
-                        unreachable!("adjacent sub-variables violate the pattern invariant")
-                    }
+                    // Rejected by `validate()` at parse time; a hand-built
+                    // pattern violating the invariant simply never matches.
+                    Some(Segment::Var(_)) => false,
                 }
             }
         }
@@ -93,16 +98,15 @@ impl RuntimePattern {
 
     /// Rebuilds a value from sub-variable slices.
     ///
-    /// # Panics
-    ///
-    /// Panics if `subs.len() != self.sub_vars()`.
+    /// Indices out of range for `subs` (impossible for patterns that
+    /// passed [`RuntimePattern::read`] validation) render as empty.
     pub fn render(&self, subs: &[&[u8]]) -> Vec<u8> {
-        assert_eq!(subs.len(), self.sub_vars(), "sub-variable count mismatch");
+        debug_assert_eq!(subs.len(), self.sub_vars(), "sub-variable count mismatch");
         let mut out = Vec::new();
         for seg in &self.segments {
             match seg {
                 Segment::Const(c) => out.extend_from_slice(c),
-                Segment::Var(v) => out.extend_from_slice(subs[*v]),
+                Segment::Var(v) => out.extend_from_slice(subs.get(*v).copied().unwrap_or_default()),
             }
         }
         out
@@ -115,8 +119,11 @@ impl RuntimePattern {
             match seg {
                 Segment::Const(c) => out.push_str(&String::from_utf8_lossy(c)),
                 Segment::Var(v) => {
-                    let s = &self.sub_stamps[*v];
-                    out.push_str(&format!("<typ={},len={}>", s.mask.0, s.max_len));
+                    let (typ, len) = self
+                        .sub_stamps
+                        .get(*v)
+                        .map_or((0, 0), |s| (s.mask.0, s.max_len));
+                    out.push_str(&format!("<typ={typ},len={len}>"));
                 }
             }
         }
@@ -144,9 +151,12 @@ impl RuntimePattern {
         }
     }
 
-    /// Deserializes a pattern.
+    /// Deserializes a pattern and checks the structural invariants, so
+    /// every pattern obtained from archive bytes is safe to match,
+    /// render, and display without bounds surprises.
     pub fn read(r: &mut Reader<'_>) -> Result<Self> {
-        let nsegs = r.get_usize()?;
+        // Every segment occupies at least two bytes on the wire.
+        let nsegs = r.get_len(r.remaining())?;
         let mut segments = Vec::with_capacity(nsegs.min(1024));
         for _ in 0..nsegs {
             segments.push(match r.get_u8()? {
@@ -159,23 +169,55 @@ impl RuntimePattern {
                 }
             });
         }
-        let nstamps = r.get_usize()?;
+        let nstamps = r.get_len(r.remaining())?;
         let mut sub_stamps = Vec::with_capacity(nstamps.min(1024));
         for _ in 0..nstamps {
             sub_stamps.push(Stamp::read(r)?);
         }
-        Ok(Self {
+        let pattern = Self {
             segments,
             sub_stamps,
-        })
+        };
+        pattern.validate()?;
+        Ok(pattern)
+    }
+
+    /// Enforces the type-level invariants on deserialized patterns:
+    /// `Var` indices sequential left-to-right, no adjacent `Var`s, no
+    /// empty `Const`, and exactly one stamp per sub-variable.
+    fn validate(&self) -> Result<()> {
+        let corrupt = |what: &str| crate::error::Error::Corrupt(format!("runtime pattern: {what}"));
+        let mut next_var = 0usize;
+        let mut prev_was_var = false;
+        for seg in &self.segments {
+            match seg {
+                Segment::Const(c) => {
+                    if c.is_empty() {
+                        return Err(corrupt("empty constant segment"));
+                    }
+                    prev_was_var = false;
+                }
+                Segment::Var(v) => {
+                    if prev_was_var {
+                        return Err(corrupt("adjacent sub-variables"));
+                    }
+                    if *v != next_var {
+                        return Err(corrupt("non-sequential sub-variable index"));
+                    }
+                    next_var += 1;
+                    prev_was_var = true;
+                }
+            }
+        }
+        if next_var != self.sub_stamps.len() {
+            return Err(corrupt("sub-variable/stamp count mismatch"));
+        }
+        Ok(())
     }
 }
 
 fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if from > haystack.len() {
-        return None;
-    }
-    strsearch::find(&haystack[from..], needle).map(|p| p + from)
+    strsearch::find(haystack.get(from..)?, needle).map(|p| p + from)
 }
 
 #[cfg(test)]
@@ -272,6 +314,42 @@ mod tests {
         let buf = w.into_bytes();
         let got = RuntimePattern::read(&mut Reader::new(&buf)).unwrap();
         assert_eq!(got, p);
+    }
+
+    #[test]
+    fn corrupt_patterns_rejected_at_read() {
+        let write = |p: &RuntimePattern| {
+            let mut w = Writer::new();
+            p.write(&mut w);
+            w.into_bytes()
+        };
+        // Out-of-range / non-sequential Var index.
+        let bad_idx = RuntimePattern {
+            segments: vec![Segment::Var(3)],
+            sub_stamps: vec![],
+        };
+        assert!(RuntimePattern::read(&mut Reader::new(&write(&bad_idx))).is_err());
+        // Adjacent sub-variables.
+        let adjacent = RuntimePattern {
+            segments: vec![Segment::Var(0), Segment::Var(1)],
+            sub_stamps: vec![
+                Stamp { mask: TypeMask(1), max_len: 1 },
+                Stamp { mask: TypeMask(1), max_len: 1 },
+            ],
+        };
+        assert!(RuntimePattern::read(&mut Reader::new(&write(&adjacent))).is_err());
+        // Empty constant segment.
+        let empty_const = RuntimePattern {
+            segments: vec![Segment::Const(Vec::new())],
+            sub_stamps: vec![],
+        };
+        assert!(RuntimePattern::read(&mut Reader::new(&write(&empty_const))).is_err());
+        // Stamp count mismatch.
+        let missing_stamp = RuntimePattern {
+            segments: vec![Segment::Var(0)],
+            sub_stamps: vec![],
+        };
+        assert!(RuntimePattern::read(&mut Reader::new(&write(&missing_stamp))).is_err());
     }
 
     #[test]

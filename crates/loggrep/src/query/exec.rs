@@ -153,12 +153,25 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
-    fn meta(&self, id: u32) -> &'a CapsuleMeta {
-        &self.archive.boxed.capsules[id as usize]
+    fn meta(&self, id: u32) -> Result<&'a CapsuleMeta> {
+        self.archive
+            .boxed
+            .capsules
+            .get(id as usize)
+            .ok_or_else(|| Error::Corrupt(format!("capsule id {id} out of range")))
+    }
+
+    fn group(&self, gid: usize) -> Result<&'a crate::boxfile::GroupMeta> {
+        self.archive
+            .boxed
+            .groups
+            .get(gid)
+            .ok_or_else(|| Error::Corrupt(format!("group {gid} out of range")))
     }
 
     /// Decompresses (and caches) one Capsule payload.
     fn payload(&mut self, id: u32) -> Result<Arc<Vec<u8>>> {
+        // lint:allow(no-panic-in-decode) — index is reduced modulo the shard-vector length
         let shard = &self.shared.payloads[id as usize % CACHE_SHARDS];
         let mut shard = shard.lock();
         if let Some(p) = shard.get(&id) {
@@ -179,6 +192,7 @@ impl<'a> ExecCtx<'a> {
     /// Row byte-ranges of a delimited Capsule (cached).
     fn ranges(&mut self, id: u32) -> Result<Arc<Vec<(usize, usize)>>> {
         {
+            // lint:allow(no-panic-in-decode) — index is reduced modulo the shard-vector length
             let shard = self.shared.delim_ranges[id as usize % CACHE_SHARDS].lock();
             if let Some(r) = shard.get(&id) {
                 return Ok(r.clone());
@@ -199,6 +213,7 @@ impl<'a> ExecCtx<'a> {
             return Err(Error::Corrupt("delimited capsule missing trailer".into()));
         }
         let arc = Arc::new(ranges);
+        // lint:allow(no-panic-in-decode) — index is reduced modulo the shard-vector length
         self.shared.delim_ranges[id as usize % CACHE_SHARDS]
             .lock()
             .insert(id, arc.clone());
@@ -207,7 +222,7 @@ impl<'a> ExecCtx<'a> {
 
     /// The unpadded value of `row` in a Capsule.
     fn capsule_value(&mut self, id: u32, row: u32) -> Result<Vec<u8>> {
-        let meta = self.meta(id);
+        let meta = self.meta(id)?;
         let payload = self.payload(id)?;
         match meta.layout {
             Layout::Padded { width } => {
@@ -226,7 +241,10 @@ impl<'a> ExecCtx<'a> {
                 let &(lo, hi) = ranges
                     .get(row as usize)
                     .ok_or_else(|| Error::Corrupt("capsule row out of range".into()))?;
-                Ok(payload[lo..hi].to_vec())
+                Ok(payload
+                    .get(lo..hi)
+                    .ok_or_else(|| Error::Corrupt("capsule row range outside payload".into()))?
+                    .to_vec())
             }
             Layout::Raw => Err(Error::Corrupt("raw capsule has no row addressing".into())),
         }
@@ -236,7 +254,7 @@ impl<'a> ExecCtx<'a> {
     fn capsule_find(&mut self, id: u32, needle: &[u8], mode: Mode) -> Result<Vec<u32>> {
         let payload = self.payload(id)?;
         let _span = telemetry::span("search");
-        let meta = self.meta(id);
+        let meta = self.meta(id)?;
         let view = crate::capsule::CapsuleView::new(&payload, meta)?;
         let hits = view.find(needle, mode);
         telemetry::counter!("query.capsule_scans", 1);
@@ -251,7 +269,10 @@ impl<'a> ExecCtx<'a> {
         }
         let _span = telemetry::span("stamp");
         telemetry::counter!("query.stamp_checks", 1);
-        let ok = self.meta(id).stamp.admits(needle);
+        // A bad Capsule id keeps the filter fail-open; the subsequent
+        // decompression reports the Corrupt error with context.
+        let Ok(meta) = self.meta(id) else { return true };
+        let ok = meta.stamp.admits(needle);
         if !ok {
             self.stats.stamp_rejections += 1;
             telemetry::counter!("query.stamp_rejections", 1);
@@ -290,9 +311,13 @@ impl<'a> ExecCtx<'a> {
         let ngroups = self.archive.boxed.groups.len();
         let per_group = self.eval_expr_groups(expr, &vec![false; ngroups])?;
         let mut global = Vec::new();
-        for (gid, rows) in per_group.iter().enumerate() {
-            let lines = &self.archive.boxed.groups[gid].line_numbers;
-            global.extend(rows.iter().map(|r| lines[r as usize]));
+        for (rows, group) in per_group.iter().zip(&self.archive.boxed.groups) {
+            for r in rows.iter() {
+                let line = group.line_numbers.get(r as usize).copied().ok_or_else(|| {
+                    Error::Corrupt("matched row outside group line table".into())
+                })?;
+                global.push(line);
+            }
         }
         Ok(RowSet::from_unsorted(global))
     }
@@ -341,11 +366,14 @@ impl<'a> ExecCtx<'a> {
     /// the serial loop for every pool size.
     fn eval_str_over_groups(&mut self, s: &SearchString, skip: &[bool]) -> Result<Vec<RowSet>> {
         let shared = self.shared;
-        let candidate_rows: u32 = skip
+        let candidate_rows: u32 = self
+            .archive
+            .boxed
+            .groups
             .iter()
-            .enumerate()
+            .zip(skip)
             .filter(|&(_, &skipped)| !skipped)
-            .map(|(gid, _)| self.archive.boxed.groups[gid].rows())
+            .map(|(g, _)| g.rows())
             .sum();
         let active = skip.iter().filter(|&&skipped| !skipped).count();
         if shared.pool.threads() == 1 || active < 2 || candidate_rows < PARALLEL_EVAL_MIN_ROWS {
@@ -361,7 +389,7 @@ impl<'a> ExecCtx<'a> {
         }
         let gids: Vec<usize> = (0..skip.len()).collect();
         let results = shared.pool.try_map(&gids, |_, &gid| {
-            if skip[gid] {
+            if skip.get(gid).copied().unwrap_or(true) {
                 return Ok((RowSet::empty(), QueryStats::default()));
             }
             let _ctx = telemetry::context("query");
@@ -385,7 +413,7 @@ impl<'a> ExecCtx<'a> {
                 // Wildcard string: locate candidates with the longest
                 // literal fragment, then verify by reconstruction.
                 let frag = s.longest_literal();
-                let group_rows = self.archive.boxed.groups[gid].rows();
+                let group_rows = self.group(gid)?.rows();
                 let candidates = if frag.is_empty() {
                     RowSet::all(group_rows)
                 } else {
@@ -407,7 +435,7 @@ impl<'a> ExecCtx<'a> {
 
     /// Rows of a group whose rendered line contains the literal `kw`.
     fn eval_literal_in_group(&mut self, gid: usize, kw: &[u8]) -> Result<RowSet> {
-        let group = &self.archive.boxed.groups[gid];
+        let group = self.group(gid)?;
         let nrows = group.rows();
         if nrows == 0 {
             return Ok(RowSet::empty());
@@ -452,7 +480,9 @@ impl<'a> ExecCtx<'a> {
             if rows.is_empty() {
                 break;
             }
-            let part = &kw[req.lo..req.hi];
+            let part = kw
+                .get(req.lo..req.hi)
+                .ok_or_else(|| Error::Corrupt("plan range outside keyword".into()))?;
             let hit = self.eval_var_req(gid, req.var, part, req.mode)?;
             rows = rows.intersect(&hit);
         }
@@ -470,10 +500,13 @@ impl<'a> ExecCtx<'a> {
     ) -> Result<RowSet> {
         // Borrow through the 'a archive reference, which outlives &mut self,
         // so no clone of the vector metadata is needed.
-        let archive = self.archive;
-        let group = &archive.boxed.groups[gid];
+        let group = self.group(gid)?;
         let nrows = group.rows();
-        match &group.vectors[slot] {
+        let vector = group
+            .vectors
+            .get(slot)
+            .ok_or_else(|| Error::Corrupt("template slot outside vector table".into()))?;
+        match vector {
             VectorMeta::Plain { capsule } => {
                 if !self.stamp_admits(*capsule, needle) {
                     return Ok(RowSet::empty());
@@ -498,11 +531,16 @@ impl<'a> ExecCtx<'a> {
                     needle,
                     mode,
                 )?;
-                // The outlier Capsule is always scanned (§4.1).
+                // The outlier Capsule is always scanned (§4.1). Its row
+                // count is untrusted, so hits are mapped fallibly.
                 if !outlier_rows.is_empty() {
                     let hits = self.capsule_find(*outlier_cap, needle, mode)?;
-                    let mapped: Vec<u32> =
-                        hits.into_iter().map(|r| outlier_rows[r as usize]).collect();
+                    let mut mapped = Vec::with_capacity(hits.len());
+                    for r in hits {
+                        mapped.push(outlier_rows.get(r as usize).copied().ok_or_else(|| {
+                            Error::Corrupt("outlier capsule row outside outlier table".into())
+                        })?);
+                    }
                     out = out.union(&RowSet::from_sorted(mapped));
                 }
                 Ok(out)
@@ -567,8 +605,12 @@ impl<'a> ExecCtx<'a> {
                         if rows.is_empty() {
                             break;
                         }
-                        let part = &needle[req.lo..req.hi];
-                        let cap = sub_caps[req.var];
+                        let part = needle
+                            .get(req.lo..req.hi)
+                            .ok_or_else(|| Error::Corrupt("plan range outside keyword".into()))?;
+                        let cap = sub_caps.get(req.var).copied().ok_or_else(|| {
+                            Error::Corrupt("plan sub-variable outside capsule table".into())
+                        })?;
                         if !self.stamp_admits(cap, part) {
                             rows = RowSet::empty();
                             break;
@@ -579,9 +621,13 @@ impl<'a> ExecCtx<'a> {
                     out = out.union(&rows);
                 }
                 // Map pattern rows to vector rows.
-                Ok(RowSet::from_sorted(
-                    out.iter().map(|pr| map[pr as usize]).collect(),
-                ))
+                let mut vec_rows = Vec::new();
+                for pr in out.iter() {
+                    vec_rows.push(map.get(pr as usize).copied().ok_or_else(|| {
+                        Error::Corrupt("pattern row outside row map".into())
+                    })?);
+                }
+                Ok(RowSet::from_sorted(vec_rows))
             }
         }
     }
@@ -599,8 +645,8 @@ impl<'a> ExecCtx<'a> {
         mode: Mode,
         nrows: u32,
     ) -> Result<RowSet> {
-        let regions = VectorMeta::dict_regions(patterns);
-        let fixed = matches!(self.meta(dict_cap).layout, Layout::Raw);
+        let regions = VectorMeta::dict_regions(patterns)?;
+        let fixed = matches!(self.meta(dict_cap)?.layout, Layout::Raw);
         let mut matched: Vec<u32> = Vec::new();
         for (p, region) in patterns.iter().zip(&regions) {
             if needle.len() as u32 > p.max_len {
@@ -613,18 +659,15 @@ impl<'a> ExecCtx<'a> {
             let hits: Vec<u32> = if fixed {
                 let payload = self.payload(dict_cap)?;
                 let _span = telemetry::span("search");
-                let start = region.byte_offset;
-                let end = start + region.count as usize * region.width as usize;
-                if end > payload.len() {
-                    return Err(Error::Corrupt("dict region outside payload".into()));
-                }
-                FixedRows::new(&payload[start..end], region.width as usize, PAD)
+                let bytes = region_bytes(&payload, region)?;
+                let width = region.width as usize;
+                FixedRows::new(bytes, width, PAD)
                     .find(needle, mode)
                     .into_iter()
                     .map(|r| r + region.first_index)
                     .collect()
             } else {
-                let meta = self.meta(dict_cap);
+                let meta = self.meta(dict_cap)?;
                 let payload = self.payload(dict_cap)?;
                 let _span = telemetry::span("search");
                 let view = crate::capsule::CapsuleView::new(&payload, meta)?;
@@ -655,7 +698,7 @@ impl<'a> ExecCtx<'a> {
             // One pass over the decompressed index Capsule with a membership
             // set (row addressing is O(1) thanks to the fixed width, §5.2).
             let set: HashSet<u32> = matched.into_iter().collect();
-            let meta = self.meta(index_cap);
+            let meta = self.meta(index_cap)?;
             let payload = self.payload(index_cap)?;
             let view = crate::capsule::CapsuleView::new(&payload, meta)?;
             let mut rows = Vec::new();
@@ -688,9 +731,14 @@ impl<'a> ExecCtx<'a> {
                 if !self.archive.use_stamps {
                     return !conjs.is_empty();
                 }
+                // Out-of-range plan references stay fail-open (true): the
+                // filter may only skip a Capsule when the stamp proves a
+                // non-match.
                 let admits_all = |conj: &Conj| {
                     conj.iter().all(|req| {
-                        p.pattern.sub_stamps[req.var].admits(&needle[req.lo..req.hi])
+                        p.pattern.sub_stamps.get(req.var).is_none_or(|s| {
+                            needle.get(req.lo..req.hi).is_none_or(|part| s.admits(part))
+                        })
                     })
                 };
                 if !conjs.is_empty() {
@@ -727,8 +775,12 @@ impl<'a> ExecCtx<'a> {
 
     /// The value of slot `slot` on group row `row`.
     fn slot_value(&mut self, gid: usize, slot: usize, row: u32) -> Result<Vec<u8>> {
-        let archive = self.archive;
-        match &archive.boxed.groups[gid].vectors[slot] {
+        let vector = self
+            .group(gid)?
+            .vectors
+            .get(slot)
+            .ok_or_else(|| Error::Corrupt("template slot outside vector table".into()))?;
+        match vector {
             VectorMeta::Plain { capsule } => self.capsule_value(*capsule, row),
             VectorMeta::Real {
                 pattern,
@@ -758,9 +810,9 @@ impl<'a> ExecCtx<'a> {
 
     /// The dictionary value with global index `idx`.
     fn dict_value(&mut self, patterns: &[DictPattern], dict_cap: u32, idx: u32) -> Result<Vec<u8>> {
-        let fixed = matches!(self.meta(dict_cap).layout, Layout::Raw);
+        let fixed = matches!(self.meta(dict_cap)?.layout, Layout::Raw);
         if fixed {
-            let regions = VectorMeta::dict_regions(patterns);
+            let regions = VectorMeta::dict_regions(patterns)?;
             let region = regions
                 .iter()
                 .rev()
@@ -770,13 +822,18 @@ impl<'a> ExecCtx<'a> {
                 return Err(Error::Corrupt("dict index out of range".into()));
             }
             let payload = self.payload(dict_cap)?;
-            let start = region.byte_offset;
-            let end = start + region.count as usize * region.width as usize;
-            if end > payload.len() {
-                return Err(Error::Corrupt("dict region outside payload".into()));
+            let bytes = region_bytes(&payload, region)?;
+            let width = region.width as usize;
+            let rows = FixedRows::new(bytes, width, PAD);
+            let local = (idx - region.first_index) as usize;
+            if local >= rows.rows() && width > 0 {
+                return Err(Error::Corrupt("dict index outside region".into()));
             }
-            let rows = FixedRows::new(&payload[start..end], region.width as usize, PAD);
-            Ok(rows.value((idx - region.first_index) as usize).to_vec())
+            if width == 0 {
+                // A zero-width region stores only empty values.
+                return Ok(Vec::new());
+            }
+            Ok(rows.value(local).to_vec())
         } else {
             self.capsule_value(dict_cap, idx)
         }
@@ -784,13 +841,14 @@ impl<'a> ExecCtx<'a> {
 
     /// Renders the full original line of group row `row`.
     fn render_row(&mut self, gid: usize, row: u32) -> Result<Vec<u8>> {
-        let slots = self.archive.boxed.groups[gid].vectors.len();
+        let group = self.group(gid)?;
+        let slots = group.vectors.len();
         let mut values = Vec::with_capacity(slots);
         for slot in 0..slots {
             values.push(self.slot_value(gid, slot, row)?);
         }
         let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
-        Ok(self.archive.boxed.groups[gid].template.render(&refs))
+        Ok(group.template.render(&refs))
     }
 
     /// Reconstructs every row of a group and keeps those passing `pred`.
@@ -799,7 +857,7 @@ impl<'a> ExecCtx<'a> {
         gid: usize,
         pred: impl Fn(&[u8]) -> bool,
     ) -> Result<RowSet> {
-        let nrows = self.archive.boxed.groups[gid].rows();
+        let nrows = self.group(gid)?.rows();
         let mut hits = Vec::new();
         for row in 0..nrows {
             let line = self.render_row(gid, row)?;
@@ -862,6 +920,20 @@ impl<'a> ExecCtx<'a> {
         }
         Ok(out)
     }
+}
+
+/// Slices a dictionary region out of a decompressed payload, rejecting
+/// regions whose declared extent overflows or exceeds the payload.
+fn region_bytes<'p>(payload: &'p [u8], region: &crate::vector::DictRegion) -> Result<&'p [u8]> {
+    let span = usize::try_from(u64::from(region.count) * u64::from(region.width))
+        .map_err(|_| Error::Corrupt("dict region overflow".into()))?;
+    let end = region
+        .byte_offset
+        .checked_add(span)
+        .ok_or_else(|| Error::Corrupt("dict region overflow".into()))?;
+    payload
+        .get(region.byte_offset..end)
+        .ok_or_else(|| Error::Corrupt("dict region outside payload".into()))
 }
 
 /// Direct value/needle check shared by scan fallbacks.

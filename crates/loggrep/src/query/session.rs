@@ -80,12 +80,10 @@ impl<'a> RefiningSession<'a> {
     /// Steps back to the previous command (no-op at the start). Returns the
     /// command now in effect.
     pub fn undo(&mut self) -> &str {
-        if self.steps.len() > 1 {
-            self.steps.pop();
-            self.command = self.steps.last().expect("nonempty").clone();
-        } else if self.steps.len() == 1 {
-            self.steps.pop();
-            self.command.clear();
+        self.steps.pop();
+        match self.steps.last() {
+            Some(prev) => self.command = prev.clone(),
+            None => self.command.clear(),
         }
         &self.command
     }

@@ -49,11 +49,11 @@ impl VectorMeta {
     /// For a real vector, builds the mapping pattern-row → vector row (the
     /// rows not stored in the outlier Capsule, ascending).
     pub fn pattern_row_map(outlier_rows: &[u32], total_rows: u32) -> Vec<u32> {
-        let mut map = Vec::with_capacity(total_rows as usize - outlier_rows.len());
-        let mut oi = 0usize;
+        let mut map = Vec::with_capacity((total_rows as usize).saturating_sub(outlier_rows.len()));
+        let mut outliers = outlier_rows.iter().copied().peekable();
         for row in 0..total_rows {
-            if oi < outlier_rows.len() && outlier_rows[oi] == row {
-                oi += 1;
+            if outliers.peek() == Some(&row) {
+                outliers.next();
             } else {
                 map.push(row);
             }
@@ -64,7 +64,14 @@ impl VectorMeta {
     /// For a nominal vector, the dictionary regions as
     /// `(byte_offset, first_dict_index, count, width)`, in order — the §5.2
     /// direct-jump computation `Σ countᵢ × lenᵢ`.
-    pub fn dict_regions(patterns: &[DictPattern]) -> Vec<DictRegion> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the accumulated offsets or indices
+    /// overflow (possible only for corrupt metadata, since legitimate
+    /// region sizes are bounded by the decompressed dictionary payload).
+    pub fn dict_regions(patterns: &[DictPattern]) -> Result<Vec<DictRegion>> {
+        let overflow = || Error::Corrupt("dictionary region overflow".into());
         let mut out = Vec::with_capacity(patterns.len());
         let mut offset = 0usize;
         let mut first = 0u32;
@@ -75,10 +82,12 @@ impl VectorMeta {
                 count: p.count,
                 width: p.max_len,
             });
-            offset += p.count as usize * p.max_len as usize;
-            first += p.count;
+            let span = usize::try_from(u64::from(p.count) * u64::from(p.max_len))
+                .map_err(|_| overflow())?;
+            offset = offset.checked_add(span).ok_or_else(overflow)?;
+            first = first.checked_add(p.count).ok_or_else(overflow)?;
         }
-        out
+        Ok(out)
     }
 
     /// All Capsule ids this vector references.
@@ -154,10 +163,7 @@ impl VectorMeta {
             }),
             1 => {
                 let pattern = RuntimePattern::read(r)?;
-                let n = r.get_usize()?;
-                if n > r.remaining() {
-                    return Err(Error::Corrupt("sub-capsule count".into()));
-                }
+                let n = r.get_len(r.remaining())?;
                 let mut sub_caps = Vec::with_capacity(n);
                 for _ in 0..n {
                     sub_caps.push(r.get_u32()?);
@@ -175,10 +181,7 @@ impl VectorMeta {
                 })
             }
             2 => {
-                let n = r.get_usize()?;
-                if n > r.remaining() {
-                    return Err(Error::Corrupt("pattern count".into()));
-                }
+                let n = r.get_len(r.remaining())?;
                 let mut patterns = Vec::with_capacity(n);
                 for _ in 0..n {
                     let pattern = RuntimePattern::read(r)?;
@@ -296,7 +299,7 @@ mod tests {
             count,
             max_len,
         };
-        let regions = VectorMeta::dict_regions(&[mk(2, 7), mk(1, 4), mk(3, 2)]);
+        let regions = VectorMeta::dict_regions(&[mk(2, 7), mk(1, 4), mk(3, 2)]).unwrap();
         assert_eq!(regions[0], DictRegion { byte_offset: 0, first_index: 0, count: 2, width: 7 });
         assert_eq!(regions[1], DictRegion { byte_offset: 14, first_index: 2, count: 1, width: 4 });
         assert_eq!(regions[2], DictRegion { byte_offset: 18, first_index: 3, count: 3, width: 2 });

@@ -109,10 +109,24 @@ impl<'a> Reader<'a> {
 
     /// Reads a varint.
     pub fn get_u64(&mut self) -> Result<u64> {
-        let (v, n) =
-            varint::get_uvarint(&self.buf[self.pos..]).ok_or_else(|| Self::corrupt("varint"))?;
+        let tail = self.buf.get(self.pos..).unwrap_or_default();
+        let (v, n) = varint::get_uvarint(tail).ok_or_else(|| Self::corrupt("varint"))?;
         self.pos += n;
         Ok(v)
+    }
+
+    /// Reads a length/count varint and rejects anything above `max`.
+    ///
+    /// This is the required entry point for any value that sizes an
+    /// allocation: callers pass the tightest bound they know (usually
+    /// [`Self::remaining`], since every wire element occupies at least
+    /// one byte), so a four-byte varint can never reserve gigabytes.
+    pub fn get_len(&mut self, max: usize) -> Result<usize> {
+        let n = self.get_usize()?;
+        if n > max {
+            return Err(Error::Corrupt(format!("length {n} exceeds bound {max}")));
+        }
+        Ok(n)
     }
 
     /// Reads a `u32` varint, rejecting overflow.
@@ -147,18 +161,19 @@ impl<'a> Reader<'a> {
             .checked_add(len)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| Self::corrupt("byte string"))?;
-        let s = &self.buf[self.pos..end];
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Self::corrupt("byte string"))?;
         self.pos = end;
         Ok(s)
     }
 
     /// Reads a delta-encoded ascending `u32` sequence.
     pub fn get_ascending_u32s(&mut self) -> Result<Vec<u32>> {
-        let n = self.get_usize()?;
-        // Each entry takes at least one byte; reject impossible counts early.
-        if n > self.remaining() {
-            return Err(Self::corrupt("ascending sequence"));
-        }
+        // Each entry takes at least one byte, so `remaining` bounds the
+        // count: an impossible claim is rejected before reserving.
+        let n = self.get_len(self.remaining())?;
         let mut out = Vec::with_capacity(n);
         let mut prev = 0u32;
         for i in 0..n {
@@ -182,7 +197,10 @@ impl<'a> Reader<'a> {
             .checked_add(len)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| Self::corrupt("raw bytes"))?;
-        let s = &self.buf[self.pos..end];
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Self::corrupt("raw bytes"))?;
         self.pos = end;
         Ok(s)
     }
@@ -196,6 +214,36 @@ impl<'a> Reader<'a> {
     pub fn position(&self) -> usize {
         self.pos
     }
+}
+
+/// The standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c; // lint:allow(no-panic-in-decode) — const-evaluated; n < 256 by the loop bound
+        n += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum of `bytes`, used as the CapsuleBox integrity
+/// trailer: it detects all single-bit flips and virtually all burst
+/// corruption, so a damaged archive fails fast with [`Error::Corrupt`]
+/// instead of parsing into a structurally-valid-but-wrong state.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = (c ^ u32::from(b)) & 0xFF;
+        c = CRC_TABLE[idx as usize] ^ (c >> 8); // lint:allow(no-panic-in-decode) — idx is masked to 0..=255
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 #[cfg(test)]
@@ -250,6 +298,36 @@ mod tests {
         w.put_usize(usize::MAX / 2); // Claims a huge element count.
         let buf = w.into_bytes();
         assert!(Reader::new(&buf).get_ascending_u32s().is_err());
+    }
+
+    #[test]
+    fn get_len_enforces_bound() {
+        let mut w = Writer::new();
+        w.put_usize(100);
+        let buf = w.into_bytes();
+        assert_eq!(Reader::new(&buf).get_len(100).unwrap(), 100);
+        assert!(Reader::new(&buf).get_len(99).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at {i}:{bit} undetected");
+                copy[i] ^= 1 << bit;
+            }
+        }
     }
 
     #[test]

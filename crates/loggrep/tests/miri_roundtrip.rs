@@ -1,0 +1,21 @@
+//! A deliberately tiny end-to-end roundtrip, sized so `cargo miri test
+//! --test miri_roundtrip` finishes in reasonable time. CI runs it under
+//! Miri when a nightly toolchain with Miri is available (see
+//! `scripts/ci.sh`); it also runs as a plain test everywhere else.
+
+use loggrep::{Archive, LogGrep, LogGrepConfig};
+
+#[test]
+fn tiny_box_roundtrips_and_answers_queries() {
+    let raw = b"T1 state: SUC#1601\nT2 state: ERR#1602\nT3 state: SUC#1603\n";
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let boxed = engine.compress(raw).unwrap();
+    let bytes = boxed.to_bytes();
+    let archive = Archive::from_bytes(&bytes).unwrap();
+    assert_eq!(archive.total_lines(), 3);
+    let hits = archive.query("ERR#16").unwrap();
+    assert_eq!(hits.lines, vec![b"T2 state: ERR#1602".to_vec()]);
+    let all = archive.reconstruct_all().unwrap();
+    assert_eq!(all.len(), 3);
+    assert_eq!(all[0], b"T1 state: SUC#1601");
+}

@@ -38,6 +38,9 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod template;
 pub mod tokenizer;
 

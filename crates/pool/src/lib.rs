@@ -23,6 +23,9 @@
 //!   inline on the caller with zero spawns, so `threads == 1` is *exactly*
 //!   the serial pipeline, not an emulation of it.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -40,12 +40,14 @@ impl<'a> FixedRows<'a> {
     /// Panics if `width > 0` and `buf.len()` is not a multiple of `width`.
     pub fn new(buf: &'a [u8], width: usize, pad: u8) -> Self {
         if width > 0 {
+            // lint:allow(no-panic-in-decode) — documented contract; decode paths validate size via CapsuleView::new before wrapping
             assert!(
                 buf.len().is_multiple_of(width),
                 "buffer length {} not a multiple of width {width}",
                 buf.len()
             );
         } else {
+            // lint:allow(no-panic-in-decode) — documented contract; decode paths validate size via CapsuleView::new before wrapping
             assert!(buf.is_empty(), "zero width requires an empty buffer");
         }
         Self { buf, width, pad }
@@ -71,7 +73,7 @@ impl<'a> FixedRows<'a> {
         let n = self.rows();
         let lo = start.min(n) * self.width;
         let hi = end.min(n).max(start.min(n)) * self.width;
-        FixedRows::new(&self.buf[lo..hi], self.width, self.pad)
+        FixedRows::new(self.buf.get(lo..hi).unwrap_or_default(), self.width, self.pad)
     }
 
     /// The unpadded value of `row`.
@@ -81,11 +83,13 @@ impl<'a> FixedRows<'a> {
     /// Panics if `row` is out of range.
     pub fn value(&self, row: usize) -> &'a [u8] {
         let start = row * self.width;
+        // lint:allow(no-panic-in-decode) — documented panic contract; callers bound row by rows()
         let raw = &self.buf[start..start + self.width];
         let end = raw
             .iter()
             .rposition(|&b| b != self.pad)
             .map_or(0, |p| p + 1);
+        // lint:allow(no-panic-in-decode) — end ≤ raw.len() by rposition
         &raw[..end]
     }
 
@@ -166,6 +170,7 @@ where
     let mut out = Vec::new();
     for v in values {
         let v = v.as_ref();
+        // lint:allow(no-panic-in-decode) — compression-side helper; inputs are trusted builder output
         assert!(v.len() <= width, "value longer than row width");
         debug_assert!(!v.contains(&pad), "value contains the pad byte");
         out.extend_from_slice(v);

@@ -7,6 +7,9 @@
 //! algorithms, the fixed-width row-search layer built on Boyer-Moore, and the
 //! in-token wildcard matcher used by the query language.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bm;
 pub mod fixed;
 pub mod kmp;

@@ -40,6 +40,9 @@
 //! telemetry::set_enabled(false);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod export;
 mod metrics;
 mod registry;

@@ -24,6 +24,9 @@
 //! assert!(!spec.queries.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod catalog;
 pub mod gen;
 

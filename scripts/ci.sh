@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# CI gate: release build, full test suite at two worker-pool sizes, clippy
-# with warnings denied, and the thread-scaling benchmark.
-# Run from anywhere; operates on the repository this script lives in.
+# CI gate: static analysis, release build, full test suite at two
+# worker-pool sizes, clippy with warnings denied, and the thread-scaling
+# benchmark. Run from anywhere; operates on the repository this script
+# lives in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+
+# Hard gate: the in-tree static analyzer (crates/lint) must report zero
+# diagnostics. It enforces the untrusted-input rules described in
+# DESIGN.md §"Static analysis & untrusted-input hardening"; suppressions
+# require a `// lint:allow(<rule>) — <reason>` comment.
+cargo run -q --release -p lint
 
 # The whole suite must pass with the pool forced serial and forced wide:
 # parallel code paths are required to be behaviorally identical to serial
@@ -14,6 +21,17 @@ LOGGREP_THREADS=1 cargo test -q
 LOGGREP_THREADS=4 cargo test -q
 
 cargo clippy --all-targets -- -D warnings
+
+# Optional: run the tiny roundtrip under Miri when a nightly toolchain
+# with Miri is installed; skip gracefully (with a note) everywhere else.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q 'miri.*(installed)'; then
+    cargo +nightly miri test -p loggrep --test miri_roundtrip
+else
+    echo "ci: miri not available (nightly toolchain + miri component); skipping"
+fi
 
 # Thread-scaling benchmark; BENCH_parallel.json records wall times, speedups
 # vs serial, and the per-stage telemetry breakdown for each thread count.

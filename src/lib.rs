@@ -10,6 +10,9 @@
 //! This crate hosts the workspace-spanning integration tests (`tests/`) and
 //! the runnable examples (`examples/`).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use baselines;
 pub use codec;
 pub use loggrep;
