@@ -1,0 +1,187 @@
+//! Replayable corpus files.
+//!
+//! A corpus file captures one differential case — the query text and the
+//! log blocks — in a line-oriented, escaping-free format (blocks are
+//! length-prefixed, so log lines are stored raw):
+//!
+//! ```text
+//! difftest-case v1
+//! note: <free text, optional>
+//! query: ERROR and blk_*
+//! block: 3
+//! <line 1>
+//! <line 2>
+//! <line 3>
+//! block: 2
+//! <line 1>
+//! <line 2>
+//! ```
+//!
+//! The driver writes a shrunk corpus file for every failure it finds;
+//! committed files under `crates/difftest/corpus/` are replayed by the
+//! test suite as regression fixtures (`tests/replay.rs`).
+
+use crate::query::QueryAst;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One differential case: a query plus the log blocks it runs over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Case {
+    /// The rendered query text.
+    pub query: String,
+    /// Log lines per independently compressed block.
+    pub blocks: Vec<Vec<Vec<u8>>>,
+    /// Optional free-text provenance (seed, case index, failure label).
+    pub note: String,
+}
+
+impl Case {
+    /// Builds a case from generated parts.
+    pub fn new(ast: &QueryAst, blocks: Vec<Vec<Vec<u8>>>) -> Self {
+        Self {
+            query: ast.render(),
+            blocks,
+            note: String::new(),
+        }
+    }
+
+    /// The query AST (re-parsed from the stored text).
+    pub fn ast(&self) -> Option<QueryAst> {
+        QueryAst::parse(&self.query)
+    }
+
+    /// Total lines across all blocks.
+    pub fn total_lines(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Serializes the case in the corpus format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("difftest-case v1\n");
+        if !self.note.is_empty() {
+            let _ = writeln!(out, "note: {}", self.note.replace('\n', " "));
+        }
+        let _ = writeln!(out, "query: {}", self.query);
+        for block in &self.blocks {
+            let _ = writeln!(out, "block: {}", block.len());
+            for line in block {
+                out.push_str(&String::from_utf8_lossy(line));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses a corpus file's text.
+    ///
+    /// Returns a description of the first malformed element on error.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("difftest-case v1") => {}
+            other => return Err(format!("bad header {other:?}")),
+        }
+        let mut note = String::new();
+        let mut query = None;
+        let mut blocks = Vec::new();
+        while let Some(line) = lines.next() {
+            if let Some(rest) = line.strip_prefix("note: ") {
+                note = rest.to_string();
+            } else if let Some(rest) = line.strip_prefix("query: ") {
+                query = Some(rest.to_string());
+            } else if let Some(rest) = line.strip_prefix("block: ") {
+                let n: usize = rest
+                    .parse()
+                    .map_err(|e| format!("bad block count {rest:?}: {e}"))?;
+                let mut block = Vec::with_capacity(n.min(4096));
+                for i in 0..n {
+                    let raw = lines
+                        .next()
+                        .ok_or_else(|| format!("block truncated at line {i} of {n}"))?;
+                    block.push(raw.as_bytes().to_vec());
+                }
+                blocks.push(block);
+            } else if line.is_empty() {
+                continue;
+            } else {
+                return Err(format!("unexpected line {line:?}"));
+            }
+        }
+        let query = query.ok_or_else(|| "missing query".to_string())?;
+        if blocks.is_empty() {
+            return Err("no blocks".to_string());
+        }
+        Ok(Self {
+            query,
+            blocks,
+            note,
+        })
+    }
+
+    /// Writes the case to `dir/<name>.case`, returning the path.
+    pub fn save(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.case"));
+        std::fs::write(&path, self.to_text())?;
+        Ok(path)
+    }
+}
+
+/// Loads every `*.case` file under `dir`, sorted by file name (so replay
+/// order is stable). A missing directory yields an empty list.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Case)>, String> {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "case"))
+            .collect(),
+        Err(_) => return Ok(Vec::new()),
+    };
+    entries.sort();
+    let mut cases = Vec::with_capacity(entries.len());
+    for path in entries {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path:?}: {e}"))?;
+        let case = Case::from_text(&text).map_err(|e| format!("{path:?}: {e}"))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        cases.push((name, case));
+    }
+    Ok(cases)
+}
+
+/// The committed corpus directory of this crate.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let case = Case {
+            query: "ERROR and blk_*".into(),
+            blocks: vec![
+                vec![b"a 1".to_vec(), b"".to_vec(), b"block: 9 decoy".to_vec()],
+                vec![b"b 2".to_vec()],
+            ],
+            note: "seed 5 case 17".into(),
+        };
+        let text = case.to_text();
+        let back = Case::from_text(&text).unwrap();
+        assert_eq!(back, case);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Case::from_text("").is_err());
+        assert!(Case::from_text("difftest-case v1\nquery: x\nblock: 2\nonly-one\n").is_err());
+        assert!(Case::from_text("difftest-case v1\nblock: 0\n").is_err());
+        assert!(Case::from_text("difftest-case v9\nquery: x\n").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Adversarial log generation, layered on [`workloads::gen`].
+//!
+//! A case's log starts from one of two bases — a workload-catalog spec
+//! (`workloads::all_logs()`, the paper's synthetic production/public logs)
+//! or a runtime-built template mix — then a seeded subset of mutators is
+//! applied:
+//!
+//! * **schema drift**: a second, unrelated base is spliced in mid-block, so
+//!   template discovery sees the vocabulary change under its feet;
+//! * **pad-edge tokens**: token lengths pushed to powers-of-two ± 1, the
+//!   edges of fixed-length capsule padding;
+//! * **type-mask flips**: a token's character class flipped mid-vector
+//!   (digits → hex letters → punctuated), breaking class summaries;
+//! * **empty values**: double delimiters and trailing `=` producing
+//!   zero-length variable values, plus entirely empty lines;
+//! * **huge / tiny vectors**: one template replicated hundreds of times
+//!   next to templates that appear exactly once;
+//! * **multi-block**: the final line set split into 1–3 separately
+//!   compressed blocks.
+//!
+//! Every choice draws from the case RNG, so a seed reproduces the log
+//! byte for byte.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Hard cap on lines per case, keeping one case affordable across the
+/// whole engine matrix.
+pub const MAX_LINES: usize = 600;
+
+/// Generates the blocks of one case: `blocks[i]` is the line list of the
+/// i-th independently compressed block.
+pub fn generate_blocks(rng: &mut StdRng) -> Vec<Vec<Vec<u8>>> {
+    let mut lines = base_lines(rng);
+
+    if rng.gen_bool(0.35) {
+        splice_schema_drift(rng, &mut lines);
+    }
+    if rng.gen_bool(0.5) {
+        pad_edge_tokens(rng, &mut lines);
+    }
+    if rng.gen_bool(0.4) {
+        flip_type_masks(rng, &mut lines);
+    }
+    if rng.gen_bool(0.35) {
+        inject_empty_values(rng, &mut lines);
+    }
+    if rng.gen_bool(0.3) {
+        replicate_huge_vector(rng, &mut lines);
+    }
+    if rng.gen_bool(0.4) {
+        // Tiny vector: a template that appears exactly once.
+        let at = rng.gen_range(0usize..lines.len() + 1);
+        lines.insert(at, unique_line(rng));
+    }
+    lines.truncate(MAX_LINES);
+    sanitize(&mut lines);
+
+    split_blocks(rng, lines)
+}
+
+/// The base line set: either a workload-catalog spec or a runtime template
+/// mix.
+fn base_lines(rng: &mut StdRng) -> Vec<Vec<u8>> {
+    if rng.gen_bool(0.45) {
+        catalog_lines(rng)
+    } else {
+        template_mix_lines(rng)
+    }
+}
+
+/// Lines from one of the paper's synthetic workloads.
+fn catalog_lines(rng: &mut StdRng) -> Vec<Vec<u8>> {
+    let specs = workloads::all_logs();
+    let spec = &specs[rng.gen_range(0usize..specs.len())];
+    let raw = spec.generate(rng.next_u64(), rng.gen_range(1024usize..3072));
+    let keep = rng.gen_range(20usize..150);
+    raw.split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .take(keep)
+        .map(|l| l.to_vec())
+        .collect()
+}
+
+/// A runtime-built template: literal words interleaved with variable slots.
+struct Template {
+    parts: Vec<Seg>,
+}
+
+enum Seg {
+    Lit(String),
+    Hex { prefix: String, digits: usize },
+    Dec { lo: u64, hi: u64 },
+    Choice(Vec<String>),
+    Ip,
+    Counter(u64),
+}
+
+impl Template {
+    fn render(&self, rng: &mut StdRng, i: u64, out: &mut Vec<u8>) {
+        for (k, part) in self.parts.iter().enumerate() {
+            if k > 0 {
+                out.push(b' ');
+            }
+            match part {
+                Seg::Lit(s) => out.extend_from_slice(s.as_bytes()),
+                Seg::Hex { prefix, digits } => {
+                    out.extend_from_slice(prefix.as_bytes());
+                    for _ in 0..*digits {
+                        let d = rng.gen_range(0u32..16);
+                        out.push(char::from_digit(d, 16).expect("hex").to_ascii_uppercase() as u8);
+                    }
+                }
+                Seg::Dec { lo, hi } => {
+                    out.extend_from_slice(rng.gen_range(*lo..*hi).to_string().as_bytes())
+                }
+                Seg::Choice(opts) => {
+                    let pick = &opts[rng.gen_range(0usize..opts.len())];
+                    out.extend_from_slice(pick.as_bytes());
+                }
+                Seg::Ip => out.extend_from_slice(
+                    format!("11.{}.{}.{}", rng.gen_range(0u32..4), rng.gen_range(0u32..32), rng.gen_range(1u32..255)).as_bytes(),
+                ),
+                Seg::Counter(start) => out.extend_from_slice((start + i).to_string().as_bytes()),
+            }
+        }
+    }
+}
+
+fn random_literal(rng: &mut StdRng) -> String {
+    const WORDS: &[&str] = &[
+        "read", "write", "ERROR", "INFO", "WARN", "open", "close", "state:", "req", "done",
+        "socket", "len=", "blk", "node", "GET", "PUT", "ts",
+    ];
+    WORDS[rng.gen_range(0usize..WORDS.len())].to_string()
+}
+
+fn random_template(rng: &mut StdRng) -> Template {
+    let parts_n = rng.gen_range(2usize..7);
+    let mut parts = Vec::with_capacity(parts_n);
+    for _ in 0..parts_n {
+        parts.push(match rng.gen_range(0u32..9) {
+            0 | 1 | 2 => Seg::Lit(random_literal(rng)),
+            3 => Seg::Hex {
+                prefix: ["blk_", "id_", "0x", ""][rng.gen_range(0usize..4)].to_string(),
+                digits: rng.gen_range(1usize..10),
+            },
+            4 => Seg::Dec {
+                lo: 0,
+                hi: [10, 100, 65_536, 1_000_000_000][rng.gen_range(0usize..4)],
+            },
+            5 => Seg::Choice(
+                ["OK", "ERR", "SUC#1604", "REQ_ST_CLOSED", "-104", "503"]
+                    .iter()
+                    .take(rng.gen_range(2usize..6))
+                    .map(|s| s.to_string())
+                    .collect(),
+            ),
+            6 => Seg::Ip,
+            7 => Seg::Counter(rng.gen_range(0u64..10_000)),
+            _ => Seg::Lit(format!("t{}", rng.gen_range(0u32..50))),
+        });
+    }
+    Template { parts }
+}
+
+fn template_mix_lines(rng: &mut StdRng) -> Vec<Vec<u8>> {
+    let templates: Vec<Template> = (0..rng.gen_range(1usize..5)).map(|_| random_template(rng)).collect();
+    let n = rng.gen_range(20usize..120);
+    let mut lines = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = &templates[rng.gen_range(0usize..templates.len())];
+        let mut line = Vec::new();
+        t.render(rng, i as u64, &mut line);
+        lines.push(line);
+    }
+    lines
+}
+
+/// Splices a second, unrelated base into the middle: schema drift.
+fn splice_schema_drift(rng: &mut StdRng, lines: &mut Vec<Vec<u8>>) {
+    let mut other = base_lines(rng);
+    other.truncate(rng.gen_range(5usize..60));
+    let at = rng.gen_range(0usize..lines.len() + 1);
+    let tail = lines.split_off(at);
+    lines.extend(other);
+    lines.extend(tail);
+}
+
+/// Pushes a few token lengths to fixed-width padding edges.
+fn pad_edge_tokens(rng: &mut StdRng, lines: &mut [Vec<u8>]) {
+    const EDGES: &[usize] = &[1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65];
+    let hits = rng.gen_range(1usize..6);
+    for _ in 0..hits {
+        if lines.is_empty() {
+            return;
+        }
+        let li = rng.gen_range(0usize..lines.len());
+        let line = String::from_utf8_lossy(&lines[li]).into_owned();
+        let mut words: Vec<String> = line.split(' ').map(|w| w.to_string()).collect();
+        if words.is_empty() {
+            continue;
+        }
+        let wi = rng.gen_range(0usize..words.len());
+        let target = EDGES[rng.gen_range(0usize..EDGES.len())];
+        let fill = *words[wi].as_bytes().last().unwrap_or(&b'k');
+        let mut w = words[wi].clone().into_bytes();
+        w.resize(target, fill);
+        words[wi] = String::from_utf8_lossy(&w).into_owned();
+        lines[li] = words.join(" ").into_bytes();
+    }
+}
+
+/// Flips the character class of one token in a few lines (digit runs become
+/// hex letters and vice versa), changing the type mask mid-vector.
+fn flip_type_masks(rng: &mut StdRng, lines: &mut [Vec<u8>]) {
+    let hits = rng.gen_range(1usize..8);
+    for _ in 0..hits {
+        if lines.is_empty() {
+            return;
+        }
+        let li = rng.gen_range(0usize..lines.len());
+        let line = &mut lines[li];
+        if line.is_empty() {
+            continue;
+        }
+        let at = rng.gen_range(0usize..line.len());
+        for b in line.iter_mut().skip(at).take(4) {
+            *b = match *b {
+                b'0'..=b'9' => *b - b'0' + b'A',
+                b'a'..=b'z' => b'0' + (*b - b'a') % 10,
+                b'A'..=b'Z' => (*b - b'A') % 10 + b'0',
+                other => other,
+            };
+        }
+    }
+}
+
+/// Double delimiters, trailing `=`, and fully empty lines: zero-length
+/// variable values.
+fn inject_empty_values(rng: &mut StdRng, lines: &mut Vec<Vec<u8>>) {
+    let hits = rng.gen_range(1usize..5);
+    for _ in 0..hits {
+        let kind = rng.gen_range(0u32..3);
+        let at = rng.gen_range(0usize..lines.len() + 1);
+        match kind {
+            0 => lines.insert(at, Vec::new()),
+            1 => lines.insert(at, format!("key=  v{} =", rng.gen_range(0u32..100)).into_bytes()),
+            _ => {
+                if !lines.is_empty() {
+                    let li = at.min(lines.len() - 1);
+                    lines[li].push(b'=');
+                }
+            }
+        }
+    }
+}
+
+/// Replicates one line into a huge vector with one varying counter token.
+fn replicate_huge_vector(rng: &mut StdRng, lines: &mut Vec<Vec<u8>>) {
+    if lines.is_empty() {
+        return;
+    }
+    let seed_line = lines[rng.gen_range(0usize..lines.len())].clone();
+    let copies = rng.gen_range(120usize..320);
+    let at = rng.gen_range(0usize..lines.len() + 1);
+    let burst: Vec<Vec<u8>> = (0..copies)
+        .map(|i| {
+            let mut l = seed_line.clone();
+            l.push(b' ');
+            l.extend_from_slice(format!("seq={i}").as_bytes());
+            l
+        })
+        .collect();
+    let tail = lines.split_off(at);
+    lines.extend(burst);
+    lines.extend(tail);
+}
+
+/// A line unlikely to share a template with anything else in the log.
+fn unique_line(rng: &mut StdRng) -> Vec<u8> {
+    format!(
+        "zz{} lone #{} !{}",
+        rng.gen_range(0u32..100_000),
+        rng.gen_range(0u32..100_000),
+        rng.gen_range(0u32..9)
+    )
+    .into_bytes()
+}
+
+/// Strips bytes the pipeline reserves (NUL pad, newlines inside a line)
+/// and anything non-ASCII the mutators could have produced.
+fn sanitize(lines: &mut [Vec<u8>]) {
+    for line in lines.iter_mut() {
+        line.retain(|&b| b != 0 && b != b'\n' && b != b'\r' && b.is_ascii());
+    }
+}
+
+/// Splits the final line set into 1–3 blocks at random cut points.
+fn split_blocks(rng: &mut StdRng, lines: Vec<Vec<u8>>) -> Vec<Vec<Vec<u8>>> {
+    let nblocks = rng.gen_range(1usize..4).min(lines.len().max(1));
+    if nblocks <= 1 || lines.len() < 2 {
+        return vec![lines];
+    }
+    let mut cuts: Vec<usize> = (0..nblocks - 1)
+        .map(|_| rng.gen_range(1usize..lines.len()))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut blocks = Vec::with_capacity(cuts.len() + 1);
+    let mut rest = lines;
+    for cut in cuts.iter().rev() {
+        let tail = rest.split_off(*cut);
+        blocks.push(tail);
+    }
+    blocks.push(rest);
+    blocks.reverse();
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_blocks(&mut StdRng::seed_from_u64(42));
+        let b = generate_blocks(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = generate_blocks(&mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn blocks_are_clean_and_bounded() {
+        for seed in 0..40 {
+            let blocks = generate_blocks(&mut StdRng::seed_from_u64(seed));
+            assert!(!blocks.is_empty());
+            let total: usize = blocks.iter().map(|b| b.len()).sum();
+            assert!(total <= MAX_LINES, "seed {seed}: {total} lines");
+            for line in blocks.iter().flatten() {
+                assert!(
+                    line.iter().all(|&b| b != 0 && b != b'\n' && b.is_ascii()),
+                    "seed {seed}: dirty line {:?}",
+                    String::from_utf8_lossy(line)
+                );
+            }
+        }
+    }
+}

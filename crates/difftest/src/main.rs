@@ -1,0 +1,208 @@
+//! The `difftest` driver: seeded differential fuzzing of the whole engine
+//! matrix.
+//!
+//! ```text
+//! difftest --seed N --cases M [--threads 1,4] [--no-baselines]
+//!          [--corpus-dir DIR] [--bench-out FILE] [--budget-secs S]
+//!          [--replay FILE]
+//! ```
+//!
+//! Stdout is deterministic for a given seed and case count (timings go
+//! only to the `--bench-out` JSON), so two runs with the same arguments
+//! are byte-identical — the reproducibility contract of the harness.
+//! Failures are shrunk and written as replayable corpus files; the exit
+//! code is non-zero when any case failed.
+
+#![forbid(unsafe_code)]
+
+use difftest::corpus::{self, Case};
+use difftest::query::QueryAst;
+use difftest::{case_seed, genlog, shrink, Harness};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    threads: Vec<usize>,
+    with_baselines: bool,
+    corpus_dir: PathBuf,
+    bench_out: Option<String>,
+    budget_secs: Option<u64>,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        cases: 100,
+        threads: vec![1, 4],
+        with_baselines: true,
+        corpus_dir: corpus::default_dir(),
+        bench_out: None,
+        budget_secs: None,
+        replay: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{} needs a value", argv[i]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--seed" => {
+                args.seed = value(i).parse().expect("--seed takes a u64");
+                i += 2;
+            }
+            "--cases" => {
+                args.cases = value(i).parse().expect("--cases takes a u64");
+                i += 2;
+            }
+            "--threads" => {
+                args.threads = value(i)
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("thread count"))
+                    .collect();
+                i += 2;
+            }
+            "--no-baselines" => {
+                args.with_baselines = false;
+                i += 1;
+            }
+            "--corpus-dir" => {
+                args.corpus_dir = PathBuf::from(value(i));
+                i += 2;
+            }
+            "--bench-out" => {
+                args.bench_out = Some(value(i));
+                i += 2;
+            }
+            "--budget-secs" => {
+                args.budget_secs = Some(value(i).parse().expect("--budget-secs takes seconds"));
+                i += 2;
+            }
+            "--replay" => {
+                args.replay = Some(value(i));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let harness = Harness {
+        threads: args.threads.clone(),
+        with_baselines: args.with_baselines,
+        extra: Vec::new(),
+    };
+
+    if let Some(path) = &args.replay {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let case = Case::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        match harness.check(&case) {
+            Ok(()) => println!("replay {path}: PASS"),
+            Err(f) => {
+                println!("replay {path}: FAIL {f}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let start = Instant::now();
+    let mut failures = 0u64;
+    let mut cases_run = 0u64;
+    let mut truncated = false;
+
+    for i in 0..args.cases {
+        if let Some(budget) = args.budget_secs {
+            if start.elapsed().as_secs() >= budget {
+                truncated = true;
+                break;
+            }
+        }
+        cases_run += 1;
+        let mut rng = StdRng::seed_from_u64(case_seed(args.seed, i));
+        let blocks = genlog::generate_blocks(&mut rng);
+        let lines: Vec<Vec<u8>> = blocks.iter().flatten().cloned().collect();
+        let ast = QueryAst::generate(&mut rng, &lines);
+        let case = Case::new(&ast, blocks);
+
+        let Err(failure) = harness.check(&case) else {
+            continue;
+        };
+        failures += 1;
+        println!("case {i}: FAIL {failure}");
+
+        let engine = failure.engine.clone();
+        let shrunk = shrink::minimize(
+            &case,
+            |c| harness.check_filtered(c, Some(&engine)).is_err(),
+            shrink::DEFAULT_BUDGET,
+        );
+        let mut named = shrunk;
+        named.note = format!("seed {} case {i}: {failure}", args.seed);
+        let name = format!("fail-s{}-c{i}", args.seed);
+        match named.save(&args.corpus_dir, &name) {
+            Ok(path) => println!(
+                "case {i}: shrunk to {} lines, query `{}`; saved {}",
+                named.total_lines(),
+                named.query,
+                path.display()
+            ),
+            Err(e) => println!("case {i}: could not save corpus file: {e}"),
+        }
+    }
+
+    if truncated {
+        println!(
+            "difftest: stopped at the wall-clock budget after {cases_run} of {} cases",
+            args.cases
+        );
+    }
+    println!(
+        "difftest: seed={} cases={cases_run} engines={} threads={:?} baselines={} failures={failures}",
+        args.seed,
+        difftest::harness::engine_matrix().len(),
+        args.threads,
+        args.with_baselines,
+    );
+
+    if let Some(out) = &args.bench_out {
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut json = String::new();
+        let _ = write!(
+            json,
+            "{{\n  \"bench\": \"difftest\",\n  \"seed\": {},\n  \"cases\": {cases_run},\n  \"failures\": {failures},\n  \"elapsed_secs\": {elapsed:.3},\n  \"cases_per_sec\": {:.2}\n}}\n",
+            args.seed,
+            if elapsed > 0.0 { cases_run as f64 / elapsed } else { 0.0 },
+        );
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

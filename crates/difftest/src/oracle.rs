@@ -1,0 +1,163 @@
+//! The trivially-correct oracle: a naive in-memory line scanner with its
+//! own tiny query evaluator.
+//!
+//! Nothing here touches `strsearch`, the planner, stamps, or capsules —
+//! matching is re-derived from the language definition alone (§3: a search
+//! string occurs anywhere in the line; `*` matches a possibly-empty run of
+//! non-delimiter bytes and never crosses a delimiter or line break), so a
+//! bug shared between the engine and its fast matchers cannot hide here.
+
+use crate::query::{Op, QueryAst};
+use logparse::DEFAULT_DELIMS;
+
+/// One element of a naively-compiled search string.
+enum Piece {
+    Lit(Vec<u8>),
+    Star,
+}
+
+/// Splits a term's text on `*`, collapsing adjacent stars.
+fn compile(term: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut lit = Vec::new();
+    for &b in term.as_bytes() {
+        if b == b'*' {
+            if !lit.is_empty() {
+                pieces.push(Piece::Lit(std::mem::take(&mut lit)));
+            }
+            if !matches!(pieces.last(), Some(Piece::Star)) {
+                pieces.push(Piece::Star);
+            }
+        } else {
+            lit.push(b);
+        }
+    }
+    if !lit.is_empty() {
+        pieces.push(Piece::Lit(lit));
+    }
+    pieces
+}
+
+/// Does `term` occur in `line` under the language's wildcard semantics?
+pub fn term_matches(term: &str, line: &[u8]) -> bool {
+    let pieces = compile(term);
+    (0..=line.len()).any(|start| match_from(&pieces, line, start))
+}
+
+fn match_from(pieces: &[Piece], line: &[u8], pos: usize) -> bool {
+    match pieces.first() {
+        None => true,
+        Some(Piece::Lit(lit)) => {
+            pos + lit.len() <= line.len()
+                && &line[pos..pos + lit.len()] == lit.as_slice()
+                && match_from(&pieces[1..], line, pos + lit.len())
+        }
+        Some(Piece::Star) => {
+            // Try every run length, longest last; stop at a delimiter.
+            let mut end = pos;
+            loop {
+                if match_from(&pieces[1..], line, end) {
+                    return true;
+                }
+                if end >= line.len() || DEFAULT_DELIMS.contains(&line[end]) || line[end] == b'\n' {
+                    return false;
+                }
+                end += 1;
+            }
+        }
+    }
+}
+
+/// Evaluates a query AST against one line, left to right.
+pub fn ast_matches(ast: &QueryAst, line: &[u8]) -> bool {
+    let mut acc = term_matches(&ast.first, line);
+    for (op, term) in &ast.rest {
+        let rhs = || term_matches(term, line);
+        acc = match op {
+            Op::And => acc && rhs(),
+            Op::Or => acc || rhs(),
+            Op::Not => acc && !rhs(),
+        };
+    }
+    acc
+}
+
+/// The oracle verdict for a whole case: every line (across all blocks, in
+/// order) that the query matches.
+pub fn matching_lines(blocks: &[Vec<Vec<u8>>], ast: &QueryAst) -> Vec<Vec<u8>> {
+    blocks
+        .iter()
+        .flatten()
+        .filter(|line| ast_matches(ast, line))
+        .cloned()
+        .collect()
+}
+
+/// Naive find-all for substring searchers (the `strsearch` reference).
+pub fn naive_find_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return Vec::new();
+    }
+    (0..=haystack.len() - needle.len())
+        .filter(|&i| &haystack[i..i + needle.len()] == needle)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_wildcard_semantics() {
+        assert!(term_matches("read", b"T134 bk.FF.13 read"));
+        assert!(term_matches("dst:11.8.*", b"error dst:11.8.42 x"));
+        assert!(!term_matches("dst:11.9.*", b"error dst:11.8.42 x"));
+        // A star never crosses a delimiter.
+        assert!(!term_matches("dst:*done", b"dst:abc then done"));
+        assert!(term_matches("a*b", b"ab"));
+        assert!(term_matches("state: SUC", b"T169 state: SUC#1604"));
+    }
+
+    #[test]
+    fn ast_evaluation_is_left_associative() {
+        // A or B not C  ==  (A or B) not C
+        let ast = QueryAst {
+            first: "alpha".into(),
+            rest: vec![(Op::Or, "beta".into()), (Op::Not, "gamma".into())],
+        };
+        assert!(ast_matches(&ast, b"beta"));
+        assert!(!ast_matches(&ast, b"beta gamma"));
+        assert!(!ast_matches(&ast, b"delta"));
+    }
+
+    /// The independent evaluator must agree with the language's reference
+    /// matcher (they are written separately on purpose).
+    #[test]
+    fn agrees_with_lang_reference() {
+        use loggrep::query::lang::SearchString;
+        let lines: &[&[u8]] = &[
+            b"error dst:11.8.42 x",
+            b"dst:abc then done",
+            b"T169 state: SUC#1604",
+            b"",
+            b"blk_",
+        ];
+        for term in ["dst:*", "*one", "blk_*", "S*C", "state: S*", "x", "11.8"] {
+            let reference = SearchString::compile(term).unwrap();
+            for line in lines {
+                assert_eq!(
+                    term_matches(term, line),
+                    reference.matches_line(line, DEFAULT_DELIMS),
+                    "term {term:?} line {:?}",
+                    String::from_utf8_lossy(line)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naive_find_all_basics() {
+        assert_eq!(naive_find_all(b"", b"a"), Vec::<usize>::new());
+        assert_eq!(naive_find_all(b"abab", b"ab"), vec![0, 2]);
+    }
+}

@@ -1,0 +1,363 @@
+//! Grammar-based query generation.
+//!
+//! The query language is left-associative (`A and B not C or D` means
+//! `((A and B) not C) or D`, see [`loggrep::query::lang::Query::parse`]),
+//! so every expressible query is a left-deep chain. [`QueryAst`] models
+//! exactly that shape: a first term plus a list of `(operator, term)`
+//! steps. Terms are sampled from the log under test — exact tokens,
+//! substrings, in-token wildcards — plus adversarial near-misses that
+//! straddle capsule/stamp boundaries (off-by-one bytes at stamp min/max
+//! edges, length extensions past pad widths).
+
+use loggrep::query::lang::{Expr, Query, SearchString};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A binary query operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Both sides must match.
+    And,
+    /// Either side matches.
+    Or,
+    /// Left matches and right does not.
+    Not,
+}
+
+impl Op {
+    /// The operator keyword as it appears in a rendered query.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Not => "not",
+        }
+    }
+}
+
+/// A generated query: a left-deep operator chain over search-string terms.
+///
+/// Terms are stored as their raw text (single-space separated words, no
+/// operator words) so the AST pretty-prints unambiguously and re-parses to
+/// an equal expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAst {
+    /// The leftmost search string.
+    pub first: String,
+    /// The remaining `(operator, search string)` steps, applied in order.
+    pub rest: Vec<(Op, String)>,
+}
+
+impl QueryAst {
+    /// Pretty-prints the query in canonical form (single spaces, lowercase
+    /// operators).
+    pub fn render(&self) -> String {
+        let mut out = self.first.clone();
+        for (op, term) in &self.rest {
+            out.push(' ');
+            out.push_str(op.keyword());
+            out.push(' ');
+            out.push_str(term);
+        }
+        out
+    }
+
+    /// The expression tree this AST denotes, built directly (not through
+    /// the parser) — the reference for the round-trip property.
+    pub fn expr(&self) -> Expr {
+        let mut e = Expr::Str(SearchString::compile(&self.first).expect("valid term"));
+        for (op, term) in &self.rest {
+            let rhs = Expr::Str(SearchString::compile(term).expect("valid term"));
+            e = match op {
+                Op::And => Expr::And(Box::new(e), Box::new(rhs)),
+                Op::Or => Expr::Or(Box::new(e), Box::new(rhs)),
+                Op::Not => Expr::Not(Box::new(e), Box::new(rhs)),
+            };
+        }
+        e
+    }
+
+    /// Every term of the chain, left to right.
+    pub fn terms(&self) -> Vec<&str> {
+        std::iter::once(self.first.as_str())
+            .chain(self.rest.iter().map(|(_, t)| t.as_str()))
+            .collect()
+    }
+
+    /// Rebuilds an AST from a rendered query (used by corpus replay). Only
+    /// left-deep chains are expressible, so this is total for any text
+    /// [`Query::parse`] accepts.
+    pub fn parse(text: &str) -> Option<QueryAst> {
+        let query = Query::parse(text).ok()?;
+        let mut rest_rev: Vec<(Op, String)> = Vec::new();
+        let mut cur = query.expr;
+        let first = loop {
+            match cur {
+                Expr::Str(s) => break s.raw,
+                Expr::And(l, r) => {
+                    rest_rev.push((Op::And, str_of(*r)?));
+                    cur = *l;
+                }
+                Expr::Or(l, r) => {
+                    rest_rev.push((Op::Or, str_of(*r)?));
+                    cur = *l;
+                }
+                Expr::Not(l, r) => {
+                    rest_rev.push((Op::Not, str_of(*r)?));
+                    cur = *l;
+                }
+            }
+        };
+        rest_rev.reverse();
+        Some(QueryAst {
+            first,
+            rest: rest_rev,
+        })
+    }
+
+    /// Generates a random query whose tokens are sampled from `lines`.
+    pub fn generate(rng: &mut StdRng, lines: &[Vec<u8>]) -> QueryAst {
+        let first = gen_term(rng, lines);
+        let steps = rng.gen_range(0usize..4);
+        let mut rest = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let op = match rng.gen_range(0u32..3) {
+                0 => Op::And,
+                1 => Op::Or,
+                _ => Op::Not,
+            };
+            rest.push((op, gen_term(rng, lines)));
+        }
+        QueryAst { first, rest }
+    }
+}
+
+fn str_of(e: Expr) -> Option<String> {
+    match e {
+        Expr::Str(s) => Some(s.raw),
+        _ => None,
+    }
+}
+
+/// True when `word` can be one word of a search-string term: non-empty,
+/// no whitespace or newlines, and not an operator keyword.
+pub fn valid_term_word(word: &str) -> bool {
+    !word.is_empty()
+        && !word.bytes().any(|b| b.is_ascii_whitespace() || b == 0)
+        && !matches!(word.to_ascii_lowercase().as_str(), "and" | "or" | "not")
+}
+
+/// True when `term` is a well-formed search string the generator may emit:
+/// every word valid, at least one word with literal (non-`*`) content, and
+/// the whole string compiles (rejects all-star).
+pub fn valid_term(term: &str) -> bool {
+    let words: Vec<&str> = term.split(' ').collect();
+    !words.is_empty()
+        && words.iter().all(|w| valid_term_word(w))
+        && words.iter().any(|w| w.bytes().any(|b| b != b'*'))
+        && SearchString::compile(term).is_ok()
+}
+
+/// Draws one search-string term from the log under test.
+fn gen_term(rng: &mut StdRng, lines: &[Vec<u8>]) -> String {
+    for _ in 0..64 {
+        let candidate = propose_term(rng, lines);
+        if valid_term(&candidate) && candidate.len() <= 160 {
+            return candidate;
+        }
+    }
+    // Extremely unlikely fallback (e.g. a pathological empty log).
+    "x".to_string()
+}
+
+/// Tokens of one line, split on the default delimiters (what becomes a
+/// variable value or static-pattern token downstream).
+fn line_tokens(line: &[u8]) -> Vec<String> {
+    line.split(|b| logparse::DEFAULT_DELIMS.contains(b))
+        .filter(|t| !t.is_empty())
+        .map(|t| String::from_utf8_lossy(t).into_owned())
+        .collect()
+}
+
+fn pick_line<'a>(rng: &mut StdRng, lines: &'a [Vec<u8>]) -> &'a [u8] {
+    if lines.is_empty() {
+        return b"";
+    }
+    &lines[rng.gen_range(0usize..lines.len())]
+}
+
+fn pick_token(rng: &mut StdRng, lines: &[Vec<u8>]) -> Option<String> {
+    for _ in 0..8 {
+        let tokens = line_tokens(pick_line(rng, lines));
+        if !tokens.is_empty() {
+            return Some(tokens[rng.gen_range(0usize..tokens.len())].clone());
+        }
+    }
+    None
+}
+
+fn propose_term(rng: &mut StdRng, lines: &[Vec<u8>]) -> String {
+    let Some(token) = pick_token(rng, lines) else {
+        return random_word(rng);
+    };
+    match rng.gen_range(0u32..10) {
+        // Exact token: straight hit on one variable value or static token.
+        0 | 1 => token,
+        // Substring of a token (tests partial matching inside capsules).
+        2 => substring(rng, &token),
+        // In-token wildcard variants.
+        3 => wildcardize(rng, &token),
+        // Near-miss: one byte off — straddles a stamp's min/max edge.
+        4 => near_miss(rng, &token),
+        // Length edge: extend past the capsule pad width.
+        5 => {
+            let mut t = token;
+            let b = *t.as_bytes().last().unwrap_or(&b'x');
+            let extra = rng.gen_range(1usize..4);
+            for _ in 0..extra {
+                t.push(b as char);
+            }
+            t
+        }
+        // Multi-word phrase straight from one line.
+        6 | 7 => phrase(rng, lines),
+        // Token from one line wildcarded against the whole log.
+        8 => {
+            let sub = substring(rng, &token);
+            wildcardize(rng, &sub)
+        }
+        // Purely random word (usually matches nothing).
+        _ => random_word(rng),
+    }
+}
+
+fn substring(rng: &mut StdRng, token: &str) -> String {
+    let bytes = token.as_bytes();
+    if bytes.len() <= 1 {
+        return token.to_string();
+    }
+    let start = rng.gen_range(0usize..bytes.len());
+    let hi = bytes.len() + 1;
+    let end = rng.gen_range(start + 1..hi);
+    String::from_utf8_lossy(&bytes[start..end]).into_owned()
+}
+
+fn wildcardize(rng: &mut StdRng, token: &str) -> String {
+    let bytes = token.as_bytes();
+    if bytes.is_empty() {
+        return "*x".to_string();
+    }
+    match rng.gen_range(0u32..4) {
+        // prefix*
+        0 => {
+            let keep = rng.gen_range(1usize..bytes.len() + 1);
+            format!("{}*", String::from_utf8_lossy(&bytes[..keep]))
+        }
+        // *suffix
+        1 => {
+            let keep = rng.gen_range(1usize..bytes.len() + 1);
+            format!("*{}", String::from_utf8_lossy(&bytes[bytes.len() - keep..]))
+        }
+        // pre*post (middle elided)
+        2 => {
+            let a = rng.gen_range(0usize..bytes.len());
+            let b = rng.gen_range(a..bytes.len() + 1);
+            format!(
+                "{}*{}",
+                String::from_utf8_lossy(&bytes[..a]),
+                String::from_utf8_lossy(&bytes[b..])
+            )
+        }
+        // star inserted at a random position
+        _ => {
+            let at = rng.gen_range(0usize..bytes.len() + 1);
+            format!(
+                "{}*{}",
+                String::from_utf8_lossy(&bytes[..at]),
+                String::from_utf8_lossy(&bytes[at..])
+            )
+        }
+    }
+}
+
+fn near_miss(rng: &mut StdRng, token: &str) -> String {
+    let mut bytes = token.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return "q".to_string();
+    }
+    let i = rng.gen_range(0usize..bytes.len());
+    match rng.gen_range(0u32..3) {
+        // Nudge one byte up/down: lands just outside a stamp's [min, max].
+        0 => bytes[i] = bytes[i].saturating_add(1).clamp(b'!', b'~'),
+        1 => bytes[i] = bytes[i].saturating_sub(1).clamp(b'!', b'~'),
+        // Swap in an uncommon printable byte.
+        _ => bytes[i] = b'~',
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn phrase(rng: &mut StdRng, lines: &[Vec<u8>]) -> String {
+    let line = pick_line(rng, lines);
+    let words: Vec<&str> = std::str::from_utf8(line)
+        .ok()
+        .map(|s| s.split_whitespace().collect())
+        .unwrap_or_default();
+    let usable: Vec<&str> = words.into_iter().filter(|w| valid_term_word(w)).collect();
+    if usable.is_empty() {
+        return random_word(rng);
+    }
+    let start = rng.gen_range(0usize..usable.len());
+    let len = rng.gen_range(1usize..4.min(usable.len() - start) + 1);
+    usable[start..start + len].join(" ")
+}
+
+fn random_word(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..7);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn render_parse_roundtrip_simple() {
+        let ast = QueryAst {
+            first: "ERROR".into(),
+            rest: vec![(Op::And, "blk_*".into()), (Op::Not, "state:OK".into())],
+        };
+        let text = ast.render();
+        assert_eq!(text, "ERROR and blk_* not state:OK");
+        assert_eq!(QueryAst::parse(&text), Some(ast.clone()));
+        let parsed = Query::parse(&text).unwrap();
+        assert_eq!(parsed.expr, ast.expr());
+    }
+
+    #[test]
+    fn generated_terms_are_valid(){
+        let mut rng = StdRng::seed_from_u64(7);
+        let lines: Vec<Vec<u8>> = vec![
+            b"T134 bk.FF.13 read state: SUC#1604".to_vec(),
+            b"error dst:11.8.42 x and not or".to_vec(),
+            b"".to_vec(),
+        ];
+        for _ in 0..500 {
+            let ast = QueryAst::generate(&mut rng, &lines);
+            for term in ast.terms() {
+                assert!(valid_term(term), "term {term:?}");
+            }
+            assert!(Query::parse(&ast.render()).is_ok(), "{:?}", ast.render());
+        }
+    }
+
+    #[test]
+    fn operator_words_never_sampled() {
+        assert!(!valid_term_word("AND"));
+        assert!(!valid_term_word("not"));
+        assert!(!valid_term_word(""));
+        assert!(valid_term_word("android")); // contains but is not an operator
+    }
+}

@@ -1,0 +1,305 @@
+//! Failure minimization: drop lines → shorten tokens → simplify the query.
+//!
+//! The minimizer is generic over a *still-fails* predicate so the harness
+//! self-test can shrink against an injected bug exactly the way the driver
+//! shrinks against a real one. Shrinking is budgeted (each predicate call
+//! re-runs the failing engine) and deterministic: candidates are tried in
+//! a fixed order, greedily keeping any smaller case that still fails.
+
+use crate::corpus::Case;
+use crate::query::QueryAst;
+
+/// Upper bound on predicate evaluations per shrink run.
+pub const DEFAULT_BUDGET: usize = 400;
+
+/// Minimizes `case` while `still_fails` holds, within `budget` predicate
+/// calls. Returns the smallest failing case found (possibly the input).
+pub fn minimize<F>(case: &Case, mut still_fails: F, budget: usize) -> Case
+where
+    F: FnMut(&Case) -> bool,
+{
+    let mut best = case.clone();
+    let mut calls = 0usize;
+    let mut check = |c: &Case, calls: &mut usize| -> bool {
+        if *calls >= budget {
+            return false;
+        }
+        *calls += 1;
+        c.total_lines() > 0 && still_fails(c)
+    };
+
+    // Pass 1: structural — merge blocks, then delete line chunks.
+    loop {
+        let mut improved = false;
+        if best.blocks.len() > 1 {
+            let merged = Case {
+                blocks: vec![best.blocks.iter().flatten().cloned().collect()],
+                ..best.clone()
+            };
+            if check(&merged, &mut calls) {
+                best = merged;
+                improved = true;
+            }
+        }
+        if drop_line_chunks(&mut best, &mut |c| check(c, &mut calls)) {
+            improved = true;
+        }
+        if !improved || calls >= budget {
+            break;
+        }
+    }
+
+    // Pass 2: shorten surviving lines token by token.
+    shorten_lines(&mut best, &mut |c| check(c, &mut calls));
+
+    // Pass 3: simplify the query AST.
+    simplify_query(&mut best, &mut |c| check(c, &mut calls));
+
+    best
+}
+
+/// ddmin-style chunked line deletion across all blocks.
+fn drop_line_chunks<F>(best: &mut Case, check: &mut F) -> bool
+where
+    F: FnMut(&Case) -> bool,
+{
+    let mut improved = false;
+    let mut chunk = best.total_lines().div_ceil(2).max(1);
+    while chunk >= 1 {
+        let mut index = 0usize;
+        loop {
+            let total = best.total_lines();
+            if index >= total {
+                break;
+            }
+            let candidate = remove_range(best, index, chunk);
+            if candidate.total_lines() < total && check(&candidate) {
+                *best = candidate;
+                improved = true;
+                // Same index now points at fresh lines.
+            } else {
+                index += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    improved
+}
+
+/// Removes `count` lines starting at flat index `start`, dropping blocks
+/// that become empty.
+fn remove_range(case: &Case, start: usize, count: usize) -> Case {
+    let mut out = case.clone();
+    let mut flat = 0usize;
+    for block in &mut out.blocks {
+        block.retain(|_| {
+            let keep = !(start..start + count).contains(&flat);
+            flat += 1;
+            keep
+        });
+    }
+    out.blocks.retain(|b| !b.is_empty());
+    out
+}
+
+/// Tries truncating each line (drop trailing words, then halve the line).
+fn shorten_lines<F>(best: &mut Case, check: &mut F)
+where
+    F: FnMut(&Case) -> bool,
+{
+    for bi in 0..best.blocks.len() {
+        for li in 0..best.blocks[bi].len() {
+            // Drop trailing whitespace-separated words.
+            loop {
+                let line = &best.blocks[bi][li];
+                let Some(cut) = line.iter().rposition(|&b| b == b' ') else {
+                    break;
+                };
+                let mut candidate = best.clone();
+                candidate.blocks[bi][li].truncate(cut);
+                if check(&candidate) {
+                    *best = candidate;
+                } else {
+                    break;
+                }
+            }
+            // Halve what remains.
+            loop {
+                let len = best.blocks[bi][li].len();
+                if len < 2 {
+                    break;
+                }
+                let mut candidate = best.clone();
+                candidate.blocks[bi][li].truncate(len / 2);
+                if check(&candidate) {
+                    *best = candidate;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Simplifies the query: drop chain steps, drop words, shorten terms,
+/// strip wildcards.
+fn simplify_query<F>(best: &mut Case, check: &mut F)
+where
+    F: FnMut(&Case) -> bool,
+{
+    let Some(mut ast) = best.ast() else {
+        return;
+    };
+
+    // Drop whole (op, term) steps, last first (cheap to re-render).
+    let mut i = ast.rest.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = ast.clone();
+        candidate.rest.remove(i);
+        if try_query(best, &candidate, check) {
+            ast = candidate;
+        }
+    }
+    // Promote a later term to `first` (drops the first term).
+    if !ast.rest.is_empty() {
+        let mut candidate = ast.clone();
+        let (_, term) = candidate.rest.remove(0);
+        candidate.first = term;
+        if try_query(best, &candidate, check) {
+            ast = candidate;
+        }
+    }
+
+    // Per-term simplifications.
+    for ti in 0..=ast.rest.len() {
+        loop {
+            let term = term_at(&ast, ti).to_string();
+            let mut progressed = false;
+            for simpler in simpler_terms(&term) {
+                let mut candidate = ast.clone();
+                *term_at_mut(&mut candidate, ti) = simpler;
+                if crate::query::valid_term(term_at(&candidate, ti))
+                    && try_query(best, &candidate, check)
+                {
+                    ast = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+fn term_at(ast: &QueryAst, i: usize) -> &str {
+    if i == 0 {
+        &ast.first
+    } else {
+        &ast.rest[i - 1].1
+    }
+}
+
+fn term_at_mut(ast: &mut QueryAst, i: usize) -> &mut String {
+    if i == 0 {
+        &mut ast.first
+    } else {
+        &mut ast.rest[i - 1].1
+    }
+}
+
+/// Candidate simplifications of one term, in preference order.
+fn simpler_terms(term: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // Drop a word (multi-word phrases first shrink to single words).
+    let words: Vec<&str> = term.split(' ').collect();
+    if words.len() > 1 {
+        for drop in 0..words.len() {
+            let kept: Vec<&str> = words
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, w)| *w)
+                .collect();
+            out.push(kept.join(" "));
+        }
+    }
+    // Strip wildcards.
+    if term.contains('*') {
+        out.push(term.replace('*', ""));
+    }
+    // Halve and chop one byte off either end (ASCII only: corpus files may
+    // carry multibyte text where byte slicing would split a char).
+    if term.len() >= 2 && term.is_ascii() {
+        out.push(term[..term.len() / 2].to_string());
+        out.push(term[1..].to_string());
+        out.push(term[..term.len() - 1].to_string());
+    }
+    out
+}
+
+fn try_query<F>(best: &mut Case, ast: &QueryAst, check: &mut F) -> bool
+where
+    F: FnMut(&Case) -> bool,
+{
+    let mut candidate = best.clone();
+    candidate.query = ast.render();
+    if check(&candidate) {
+        *best = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case_of(lines: &[&str], query: &str) -> Case {
+        Case {
+            query: query.to_string(),
+            blocks: vec![lines.iter().map(|l| l.as_bytes().to_vec()).collect()],
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn minimizes_to_the_triggering_line() {
+        // "Bug": any case whose log contains a line with "BAD" fails.
+        let case = case_of(
+            &["ok one", "ok two", "BAD apple", "ok three", "ok four"],
+            "apple and ok or zz*9",
+        );
+        let shrunk = minimize(
+            &case,
+            |c| c.blocks.iter().flatten().any(|l| l.windows(3).any(|w| w == b"BAD")),
+            DEFAULT_BUDGET,
+        );
+        assert_eq!(shrunk.total_lines(), 1);
+        let line = &shrunk.blocks[0][0];
+        assert!(line.len() <= 3, "{:?}", String::from_utf8_lossy(line));
+        // The query also shrank to a single short term.
+        assert!(shrunk.query.len() < case.query.len());
+    }
+
+    #[test]
+    fn multi_block_failures_merge() {
+        let case = Case {
+            query: "x".into(),
+            blocks: vec![
+                vec![b"x 1".to_vec()],
+                vec![b"noise".to_vec(), b"x 2".to_vec()],
+            ],
+            note: String::new(),
+        };
+        let shrunk = minimize(&case, |c| c.total_lines() >= 1, DEFAULT_BUDGET);
+        assert_eq!(shrunk.blocks.len(), 1);
+        assert_eq!(shrunk.total_lines(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared proptest strategies and assertion helpers.
+//!
+//! The per-crate property tests (`logparse`, `strsearch`, `baselines`,
+//! `loggrep`) previously each carried their own copy of "structured-ish
+//! line", "random log" and "random query" generators plus a naive oracle.
+//! They live here once, parameterized by vocabulary, so every suite draws
+//! from the same machinery — and the oracle they assert against is this
+//! crate's independent evaluator, not the engine's own matcher.
+
+use crate::oracle;
+use crate::query::QueryAst;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::{boxed, Union};
+
+/// One word drawn from `atoms` — each atom is either a literal word or a
+/// character-class pattern like `"[a-z]{1,6}"` (the vendor proptest's
+/// regex subset).
+pub fn word_strategy(atoms: &'static [&'static str]) -> Union<String> {
+    Union::new(atoms.iter().map(|a| boxed(*a)).collect())
+}
+
+/// A line of 1..`max_words` space-separated words from `atoms`.
+pub fn line_strategy(
+    atoms: &'static [&'static str],
+    max_words: usize,
+) -> impl Strategy<Value = String> {
+    vec(word_strategy(atoms), 1..max_words.max(2)).prop_map(|words| words.join(" "))
+}
+
+/// A whole log: `lines` lines from [`line_strategy`], newline-joined with
+/// a trailing newline.
+pub fn log_strategy(
+    atoms: &'static [&'static str],
+    max_words: usize,
+    lines: std::ops::Range<usize>,
+) -> impl Strategy<Value = String> {
+    vec(line_strategy(atoms, max_words), lines).prop_map(|lines| {
+        let mut s = lines.join("\n");
+        s.push('\n');
+        s
+    })
+}
+
+/// A query chain of 1..=`max_ops`+1 terms from `terms`, joined by random
+/// `and`/`or`/`not` operators. Terms may contain `*` wildcards; callers
+/// skip the (rare) samples [`loggrep::query::lang::Query::parse`] rejects,
+/// e.g. all-star terms.
+pub fn query_strategy(
+    terms: &'static [&'static str],
+    max_ops: usize,
+) -> impl Strategy<Value = String> {
+    let op = prop_oneof![
+        Just(" and ".to_string()),
+        Just(" or ".to_string()),
+        Just(" not ".to_string())
+    ];
+    (
+        word_strategy(terms),
+        vec((op, word_strategy(terms)), 0..max_ops.max(1) + 1),
+    )
+        .prop_map(|(first, rest)| {
+            let mut q = first;
+            for (op, term) in rest {
+                q.push_str(&op);
+                q.push_str(&term);
+            }
+            q
+        })
+}
+
+/// A `key=value`-style line with mixed delimiter runs — the shape the
+/// static-pattern parser's property tests exercise (token/delimiter
+/// interleavings, trailing delimiters, empty lines).
+pub fn kv_line_strategy() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("start".to_string()),
+        Just("stop".to_string()),
+        Just("level".to_string()),
+        "[a-z]{1,5}",
+        "[0-9]{1,6}",
+        "[0-9a-f]{2,8}",
+    ];
+    let delim = prop_oneof![
+        Just(" ".to_string()),
+        Just(", ".to_string()),
+        Just(":".to_string()),
+        Just("=".to_string()),
+        Just("  ".to_string()),
+    ];
+    (
+        vec((token, delim), 0..6),
+        prop_oneof![Just("".to_string()), Just(" ".to_string())],
+    )
+        .prop_map(|(pairs, tail)| {
+            let mut s = String::new();
+            for (t, d) in pairs {
+                s.push_str(&t);
+                s.push_str(&d);
+            }
+            s.push_str(&tail);
+            s
+        })
+}
+
+/// The independent-oracle verdict for `query_text` over `raw`: the matching
+/// lines in order, or `None` when the query text does not parse.
+///
+/// Evaluation goes through [`crate::oracle`] — *not* through the language's
+/// own `matches_line` — so engine and reference cannot share a matcher bug.
+pub fn oracle_lines(raw: &[u8], query_text: &str) -> Option<Vec<Vec<u8>>> {
+    let ast = QueryAst::parse(query_text)?;
+    Some(
+        loggrep::engine::split_lines(raw)
+            .into_iter()
+            .filter(|l| oracle::ast_matches(&ast, l))
+            .map(|l| l.to_vec())
+            .collect(),
+    )
+}
+
+/// Naive find-all reference for substring searchers (re-export for the
+/// `strsearch` property tests).
+pub use crate::oracle::naive_find_all;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn strategies_sample_cleanly() {
+        let mut rng = TestRng::deterministic("strategies_smoke");
+        let log = log_strategy(&["read", "[0-9]{1,3}", "blk_"], 5, 1..20);
+        let query = query_strategy(&["read", "b*k", "[a-z]{1,3}"], 2);
+        for _ in 0..200 {
+            let l = log.sample(&mut rng);
+            assert!(l.ends_with('\n'));
+            let q = query.sample(&mut rng);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn oracle_lines_matches_by_hand() {
+        let raw = b"ERROR a\nINFO b\nERROR b\n";
+        let got = oracle_lines(raw, "ERROR and b").unwrap();
+        assert_eq!(got, vec![b"ERROR b".to_vec()]);
+        assert_eq!(oracle_lines(raw, "and and"), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Harness self-test: an intentionally buggy engine must be caught,
+//! shrunk to a minimal case, and that case must round-trip through the
+//! corpus format — the acceptance criterion for the whole harness.
+
+use baselines::{LogArchive, LogSystem};
+use difftest::corpus::Case;
+use difftest::harness::Harness;
+use difftest::oracle;
+use difftest::query::QueryAst;
+use difftest::shrink;
+
+/// The injected matcher bug: evaluates queries correctly but drops the
+/// last matching line of every block (a classic off-by-one).
+struct DropLastMatch;
+
+struct DropLastArchive {
+    lines: Vec<Vec<u8>>,
+}
+
+impl LogSystem for DropLastMatch {
+    fn name(&self) -> String {
+        "buggy[drop-last]".into()
+    }
+
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, String> {
+        Ok(raw.to_vec())
+    }
+
+    fn open(&self, bytes: &[u8]) -> Result<Box<dyn LogArchive>, String> {
+        let mut lines: Vec<Vec<u8>> = bytes.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+        // The harness frames blocks with one trailing newline per line,
+        // so the final split segment is an artifact, not a log line.
+        if lines.last().is_some_and(Vec::is_empty) {
+            lines.pop();
+        }
+        Ok(Box::new(DropLastArchive { lines }))
+    }
+}
+
+impl LogArchive for DropLastArchive {
+    fn query(&self, command: &str) -> Result<Vec<Vec<u8>>, String> {
+        let ast = QueryAst::parse(command).ok_or("unparseable query")?;
+        let mut out: Vec<Vec<u8>> = self
+            .lines
+            .iter()
+            .filter(|l| oracle::ast_matches(&ast, l))
+            .cloned()
+            .collect();
+        out.pop(); // The bug.
+        Ok(out)
+    }
+}
+
+#[test]
+fn injected_bug_is_caught_shrunk_and_serialized() {
+    let case = Case {
+        query: "ERROR and read".into(),
+        blocks: vec![
+            vec![
+                b"INFO blk_11 write ok".to_vec(),
+                b"ERROR blk_12 read timeout".to_vec(),
+                b"WARN retry scheduled".to_vec(),
+                b"ERROR blk_13 read timeout".to_vec(),
+            ],
+            vec![
+                b"INFO heartbeat".to_vec(),
+                b"ERROR blk_21 read refused".to_vec(),
+            ],
+        ],
+        note: String::new(),
+    };
+
+    let mut harness = Harness::default();
+    harness.threads = vec![1];
+    harness.with_baselines = false;
+    harness.extra.push(Box::new(DropLastMatch));
+
+    let failure = harness.check(&case).expect_err("the bug must be caught");
+    assert_eq!(failure.engine, "buggy[drop-last]", "{failure}");
+
+    let engine = failure.engine.clone();
+    let still_fails = |c: &Case| {
+        matches!(
+            harness.check_filtered(c, Some(&engine)),
+            Err(f) if f.engine == engine
+        )
+    };
+    let minimized = shrink::minimize(&case, still_fails, shrink::DEFAULT_BUDGET);
+
+    // One matching line is the minimal trigger for drop-last.
+    assert_eq!(minimized.total_lines(), 1, "\n{}", minimized.to_text());
+    assert!(minimized.query.len() <= case.query.len());
+    assert!(
+        harness.check_filtered(&minimized, Some(&engine)).is_err(),
+        "minimized case no longer fails"
+    );
+
+    // And the shrunk case survives the corpus round-trip, so committing
+    // it as a fixture reproduces the failure exactly.
+    let back = Case::from_text(&minimized.to_text()).expect("corpus text parses");
+    assert_eq!(back.query, minimized.query);
+    assert_eq!(back.blocks, minimized.blocks);
+    assert!(
+        harness.check_filtered(&back, Some(&engine)).is_err(),
+        "round-tripped case no longer fails"
+    );
+}
+
+/// A second injected bug in a different direction: an engine that returns
+/// a corrupted (truncated) line. The harness must attribute the failure to
+/// that engine, not the oracle.
+struct TruncateBytes;
+
+struct TruncateArchive {
+    lines: Vec<Vec<u8>>,
+}
+
+impl LogSystem for TruncateBytes {
+    fn name(&self) -> String {
+        "buggy[truncate]".into()
+    }
+
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, String> {
+        Ok(raw.to_vec())
+    }
+
+    fn open(&self, bytes: &[u8]) -> Result<Box<dyn LogArchive>, String> {
+        let mut lines: Vec<Vec<u8>> = bytes.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+        if lines.last().is_some_and(Vec::is_empty) {
+            lines.pop();
+        }
+        Ok(Box::new(TruncateArchive { lines }))
+    }
+}
+
+impl LogArchive for TruncateArchive {
+    fn query(&self, command: &str) -> Result<Vec<Vec<u8>>, String> {
+        let ast = QueryAst::parse(command).ok_or("unparseable query")?;
+        Ok(self
+            .lines
+            .iter()
+            .filter(|l| oracle::ast_matches(&ast, l))
+            .map(|l| l[..l.len().saturating_sub(1)].to_vec()) // The bug.
+            .collect())
+    }
+}
+
+#[test]
+fn corrupted_bytes_are_caught() {
+    let case = Case {
+        query: "timeout".into(),
+        blocks: vec![vec![
+            b"ERROR blk_9 read timeout".to_vec(),
+            b"INFO ok".to_vec(),
+        ]],
+        note: String::new(),
+    };
+    let mut harness = Harness::default();
+    harness.threads = vec![1];
+    harness.with_baselines = false;
+    harness.extra.push(Box::new(TruncateBytes));
+    let failure = harness.check(&case).expect_err("corruption must be caught");
+    assert_eq!(failure.engine, "buggy[truncate]");
+    assert!(
+        failure.detail.contains("divergence"),
+        "unexpected detail: {}",
+        failure.detail
+    );
+}

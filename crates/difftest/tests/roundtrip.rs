@@ -1,0 +1,69 @@
+//! Satellite: query-language round-trip. Every generated query AST
+//! pretty-prints to text that re-parses to an *equal* expression tree,
+//! including wildcard edge cases (leading/trailing/consecutive stars).
+
+use difftest::query::{Op, QueryAst};
+use loggrep::query::lang::{Element, Query, SearchString};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn generated_asts_roundtrip_through_the_parser() {
+    let lines: Vec<Vec<u8>> = vec![
+        b"ERROR blk_1FF8A3 read dst:11.8.42 state: SUC#1604".to_vec(),
+        b"INFO /tmp/x.dat len= 17 t9".to_vec(),
+        b"key=  v3 = zz99".to_vec(),
+        b"".to_vec(),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xd1ff);
+    for i in 0..2000 {
+        let ast = QueryAst::generate(&mut rng, &lines);
+        let text = ast.render();
+        let parsed = Query::parse(&text)
+            .unwrap_or_else(|e| panic!("case {i}: `{text}` failed to parse: {e}"));
+        assert_eq!(
+            parsed.expr,
+            ast.expr(),
+            "case {i}: `{text}` re-parsed to a different tree"
+        );
+        // And the flattening inverse agrees too.
+        assert_eq!(
+            QueryAst::parse(&text).as_ref(),
+            Some(&ast),
+            "case {i}: `{text}` did not flatten back"
+        );
+    }
+}
+
+#[test]
+fn wildcard_edge_cases_roundtrip() {
+    // Stars at the edges, consecutive stars (the compiler collapses them
+    // in `elements` but preserves `raw`), stars between every byte.
+    for term in ["*a", "a*", "a**b", "*a*b*", "x*y*z", "a* b*c", "* a"] {
+        let ast = QueryAst {
+            first: term.to_string(),
+            rest: vec![(Op::And, "k*".to_string()), (Op::Not, "*v".to_string())],
+        };
+        let text = ast.render();
+        let parsed = Query::parse(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        assert_eq!(parsed.expr, ast.expr(), "`{text}`");
+        // The compiler collapses star runs in `elements` yet keeps `raw`
+        // verbatim, so raw-text round-trips stay exact.
+        let compiled = SearchString::compile(term).unwrap();
+        assert_eq!(compiled.raw, term, "`{term}`");
+        let stars = compiled
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::Star))
+            .count();
+        assert!(stars <= term.matches('*').count(), "`{term}`");
+    }
+    // All-star terms have no literal content and must be rejected — the
+    // generator never emits them.
+    assert!(!difftest::query::valid_term("*"));
+    assert!(!difftest::query::valid_term("**"));
+    assert!(!difftest::query::valid_term("* *"));
+    // Operator words are data only inside larger words.
+    assert!(Query::parse("android or nott").is_ok());
+    assert!(Query::parse("a and and b").is_err());
+}

@@ -404,6 +404,17 @@ impl Archive {
         self.cache.clear();
     }
 
+    /// Number of entries currently held by the query cache (test/telemetry
+    /// visibility for the LRU bound).
+    pub fn query_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Entries the query cache has evicted under its LRU bound so far.
+    pub fn query_cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
     /// The underlying box.
     pub fn capsule_box(&self) -> &CapsuleBox {
         &self.boxed

@@ -1,86 +1,53 @@
 //! Property-based end-to-end tests: random structured logs and random
 //! queries must agree with the line-by-line oracle under every
 //! configuration, and reconstruction must always be exact.
+//!
+//! Generators and the oracle are shared via [`difftest::strategies`]; the
+//! oracle is the harness's independent evaluator, so the engine and its
+//! reference never share matching code.
 
-use loggrep::query::lang::Query;
+use difftest::strategies::{log_strategy, oracle_lines, query_strategy};
 use loggrep::{LogGrep, LogGrepConfig};
-use logparse::DEFAULT_DELIMS;
 use proptest::prelude::*;
 
-/// Strategy: a log line assembled from template-ish fragments, so that the
-/// parser finds structure some of the time but not always.
-fn line_strategy() -> impl Strategy<Value = String> {
-    let word = prop_oneof![
-        Just("read".to_string()),
-        Just("write".to_string()),
-        Just("ERROR".to_string()),
-        Just("INFO".to_string()),
-        "[a-z]{1,6}",
-        "[0-9]{1,5}",
-        "[0-9A-F]{2,6}",
-        Just("blk_".to_string()),
-        Just("state:".to_string()),
-        Just("/tmp/x".to_string()),
-    ];
-    proptest::collection::vec(word, 1..8).prop_map(|words| words.join(" "))
-}
+/// Template-ish fragments, so the parser finds structure some of the time
+/// but not always.
+const WORDS: &[&str] = &[
+    "read",
+    "write",
+    "ERROR",
+    "INFO",
+    "[a-z]{1,6}",
+    "[0-9]{1,5}",
+    "[0-9A-F]{2,6}",
+    "blk_",
+    "state:",
+    "/tmp/x",
+];
 
-fn log_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec(line_strategy(), 1..120).prop_map(|lines| {
-        let mut s = lines.join("\n");
-        s.push('\n');
-        s
-    })
-}
-
-fn query_strategy() -> impl Strategy<Value = String> {
-    let term = prop_oneof![
-        Just("read".to_string()),
-        Just("ERROR".to_string()),
-        Just("blk_".to_string()),
-        Just("state".to_string()),
-        "[a-z]{1,3}",
-        "[0-9]{1,3}",
-        Just("1*".to_string()),
-        Just("b*k".to_string()),
-    ];
-    let op = prop_oneof![
-        Just(" and ".to_string()),
-        Just(" or ".to_string()),
-        Just(" not ".to_string())
-    ];
-    (term.clone(), proptest::collection::vec((op, term), 0..3)).prop_map(|(first, rest)| {
-        let mut q = first;
-        for (op, t) in rest {
-            q.push_str(&op);
-            q.push_str(&t);
-        }
-        q
-    })
-}
-
-fn oracle(raw: &[u8], query: &Query) -> Vec<Vec<u8>> {
-    loggrep::engine::split_lines(raw)
-        .into_iter()
-        .filter(|l| query.expr.matches_line(l, DEFAULT_DELIMS))
-        .map(|l| l.to_vec())
-        .collect()
-}
+const TERMS: &[&str] = &[
+    "read",
+    "ERROR",
+    "blk_",
+    "state",
+    "[a-z]{1,3}",
+    "[0-9]{1,3}",
+    "1*",
+    "b*k",
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn random_logs_random_queries_match_oracle(
-        log in log_strategy(),
-        query_text in query_strategy(),
+        log in log_strategy(WORDS, 8, 1..120),
+        query_text in query_strategy(TERMS, 3),
     ) {
         let raw = log.as_bytes();
-        let query = match Query::parse(&query_text) {
-            Ok(q) => q,
-            Err(_) => return Ok(()), // e.g. "1*" alone can compile; stars-only rejected.
+        let Some(want) = oracle_lines(raw, &query_text) else {
+            return Ok(()); // e.g. stars-only terms are rejected by the parser.
         };
-        let want = oracle(raw, &query);
         for config in [LogGrepConfig::default(), LogGrepConfig::sp(), LogGrepConfig::without_fixed()] {
             let engine = LogGrep::new(config);
             let archive = engine.compress_to_archive(raw).expect("clean input");
@@ -90,7 +57,7 @@ proptest! {
     }
 
     #[test]
-    fn random_logs_reconstruct_exactly(log in log_strategy()) {
+    fn random_logs_reconstruct_exactly(log in log_strategy(WORDS, 8, 1..120)) {
         let raw = log.as_bytes();
         let want: Vec<Vec<u8>> = loggrep::engine::split_lines(raw)
             .into_iter()
@@ -102,7 +69,7 @@ proptest! {
     }
 
     #[test]
-    fn serialization_roundtrip_random(log in log_strategy()) {
+    fn serialization_roundtrip_random(log in log_strategy(WORDS, 8, 1..120)) {
         let raw = log.as_bytes();
         let engine = LogGrep::new(LogGrepConfig::default());
         let boxed = engine.compress(raw).expect("clean input");

@@ -1,46 +1,19 @@
 //! Property tests for the static-pattern parser: reconstruction must be
 //! exact for arbitrary structured-ish text, regardless of how templates
 //! come out.
+//!
+//! Line generation lives in [`difftest::strategies`] so every crate's
+//! property suite exercises the same token/delimiter interleavings.
 
+use difftest::strategies::kv_line_strategy;
 use logparse::{Parser, ParserConfig};
 use proptest::prelude::*;
-
-fn line_strategy() -> impl Strategy<Value = String> {
-    let token = prop_oneof![
-        Just("start".to_string()),
-        Just("stop".to_string()),
-        Just("level".to_string()),
-        "[a-z]{1,5}",
-        "[0-9]{1,6}",
-        "[0-9a-f]{2,8}",
-    ];
-    let delim = prop_oneof![
-        Just(" ".to_string()),
-        Just(", ".to_string()),
-        Just(":".to_string()),
-        Just("=".to_string()),
-        Just("  ".to_string()),
-    ];
-    (
-        proptest::collection::vec((token, delim), 0..6),
-        prop_oneof![Just("".to_string()), Just(" ".to_string())],
-    )
-        .prop_map(|(pairs, tail)| {
-            let mut s = String::new();
-            for (t, d) in pairs {
-                s.push_str(&t);
-                s.push_str(&d);
-            }
-            s.push_str(&tail);
-            s
-        })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
-    fn every_line_reconstructs(lines in proptest::collection::vec(line_strategy(), 0..80)) {
+    fn every_line_reconstructs(lines in proptest::collection::vec(kv_line_strategy(), 0..80)) {
         let refs: Vec<&[u8]> = lines.iter().map(|l| l.as_bytes()).collect();
         let parser = Parser::train(&ParserConfig::default(), refs.iter().copied());
         let block = parser.parse_all(refs.iter().copied());
@@ -52,7 +25,7 @@ proptest! {
     }
 
     #[test]
-    fn line_numbers_partition_the_block(lines in proptest::collection::vec(line_strategy(), 1..60)) {
+    fn line_numbers_partition_the_block(lines in proptest::collection::vec(kv_line_strategy(), 1..60)) {
         let refs: Vec<&[u8]> = lines.iter().map(|l| l.as_bytes()).collect();
         let parser = Parser::train(&ParserConfig::default(), refs.iter().copied());
         let block = parser.parse_all(refs.iter().copied());
@@ -67,7 +40,7 @@ proptest! {
     }
 
     #[test]
-    fn group_vars_are_rectangular(lines in proptest::collection::vec(line_strategy(), 1..60)) {
+    fn group_vars_are_rectangular(lines in proptest::collection::vec(kv_line_strategy(), 1..60)) {
         let refs: Vec<&[u8]> = lines.iter().map(|l| l.as_bytes()).collect();
         let parser = Parser::train(&ParserConfig::default(), refs.iter().copied());
         let block = parser.parse_all(refs.iter().copied());

@@ -1,18 +1,16 @@
 //! Property tests: Boyer-Moore and KMP must agree with a naive scan, and the
 //! fixed-width layer must agree with per-row checks.
+//!
+//! The naive find-all reference comes from [`difftest::strategies`] — the
+//! same oracle the differential harness uses, so the searchers and the
+//! end-to-end suite are held to one definition of "every occurrence".
+//! Historic proptest regressions for this file were migrated to
+//! `crates/difftest/corpus/` in the harness's replayable format.
 
+use difftest::strategies::naive_find_all;
 use proptest::prelude::*;
 use strsearch::fixed::{pad_values, Mode};
 use strsearch::{BoyerMoore, FixedRows, Kmp, TokenPattern};
-
-fn naive_all(haystack: &[u8], needle: &[u8]) -> Vec<usize> {
-    if haystack.len() < needle.len() {
-        return Vec::new();
-    }
-    (0..=haystack.len() - needle.len())
-        .filter(|&i| &haystack[i..i + needle.len()] == needle)
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -22,7 +20,7 @@ proptest! {
         haystack in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..200),
         needle in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 1..8),
     ) {
-        prop_assert_eq!(BoyerMoore::new(&needle).find_all(&haystack), naive_all(&haystack, &needle));
+        prop_assert_eq!(BoyerMoore::new(&needle).find_all(&haystack), naive_find_all(&haystack, &needle));
     }
 
     #[test]
@@ -30,7 +28,7 @@ proptest! {
         haystack in proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y')], 0..200),
         needle in proptest::collection::vec(prop_oneof![Just(b'x'), Just(b'y')], 1..6),
     ) {
-        prop_assert_eq!(Kmp::new(&needle).find_all(&haystack), naive_all(&haystack, &needle));
+        prop_assert_eq!(Kmp::new(&needle).find_all(&haystack), naive_find_all(&haystack, &needle));
     }
 
     #[test]
@@ -72,7 +70,9 @@ proptest! {
         pattern in "[ab*]{0,6}",
         token in "[ab]{0,8}",
     ) {
-        // Oracle: simple recursive glob.
+        // Oracle: simple recursive glob. Stays local — `TokenPattern` globs
+        // a bare token with no delimiter semantics, unlike the line-level
+        // oracle in `difftest`.
         fn glob(p: &[u8], t: &[u8]) -> bool {
             match p.first() {
                 None => t.is_empty(),

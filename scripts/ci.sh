@@ -22,6 +22,15 @@ LOGGREP_THREADS=4 cargo test -q
 
 cargo clippy --all-targets -- -D warnings
 
+# Differential fuzzing smoke: a bounded seeded run of the whole engine
+# matrix (full, SP, every §6.3 ablation, at 1 and 4 threads, plus the
+# baselines) against the naive oracle. Failures are shrunk and written to
+# crates/difftest/corpus/ for replay; the committed corpus itself is
+# replayed as part of `cargo test` (crates/difftest/tests/replay.rs).
+# BENCH_difftest.json records throughput (cases/sec).
+./target/release/difftest --seed 5 --cases 200 --budget-secs 120 \
+    --bench-out BENCH_difftest.json
+
 # Optional: run the tiny roundtrip under Miri when a nightly toolchain
 # with Miri is installed; skip gracefully (with a note) everywhere else.
 if command -v rustup >/dev/null 2>&1 \
