@@ -11,6 +11,7 @@
 
 pub mod cost;
 pub mod experiments;
+pub mod regression;
 pub mod runner;
 pub mod table;
 pub mod trace;

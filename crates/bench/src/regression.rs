@@ -1,0 +1,249 @@
+//! Perf-regression tracking over the hot-path benchmark trajectory.
+//!
+//! The `hotpath` bin appends one [`Record`] per run to `BENCH_hotpath.json`;
+//! [`check`] compares the latest run against the median of the preceding
+//! runs and reports anything that regressed beyond
+//! [`RELATIVE_THRESHOLD`]. CI commits the trajectory, so a regression shows
+//! up as a failing check *and* a reviewable diff of the numbers.
+//!
+//! Medians (rather than the single previous run) absorb one-off scheduler
+//! noise; the absolute floors keep micro-benchmarks measured in tens of
+//! microseconds from tripping the relative threshold on timer jitter.
+
+use telemetry::json::{self, Value};
+
+/// Relative change that counts as a regression (0.25 = 25%).
+pub const RELATIVE_THRESHOLD: f64 = 0.25;
+
+/// Previous runs considered when computing the baseline median.
+pub const BASELINE_WINDOW: usize = 5;
+
+/// Ignore selective-query regressions when both sides are under this many
+/// seconds (50 µs): at that scale the timer, not the code, is the signal.
+pub const SELECTIVE_FLOOR_SECS: f64 = 50e-6;
+
+/// Ignore scan regressions when both sides are under this many seconds.
+pub const SCAN_FLOOR_SECS: f64 = 10e-3;
+
+/// Sampler overhead (percent of wall time) above which the check fails —
+/// the design bound the profiler must stay inside.
+pub const SAMPLER_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+
+/// One hot-path benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Free-form tag for the run (e.g. a git revision or "ci").
+    pub label: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_secs: u64,
+    /// Compression throughput in MB/s (higher is better).
+    pub compress_mb_s: f64,
+    /// Best-of-N latency of the selective query, seconds (lower is better).
+    pub selective_secs: f64,
+    /// Best-of-N latency of the full-scan query, seconds (lower is better).
+    pub scan_secs: f64,
+    /// Wall-time overhead of running the sampling profiler during the
+    /// selective-query loop, in percent (0 when it was not measured).
+    pub sampler_overhead_pct: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let mut label = String::new();
+        telemetry::export::push_json_string(&mut label, &self.label);
+        format!(
+            "{{\"label\": {label}, \"unix_secs\": {}, \"compress_mb_s\": {:.3}, \
+             \"selective_secs\": {:.9}, \"scan_secs\": {:.9}, \
+             \"sampler_overhead_pct\": {:.3}}}",
+            self.unix_secs, self.compress_mb_s, self.selective_secs, self.scan_secs,
+            self.sampler_overhead_pct,
+        )
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let need = |key: &str| v.num(key).ok_or_else(|| format!("run missing `{key}`"));
+        Ok(Self {
+            label: v.str("label").unwrap_or("").to_string(),
+            unix_secs: need("unix_secs")? as u64,
+            compress_mb_s: need("compress_mb_s")?,
+            selective_secs: need("selective_secs")?,
+            scan_secs: need("scan_secs")?,
+            sampler_overhead_pct: v.num("sampler_overhead_pct").unwrap_or(0.0),
+        })
+    }
+}
+
+/// Parses a `BENCH_hotpath.json` trajectory (oldest run first).
+pub fn parse_history(src: &str) -> Result<Vec<Record>, String> {
+    let doc = json::parse(src)?;
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("missing `runs` array")?;
+    runs.iter().map(Record::from_json).collect()
+}
+
+/// Renders a trajectory back to the `BENCH_hotpath.json` format.
+pub fn render_history(records: &[Record]) -> String {
+    let mut out = String::from("{\n\"version\": 1,\n\"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Median of a nonempty slice (mean of the middle pair for even lengths).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Checks the newest run against the median of (up to
+/// [`BASELINE_WINDOW`]) preceding runs.
+///
+/// Returns one human-readable message per violated bound; an empty vector
+/// means the trajectory is healthy. A history with fewer than two runs
+/// always passes — there is nothing to compare against yet.
+pub fn check(history: &[Record]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let Some((latest, prior)) = history.split_last() else {
+        return failures;
+    };
+    if latest.sampler_overhead_pct > SAMPLER_OVERHEAD_LIMIT_PCT {
+        failures.push(format!(
+            "sampler overhead {:.2}% exceeds the {SAMPLER_OVERHEAD_LIMIT_PCT}% bound",
+            latest.sampler_overhead_pct,
+        ));
+    }
+    if prior.is_empty() {
+        return failures;
+    }
+    let window = &prior[prior.len().saturating_sub(BASELINE_WINDOW)..];
+
+    let mut base: Vec<f64> = window.iter().map(|r| r.compress_mb_s).collect();
+    let base_compress = median(&mut base);
+    if latest.compress_mb_s < base_compress * (1.0 - RELATIVE_THRESHOLD) {
+        failures.push(format!(
+            "compress throughput regressed: {:.1} MB/s vs baseline median {:.1} MB/s \
+             (> {:.0}% drop)",
+            latest.compress_mb_s,
+            base_compress,
+            RELATIVE_THRESHOLD * 100.0,
+        ));
+    }
+
+    let mut base: Vec<f64> = window.iter().map(|r| r.selective_secs).collect();
+    let base_selective = median(&mut base);
+    if latest.selective_secs > base_selective * (1.0 + RELATIVE_THRESHOLD)
+        && latest.selective_secs > SELECTIVE_FLOOR_SECS
+    {
+        failures.push(format!(
+            "selective query regressed: {:.1} µs vs baseline median {:.1} µs (> {:.0}% slower)",
+            latest.selective_secs * 1e6,
+            base_selective * 1e6,
+            RELATIVE_THRESHOLD * 100.0,
+        ));
+    }
+
+    let mut base: Vec<f64> = window.iter().map(|r| r.scan_secs).collect();
+    let base_scan = median(&mut base);
+    if latest.scan_secs > base_scan * (1.0 + RELATIVE_THRESHOLD)
+        && latest.scan_secs > SCAN_FLOOR_SECS
+    {
+        failures.push(format!(
+            "scan query regressed: {:.2} ms vs baseline median {:.2} ms (> {:.0}% slower)",
+            latest.scan_secs * 1e3,
+            base_scan * 1e3,
+            RELATIVE_THRESHOLD * 100.0,
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(compress: f64, selective: f64, scan: f64) -> Record {
+        Record {
+            label: "t".to_string(),
+            unix_secs: 1,
+            compress_mb_s: compress,
+            selective_secs: selective,
+            scan_secs: scan,
+            sampler_overhead_pct: 1.0,
+        }
+    }
+
+    #[test]
+    fn history_roundtrips() {
+        let records = vec![rec(100.0, 1e-3, 0.5), rec(110.0, 1.1e-3, 0.45)];
+        let parsed = parse_history(&render_history(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed[1].compress_mb_s - 110.0).abs() < 1e-9);
+        assert!((parsed[0].selective_secs - 1e-3).abs() < 1e-12);
+        assert_eq!(parsed[0].label, "t");
+    }
+
+    #[test]
+    fn empty_and_single_histories_pass() {
+        assert!(check(&[]).is_empty());
+        assert!(check(&[rec(100.0, 1e-3, 0.5)]).is_empty());
+        assert!(parse_history("{\"runs\": []}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn steady_trajectory_passes() {
+        let history: Vec<Record> = (0..6)
+            .map(|i| rec(100.0 + i as f64, 1e-3, 0.5))
+            .collect();
+        assert!(check(&history).is_empty(), "{:?}", check(&history));
+    }
+
+    #[test]
+    fn regressions_are_caught() {
+        let mut history: Vec<Record> = (0..5).map(|_| rec(100.0, 1e-3, 0.5)).collect();
+        history.push(rec(60.0, 2e-3, 1.0));
+        let failures = check(&history);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures[0].contains("compress"), "{failures:?}");
+        assert!(failures[1].contains("selective"), "{failures:?}");
+        assert!(failures[2].contains("scan"), "{failures:?}");
+    }
+
+    #[test]
+    fn floors_suppress_microsecond_noise() {
+        // 10 µs -> 20 µs is a 100% "regression" but below the floor.
+        let history = vec![rec(100.0, 10e-6, 1e-3), rec(100.0, 20e-6, 2e-3)];
+        assert!(check(&history).is_empty(), "{:?}", check(&history));
+    }
+
+    #[test]
+    fn median_absorbs_one_outlier() {
+        // One slow run in the window does not poison the baseline, and the
+        // median keeps a healthy latest run passing.
+        let mut history: Vec<Record> = (0..4).map(|_| rec(100.0, 1e-3, 0.5)).collect();
+        history.push(rec(100.0, 10e-3, 0.5)); // the outlier
+        history.push(rec(100.0, 1.1e-3, 0.5)); // latest: fine vs median
+        assert!(check(&history).is_empty(), "{:?}", check(&history));
+    }
+
+    #[test]
+    fn sampler_overhead_bound_enforced() {
+        let mut bad = rec(100.0, 1e-3, 0.5);
+        bad.sampler_overhead_pct = 9.0;
+        let failures = check(&[bad]);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("sampler overhead"), "{failures:?}");
+    }
+}

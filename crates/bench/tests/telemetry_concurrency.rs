@@ -1,0 +1,110 @@
+//! Concurrency-merge guarantees of the observability layer: spans and
+//! counters recorded by parallel pool workers must merge into the global
+//! registry and the trace journal losslessly, and a 4-thread run must
+//! report the same counters and span counts as the serial run.
+//!
+//! One test function: the registry and journal are process-global, and
+//! this integration binary owns its process.
+
+use std::collections::{BTreeMap, HashMap};
+use telemetry::EventKind;
+
+/// Counters plus histogram (span) counts from one engine run.
+fn run_engine(threads: usize, raw: &[u8], query: &str) -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
+    telemetry::reset();
+    let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig {
+        threads,
+        ..loggrep::LogGrepConfig::default()
+    });
+    let archive = engine.open(engine.compress(raw).unwrap());
+    let hits = archive.query(query).unwrap();
+    assert!(!hits.lines.is_empty());
+    let snap = telemetry::snapshot();
+    (
+        snap.counters.iter().cloned().collect(),
+        snap.histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.count))
+            .collect(),
+    )
+}
+
+#[test]
+fn workers_merge_losslessly_and_deterministically() {
+    telemetry::set_enabled(true);
+    let spec = workloads::by_name("Log C").unwrap();
+    let raw = spec.generate(13, 512 * 1024);
+    // The wildcard scan verifies rows by reconstruction in every group, so
+    // both the search and reconstruct stages fan out across workers.
+    let query = "wor*er";
+
+    // Serial vs 4 workers: identical counters (every worker increment
+    // arrived, none double-counted) and identical span counts (every
+    // worker span begin/end pair merged).
+    let (counters_1, spans_1) = run_engine(1, &raw, query);
+    let (counters_4, spans_4) = run_engine(4, &raw, query);
+    assert!(!counters_1.is_empty() && !spans_1.is_empty());
+    assert_eq!(counters_1, counters_4, "counters diverge between 1 and 4 threads");
+    assert_eq!(spans_1, spans_4, "span counts diverge between 1 and 4 threads");
+
+    // Repeatability at 4 threads: scheduling must not leak into totals.
+    let (again_counters, again_spans) = run_engine(4, &raw, query);
+    assert_eq!(counters_4, again_counters, "4-thread counters not deterministic");
+    assert_eq!(spans_4, again_spans, "4-thread span counts not deterministic");
+
+    // Journal merge: record a 4-thread query and replay the merged stream.
+    telemetry::set_journal_enabled(true);
+    telemetry::clear_journal();
+    {
+        let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig {
+            threads: 4,
+            ..loggrep::LogGrepConfig::default()
+        });
+        let archive = engine.open(engine.compress(&raw).unwrap());
+        archive.query(query).unwrap();
+    }
+    let events = telemetry::journal_events();
+    telemetry::set_journal_enabled(false);
+
+    // Deterministic merge order: sorted by (timestamp, thread).
+    assert!(
+        events.windows(2).all(|w| (w[0].ts_ns, w[0].tid) <= (w[1].ts_ns, w[1].tid)),
+        "journal merge not ordered"
+    );
+    // Lossless per thread: every span end closes the matching begin, and
+    // no thread ends with an open stack.
+    let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+    let mut worker_tids = std::collections::HashSet::new();
+    let mut span_ends: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in &events {
+        match ev.kind {
+            EventKind::SpanBegin => {
+                stacks.entry(ev.tid).or_default().push(&ev.name);
+                worker_tids.insert(ev.tid);
+            }
+            EventKind::SpanEnd => {
+                let top = stacks.entry(ev.tid).or_default().pop();
+                assert_eq!(top, Some(ev.name.as_str()), "unbalanced journal on tid {}", ev.tid);
+                *span_ends.entry(ev.name.clone()).or_default() += 1;
+            }
+            EventKind::Counter | EventKind::Instant => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "open spans left on tid {tid}: {stack:?}");
+    }
+    assert!(
+        worker_tids.len() > 1,
+        "expected spans from multiple worker threads, got {worker_tids:?}"
+    );
+    // The journal saw exactly as many span completions as the registry
+    // counted — the two views of the same run agree.
+    for (name, count) in &spans_4 {
+        assert_eq!(
+            span_ends.get(name),
+            Some(count),
+            "journal lost span ends for `{name}`"
+        );
+    }
+    telemetry::set_enabled(false);
+}

@@ -6,13 +6,22 @@
 //!   CapsuleBox (64 MiB blocks by default, compressed in parallel);
 //! * `query <archive.lgb> <command>` — run a grep-like query;
 //! * `stat <archive.lgb>` (alias `stats`) — print archive statistics;
-//! * `gen <log-name> <bytes> [seed]` — emit a synthetic workload log.
+//! * `gen <log-name> <bytes> [seed]` — emit a synthetic workload log;
+//! * `trace <archive.lgb> <command>` — run a query with the trace journal
+//!   (and optionally the sampling profiler) on, emitting a Chrome
+//!   trace-event file for Perfetto / `chrome://tracing` and/or
+//!   flamegraph-collapsed stacks;
+//! * `serve-metrics <addr>` — serve `/metrics` (Prometheus text),
+//!   `/healthz`, and `/trace/last.json` over plain HTTP.
 //!
 //! Global flags, accepted anywhere on the command line:
 //!
 //! * `--trace` — enable the [`telemetry`] registry for this run and print a
 //!   per-stage breakdown (span tree + counters) to stderr afterwards; a
 //!   traced `query` also prints the predicted-vs-actual plan drift report;
+//! * `--trace-out FILE` — additionally record the trace journal and write
+//!   it as Chrome trace-event JSON to `FILE` when the run finishes
+//!   (implies telemetry on, like `--trace`);
 //! * `--json` — machine-readable output: `stat --json` prints the archive
 //!   statistics as JSON on stdout, and `--trace --json` switches the trace
 //!   footer to the telemetry JSON export.
@@ -33,44 +42,79 @@ const FILE_MAGIC: &[u8; 8] = b"LGBFILE1";
 pub const BLOCK_SIZE: usize = 64 << 20;
 
 /// Global flags accepted anywhere on the command line.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flags {
     /// `--trace`: enable telemetry and print a per-stage trace footer.
     pub trace: bool,
     /// `--json`: machine-readable output where the subcommand supports it.
     pub json: bool,
+    /// `--trace-out FILE`: record the trace journal and write it as Chrome
+    /// trace-event JSON to `FILE` after the run (implies telemetry on).
+    pub trace_out: Option<String>,
 }
 
 /// Strips the global flags out of `args`, returning the positional rest.
-fn parse_global_flags(args: &[String]) -> (Vec<String>, Flags) {
+fn parse_global_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
     let mut flags = Flags::default();
     let mut rest = Vec::with_capacity(args.len());
-    for a in args {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--trace" => flags.trace = true,
             "--json" => flags.json = true,
-            _ => rest.push(a.clone()),
+            "--trace-out" => {
+                let file = iter
+                    .next()
+                    .ok_or_else(|| "--trace-out needs a file argument".to_string())?;
+                flags.trace_out = Some(file.clone());
+            }
+            other => match other.strip_prefix("--trace-out=") {
+                Some(file) if !file.is_empty() => flags.trace_out = Some(file.to_string()),
+                Some(_) => return Err("--trace-out needs a file argument".to_string()),
+                None => rest.push(a.clone()),
+            },
         }
     }
-    (rest, flags)
+    Ok((rest, flags))
 }
 
 /// Runs the CLI with the given arguments (excluding `argv[0]`).
 ///
 /// Returns the process exit code; errors are printed to stderr.
 pub fn run(args: &[String]) -> i32 {
-    let (args, flags) = parse_global_flags(args);
-    if flags.trace {
+    let (args, flags) = match parse_global_flags(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("loggrep: {e}");
+            return 2;
+        }
+    };
+    if flags.trace || flags.trace_out.is_some() {
         telemetry::set_enabled(true);
         telemetry::reset();
     }
-    let code = match dispatch(&args, flags) {
+    if flags.trace_out.is_some() {
+        telemetry::set_journal_enabled(true);
+        telemetry::clear_journal();
+    }
+    let code = match dispatch(&args, &flags) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("loggrep: {e}");
             2
         }
     };
+    if let Some(path) = &flags.trace_out {
+        let events = telemetry::journal_events();
+        let json = telemetry::export_chrome_trace(&events);
+        match std::fs::write(path, json) {
+            Ok(()) => eprintln!("trace journal: {} event(s) -> {path}", events.len()),
+            Err(e) => {
+                eprintln!("loggrep: write {path}: {e}");
+                return 2;
+            }
+        }
+    }
     if flags.trace {
         let snap = telemetry::snapshot();
         if flags.json {
@@ -83,7 +127,7 @@ pub fn run(args: &[String]) -> i32 {
     code
 }
 
-fn dispatch(args: &[String], flags: Flags) -> Result<(), String> {
+fn dispatch(args: &[String], flags: &Flags) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         print!("{}", usage());
         return Ok(());
@@ -105,6 +149,8 @@ fn dispatch(args: &[String], flags: Flags) -> Result<(), String> {
             let [archive, command] = two(rest, "explain <archive.lgb> <command>")?;
             explain_file(archive, command)
         }
+        "trace" => trace_cmd(rest),
+        "serve-metrics" => serve_metrics_cmd(rest),
         "gen" => gen_log(rest),
         "help" => {
             print!("{}", usage());
@@ -125,11 +171,18 @@ pub fn usage() -> String {
      \x20                                             (alias: stats)\n\
      \x20 loggrep explain <archive.lgb> <command>     show the query plan\n\
      \x20 loggrep gen <log-name> <bytes> [seed]       print a synthetic log\n\
+     \x20 loggrep trace <archive.lgb> <command> [--out FILE] [--collapsed FILE] [--sample HZ]\n\
+     \x20                                             run a query with the trace journal on;\n\
+     \x20                                             emit Chrome trace-event JSON (Perfetto /\n\
+     \x20                                             chrome://tracing) and collapsed stacks\n\
+     \x20 loggrep serve-metrics <addr> [seconds]      serve /metrics (Prometheus), /healthz,\n\
+     \x20                                             and /trace/last.json over HTTP\n\
      \n\
      GLOBAL FLAGS:\n\
-     \x20 --trace   print a per-stage timing/counter breakdown to stderr;\n\
-     \x20           a traced query also reports plan-vs-execution drift\n\
-     \x20 --json    machine-readable output (stat --json; --trace --json)\n\
+     \x20 --trace          print a per-stage timing/counter breakdown to stderr;\n\
+     \x20                  a traced query also reports plan-vs-execution drift\n\
+     \x20 --trace-out FILE record the trace journal; write Chrome trace JSON to FILE\n\
+     \x20 --json           machine-readable output (stat --json; --trace --json)\n\
      \n\
      QUERY LANGUAGE:\n\
      \x20 search strings joined by and / or / not (left-associative), e.g.\n\
@@ -240,7 +293,7 @@ fn open_bytes(bytes: &[u8]) -> Result<Vec<Archive>, String> {
     Ok(archives)
 }
 
-fn query_file(path: &str, command: &str, flags: Flags) -> Result<(), String> {
+fn query_file(path: &str, command: &str, flags: &Flags) -> Result<(), String> {
     let archives = open_file(path)?;
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
@@ -281,6 +334,113 @@ fn query_file(path: &str, command: &str, flags: Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace <archive.lgb> <command> [--out FILE] [--collapsed FILE]
+/// [--sample HZ]`: runs the query with the trace journal on and writes the
+/// Chrome trace-event JSON to `--out` (stdout when omitted). `--collapsed`
+/// additionally writes flamegraph-collapsed stacks — from the sampling
+/// profiler when `--sample HZ` is given, from exact journal timings
+/// otherwise.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "trace <archive.lgb> <command> [--out FILE] [--collapsed FILE] [--sample HZ]";
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out_file: Option<&str> = None;
+    let mut collapsed_file: Option<&str> = None;
+    let mut sample_hz: Option<u32> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--out" => {
+                out_file = Some(iter.next().ok_or("--out needs a file argument")?);
+            }
+            "--collapsed" => {
+                collapsed_file = Some(iter.next().ok_or("--collapsed needs a file argument")?);
+            }
+            "--sample" => {
+                let hz = iter.next().ok_or("--sample needs a rate in Hz")?;
+                sample_hz = Some(hz.parse().map_err(|_| format!("bad sample rate `{hz}`"))?);
+            }
+            other => positional.push(other),
+        }
+    }
+    let [archive_path, command] = positional[..] else {
+        return Err(format!("expected arguments: {USAGE}"));
+    };
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    telemetry::set_journal_enabled(true);
+    telemetry::clear_journal();
+    let archives = open_file(archive_path)?;
+    let sampler = sample_hz.map(telemetry::Sampler::start);
+    let mut total = 0usize;
+    for archive in &archives {
+        total = total.saturating_add(
+            archive.query(command).map_err(|e| e.to_string())?.lines.len(),
+        );
+    }
+    let report = sampler.map(telemetry::Sampler::stop);
+
+    let events = telemetry::journal_events();
+    let chrome = telemetry::export_chrome_trace(&events);
+    match out_file {
+        Some(path) => {
+            std::fs::write(path, chrome).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("trace journal: {} event(s) -> {path}", events.len());
+        }
+        None => print!("{chrome}"),
+    }
+    if let Some(path) = collapsed_file {
+        let stacks = match &report {
+            Some(r) => r.collapsed(),
+            None => telemetry::export_collapsed(&events),
+        };
+        std::fs::write(path, stacks).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("collapsed stacks -> {path}");
+    }
+    if let Some(r) = &report {
+        eprintln!(
+            "sampler: {} sample(s) over {} tick(s) in {:.1} ms",
+            r.total_samples,
+            r.ticks,
+            r.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    eprintln!("({total} matching line(s))");
+    Ok(())
+}
+
+/// `serve-metrics <addr> [seconds]`: binds the std-only HTTP exporter and
+/// serves `/metrics`, `/healthz`, and `/trace/last.json` until killed (or
+/// for `seconds`, mainly for scripted smoke tests). Telemetry and the trace
+/// journal are enabled so the endpoints have live data.
+fn serve_metrics_cmd(args: &[String]) -> Result<(), String> {
+    let (addr, secs) = match args {
+        [addr] => (addr.as_str(), None),
+        [addr, secs] => (
+            addr.as_str(),
+            Some(
+                secs.parse::<u64>()
+                    .map_err(|_| format!("bad duration `{secs}`"))?,
+            ),
+        ),
+        _ => return Err("expected arguments: serve-metrics <addr> [seconds]".to_string()),
+    };
+    telemetry::set_enabled(true);
+    telemetry::set_journal_enabled(true);
+    let server = telemetry::MetricsServer::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving /metrics /healthz /trace/last.json on http://{}",
+        server.local_addr()
+    );
+    match secs {
+        Some(s) => std::thread::sleep(std::time::Duration::from_secs(s)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    Ok(())
+}
+
 fn explain_file(path: &str, command: &str) -> Result<(), String> {
     for (i, archive) in open_file(path)?.iter().enumerate() {
         println!("-- block {i} --");
@@ -303,21 +463,33 @@ fn stat_report(bytes: &[u8], json: bool) -> Result<String, String> {
     let mut raw = 0u64;
     let mut groups = 0usize;
     let mut capsules = 0usize;
+    // Pow2-bucket histogram over compressed capsule sizes, so stat reports
+    // the same p50/p95/p99 summaries the live `/metrics` endpoint serves.
+    let sizes = telemetry::Histogram::new();
     for a in &archives {
         let b = a.capsule_box();
         lines += b.total_lines as u64;
         raw += b.raw_size;
         groups += b.groups.len();
         capsules += b.capsules.len();
+        for c in &b.capsules {
+            sizes.record(c.clen);
+        }
     }
+    let sizes = sizes.snapshot();
     let ratio = raw as f64 / bytes.len().max(1) as f64;
     if json {
         return Ok(format!(
             "{{\n  \"blocks\": {},\n  \"lines\": {lines},\n  \"raw_bytes\": {raw},\n  \
              \"stored_bytes\": {},\n  \"ratio\": {ratio:.4},\n  \"groups\": {groups},\n  \
-             \"capsules\": {capsules}\n}}\n",
+             \"capsules\": {capsules},\n  \"capsule_bytes\": {{\"p50\": {}, \"p95\": {}, \
+             \"p99\": {}, \"max\": {}}}\n}}\n",
             archives.len(),
             bytes.len(),
+            sizes.quantile(0.5),
+            sizes.quantile(0.95),
+            sizes.quantile(0.99),
+            sizes.max,
         ));
     }
     let mut out = String::new();
@@ -328,6 +500,13 @@ fn stat_report(bytes: &[u8], json: bool) -> Result<String, String> {
     out.push_str(&format!("ratio:         {ratio:.2}x\n"));
     out.push_str(&format!("groups:        {groups}\n"));
     out.push_str(&format!("capsules:      {capsules}\n"));
+    out.push_str(&format!(
+        "capsule bytes: p50={} p95={} p99={} max={}\n",
+        sizes.quantile(0.5),
+        sizes.quantile(0.95),
+        sizes.quantile(0.99),
+        sizes.max,
+    ));
     Ok(out)
 }
 
@@ -469,7 +648,10 @@ mod tests {
     #[test]
     fn usage_lists_subcommands() {
         let u = usage();
-        for cmd in ["compress", "query", "stat", "stats", "explain", "gen", "--trace", "--json"] {
+        for cmd in [
+            "compress", "query", "stat", "stats", "explain", "gen", "trace", "serve-metrics",
+            "--trace", "--trace-out", "--json",
+        ] {
             assert!(u.contains(cmd), "missing {cmd}");
         }
     }
@@ -480,10 +662,25 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        let (rest, flags) = parse_global_flags(&args);
+        let (rest, flags) = parse_global_flags(&args).unwrap();
         assert!(flags.trace);
         assert!(flags.json);
         assert_eq!(rest, vec!["stat".to_string(), "a.lgb".to_string()]);
+    }
+
+    #[test]
+    fn trace_out_flag_forms() {
+        let to_args = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (rest, flags) =
+            parse_global_flags(&to_args(&["query", "--trace-out", "t.json", "a.lgb", "x"]))
+                .unwrap();
+        assert_eq!(flags.trace_out.as_deref(), Some("t.json"));
+        assert!(!flags.trace);
+        assert_eq!(rest.len(), 3);
+        let (_, flags) = parse_global_flags(&to_args(&["--trace-out=u.json", "help"])).unwrap();
+        assert_eq!(flags.trace_out.as_deref(), Some("u.json"));
+        assert!(parse_global_flags(&to_args(&["--trace-out"])).is_err());
+        assert!(parse_global_flags(&to_args(&["--trace-out="])).is_err());
     }
 
     #[test]
@@ -498,9 +695,13 @@ mod tests {
         assert!(text.contains("ratio:"), "{text}");
         let json = stat_report(&bytes, true).unwrap();
         assert!(json.contains("\"blocks\": 1"), "{json}");
-        for key in ["lines", "raw_bytes", "stored_bytes", "ratio", "groups", "capsules"] {
+        for key in [
+            "lines", "raw_bytes", "stored_bytes", "ratio", "groups", "capsules",
+            "capsule_bytes", "p50", "p95", "p99",
+        ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
         }
+        assert!(text.contains("capsule bytes: p50="), "{text}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -14,6 +14,11 @@
 //! Nodes are plain structs driven by crossbeam scoped threads, so the same
 //! code paths would back a real RPC deployment.
 //!
+//! Every node records into the process-wide telemetry registry, so spans
+//! and counters from all shards aggregate into one snapshot; the
+//! [`Cluster::serve_metrics`] embedding exposes that combined view over
+//! HTTP (`/metrics`, `/healthz`, `/trace/last.json`).
+//!
 //! # Examples
 //!
 //! ```
@@ -31,6 +36,13 @@
 
 use loggrep::{Archive, LogGrep, LogGrepConfig};
 use parking_lot::Mutex;
+
+/// The `cluster.blocks` gauge: blocks currently stored across all nodes of
+/// every in-process cluster.
+fn blocks_gauge() -> &'static telemetry::Gauge {
+    static G: std::sync::OnceLock<&'static telemetry::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| telemetry::gauge("cluster.blocks"))
+}
 
 /// One storage node: owns a set of blocks (opened archives).
 pub struct Node {
@@ -117,8 +129,10 @@ impl Cluster {
     /// boundaries), compresses them in parallel, and shards them
     /// round-robin across the nodes. Returns the number of blocks ingested.
     pub fn ingest(&mut self, raw: &[u8], block_bytes: usize) -> Result<usize, String> {
+        let _span = telemetry::span("cluster/ingest");
         let blocks = split_blocks(raw, block_bytes.max(1));
         let n = blocks.len();
+        telemetry::counter!("cluster.blocks_ingested", n as u64);
         let engine = &self.engine;
 
         // Parallel compression, order-preserving.
@@ -146,6 +160,7 @@ impl Cluster {
             self.next_block += 1;
             let node = block_no % self.nodes.len();
             self.nodes[node].blocks.push((block_no, archive));
+            blocks_gauge().add(1);
         }
         Ok(n)
     }
@@ -153,12 +168,17 @@ impl Cluster {
     /// Scatter-gather query: every node evaluates the command against its
     /// blocks in parallel; results merge in global order.
     pub fn query(&self, command: &str) -> Result<ClusterResult, String> {
+        let _trace = telemetry::trace_scope();
+        let _span = telemetry::span("cluster/query");
+        telemetry::counter!("cluster.queries", 1);
         type Partial = Result<Vec<(usize, u32, Vec<u8>)>, String>;
         let partials: Vec<Mutex<Option<Partial>>> =
             self.nodes.iter().map(|_| Mutex::new(None)).collect();
+        let trace_id = telemetry::current_trace_id();
         crossbeam::thread::scope(|scope| {
             for (node, slot) in self.nodes.iter().zip(&partials) {
                 scope.spawn(move |_| {
+                    let _trace = telemetry::trace_scope_with(trace_id);
                     *slot.lock() = Some(node.query_local(command));
                 });
             }
@@ -187,6 +207,24 @@ impl Cluster {
             .flat_map(|n| n.blocks.iter())
             .map(|(_, a)| a.capsule_box().compressed_size())
             .sum()
+    }
+
+    /// Starts an embedded metrics endpoint for this process.
+    ///
+    /// Every node shares the process-wide telemetry registry, so the
+    /// served `/metrics` page is the aggregation of all shards: cluster
+    /// spans, per-node query spans, pool gauges, and cache counters in one
+    /// Prometheus exposition. Pass `"127.0.0.1:0"` to bind an ephemeral
+    /// port (read it back via [`telemetry::MetricsServer::local_addr`]).
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<telemetry::MetricsServer> {
+        telemetry::MetricsServer::bind(addr)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let stored: usize = self.nodes.iter().map(Node::block_count).sum();
+        blocks_gauge().add(-(stored as i64));
     }
 }
 
@@ -280,6 +318,28 @@ mod tests {
         assert_eq!(cluster.query("x").unwrap().lines.len(), 0);
         assert_eq!(cluster.ingest(b"", 1024).unwrap(), 0);
         assert_eq!(cluster.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn serve_metrics_exposes_cluster_counters() {
+        use std::io::{Read, Write};
+        telemetry::set_enabled(true);
+        let raw = sample(200);
+        let mut cluster = Cluster::new(2, LogGrepConfig::default());
+        cluster.ingest(&raw, 2 * 1024).unwrap();
+        cluster.query("ERROR").unwrap();
+
+        let mut server = cluster.serve_metrics("127.0.0.1:0").unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.1 200"), "{body}");
+        assert!(body.contains("loggrep_cluster_queries_total"), "{body}");
+        assert!(body.contains("loggrep_cluster_blocks_ingested_total"), "{body}");
+        server.shutdown();
     }
 
     #[test]

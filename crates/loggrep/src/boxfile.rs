@@ -352,6 +352,7 @@ impl Archive {
 
     /// Opens an archive from an in-memory CapsuleBox.
     pub fn from_box(boxed: CapsuleBox) -> Self {
+        open_archives_gauge().add(1);
         Self {
             boxed,
             cache: crate::query::cache::QueryCache::new(),
@@ -423,6 +424,19 @@ impl Archive {
     /// Number of lines stored.
     pub fn total_lines(&self) -> u32 {
         self.boxed.total_lines
+    }
+}
+
+/// The `archive.open` gauge: archives currently open in this process
+/// (every constructor counts up, [`Drop`] counts down).
+fn open_archives_gauge() -> &'static telemetry::Gauge {
+    static G: std::sync::OnceLock<&'static telemetry::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| telemetry::gauge("archive.open"))
+}
+
+impl Drop for Archive {
+    fn drop(&mut self) {
+        open_archives_gauge().add(-1);
     }
 }
 

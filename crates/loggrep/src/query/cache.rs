@@ -14,6 +14,14 @@ use std::collections::HashMap;
 /// Default entry cap (see [`crate::LogGrepConfig::query_cache_entries`]).
 pub const DEFAULT_CAPACITY: usize = 256;
 
+/// The `query.cache.entries` gauge: live entries summed across every
+/// cache in the process (each cache adds on insert and subtracts on
+/// evict/clear/drop), so `/metrics` shows total resident results.
+fn entries_gauge() -> &'static telemetry::Gauge {
+    static G: std::sync::OnceLock<&'static telemetry::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| telemetry::gauge("query.cache.entries"))
+}
+
 #[derive(Debug)]
 struct Entry {
     lines: Vec<u32>,
@@ -115,6 +123,7 @@ impl QueryCache {
                 last_used: tick,
             },
         );
+        entries_gauge().add(1);
     }
 
     /// `(hits, misses)` counters.
@@ -141,10 +150,20 @@ impl QueryCache {
     /// Drops all entries and counters (the capacity is kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        entries_gauge().add(-(inner.map.len() as i64));
         inner.map.clear();
         inner.hits = 0;
         inner.misses = 0;
         inner.evictions = 0;
+    }
+}
+
+impl Drop for QueryCache {
+    fn drop(&mut self) {
+        // Keep the process-wide entries gauge balanced when an archive
+        // (and its cache) goes away.
+        let inner = self.inner.lock();
+        entries_gauge().add(-(inner.map.len() as i64));
     }
 }
 
@@ -163,6 +182,7 @@ fn evict_lru(inner: &mut Inner) {
     if let Some(victim) = victim {
         inner.map.remove(&victim);
         inner.evictions += 1;
+        entries_gauge().add(-1);
         telemetry::counter!("query.cache.evictions", 1);
     }
 }

@@ -59,6 +59,7 @@ impl Archive {
     pub fn query(&self, command: &str) -> Result<QueryResult> {
         let query = Query::parse(command)?;
         let start = Instant::now();
+        let _trace = telemetry::trace_scope();
         let _query_span = telemetry::span("query");
         telemetry::counter!("query.executed", 1);
         let shared = ExecShared::new(self);
@@ -388,10 +389,12 @@ impl<'a> ExecCtx<'a> {
             return Ok(out);
         }
         let gids: Vec<usize> = (0..skip.len()).collect();
+        let trace_id = telemetry::current_trace_id();
         let results = shared.pool.try_map(&gids, |_, &gid| {
             if skip.get(gid).copied().unwrap_or(true) {
                 return Ok((RowSet::empty(), QueryStats::default()));
             }
+            let _trace = telemetry::trace_scope_with(trace_id);
             let _ctx = telemetry::context("query");
             let mut worker = ExecCtx::new(shared);
             let rows = worker.eval_search_in_group(s, gid)?;
@@ -903,7 +906,9 @@ impl<'a> ExecCtx<'a> {
             return Ok(out);
         }
         let chunk = lines.len().div_ceil(shared.pool.threads() * 4);
+        let trace_id = telemetry::current_trace_id();
         let chunks = shared.pool.map_chunks(&lines, chunk, |_, chunk_lines| {
+            let _trace = telemetry::trace_scope_with(trace_id);
             let _ctx = telemetry::context("query/reconstruct");
             let mut worker = ExecCtx::new(shared);
             let mut rendered = Vec::with_capacity(chunk_lines.len());

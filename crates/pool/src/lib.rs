@@ -28,7 +28,21 @@
 
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// The `pool.queue_depth` gauge: items not yet claimed off the work
+/// cursor. Observable live via `loggrep serve-metrics` while a parallel
+/// stage runs.
+fn queue_depth_gauge() -> &'static telemetry::Gauge {
+    static G: OnceLock<&'static telemetry::Gauge> = OnceLock::new();
+    G.get_or_init(|| telemetry::gauge("pool.queue_depth"))
+}
+
+/// The `pool.workers_active` gauge: workers currently inside a `map` call.
+fn workers_active_gauge() -> &'static telemetry::Gauge {
+    static G: OnceLock<&'static telemetry::Gauge> = OnceLock::new();
+    G.get_or_init(|| telemetry::gauge("pool.workers_active"))
+}
 
 /// The environment variable that overrides the default pool size.
 pub const THREADS_ENV: &str = "LOGGREP_THREADS";
@@ -123,10 +137,20 @@ impl Pool {
         let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
 
         let mut panics = Vec::new();
+        queue_depth_gauge().set(n as i64);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        // Guard so the gauge drops back even if `f` panics.
+                        struct ActiveGuard;
+                        impl Drop for ActiveGuard {
+                            fn drop(&mut self) {
+                                workers_active_gauge().add(-1);
+                            }
+                        }
+                        workers_active_gauge().add(1);
+                        let _active = ActiveGuard;
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -134,6 +158,9 @@ impl Pool {
                                 break;
                             }
                             let end = (start + chunk).min(n);
+                            // Unclaimed tail after this grab; racy across
+                            // workers but monotone enough for a live gauge.
+                            queue_depth_gauge().set(n.saturating_sub(end) as i64);
                             for (i, item) in items[start..end].iter().enumerate() {
                                 local.push((start + i, f(start + i, item)));
                             }
@@ -149,6 +176,7 @@ impl Pool {
                 }
             }
         });
+        queue_depth_gauge().set(0);
         if let Some(payload) = panics.into_iter().next() {
             resume_unwind(payload);
         }
@@ -277,6 +305,21 @@ mod tests {
         assert_eq!(pool.map(&[] as &[u8], |_, &b| b), Vec::<u8>::new());
         assert_eq!(pool.map(&[9u8], |i, &b| (i, b)), vec![(0, 9)]);
         assert_eq!(pool.map_chunks(&[] as &[u8], 4, |_, c| c.len()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn gauges_visible_from_workers() {
+        // Other tests drive pools concurrently, so only in-worker
+        // observations are deterministic: while a worker runs, it is
+        // itself counted active, and the queue gauge is a valid depth.
+        let items: Vec<usize> = (0..256).collect();
+        Pool::new(4).map(&items, |_, &x| {
+            let active = telemetry::gauge("pool.workers_active").get();
+            assert!(active >= 1, "worker not counted active: {active}");
+            let depth = telemetry::gauge("pool.queue_depth").get();
+            assert!(depth >= 0, "negative queue depth: {depth}");
+            x
+        });
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn name_width<'a>(names: impl Iterator<Item = &'a str>) -> usize {
 ///   "histograms": {
 ///     "query/plan": {"count": 1, "sum": 53200, "min": 53200,
 ///                     "max": 53200, "mean": 53200.0,
-///                     "p50": 65535, "p90": 65535, "p99": 65535}
+///                     "p50": 65535, "p90": 65535, "p95": 65535, "p99": 65535}
 ///   }
 /// }
 /// ```
@@ -102,7 +102,7 @@ fn push_entries<T>(out: &mut String, entries: &[(String, T)], mut value: impl Fn
 
 fn push_histogram_json(out: &mut String, h: &HistogramSnapshot) {
     out.push_str(&format!(
-        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}}}",
         h.count,
         h.sum,
         h.min,
@@ -110,6 +110,7 @@ fn push_histogram_json(out: &mut String, h: &HistogramSnapshot) {
         h.mean(),
         h.quantile(0.5),
         h.quantile(0.9),
+        h.quantile(0.95),
         h.quantile(0.99),
     ));
 }

@@ -1,0 +1,244 @@
+//! A tiny std-only HTTP exporter for live observability.
+//!
+//! [`MetricsServer`] binds a `TcpListener` and serves three read-only
+//! endpoints from a background thread:
+//!
+//! * `GET /metrics`         — the registry in Prometheus text exposition
+//!   format (see [`crate::prometheus`] for the naming scheme);
+//! * `GET /healthz`         — `ok` (liveness probe);
+//! * `GET /trace/last.json` — the trace journal as Chrome trace-event
+//!   JSON (import into Perfetto / `chrome://tracing`).
+//!
+//! The snapshot source is pluggable ([`MetricsServer::bind_with`]), so an
+//! embedding service — the CLI's `serve-metrics` verb, or a
+//! `cluster::Cluster` aggregating per-shard metrics — can serve its own
+//! view through the same endpoints. No HTTP dependency: requests are
+//! parsed from the first line with a bounded read, responses are written
+//! with `Content-Length` and the connection closed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::Snapshot;
+
+/// Upper bound on a request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A provider of the snapshot served at `/metrics`.
+pub type SnapshotProvider = Arc<dyn Fn() -> Snapshot + Send + Sync>;
+
+/// A running metrics endpoint; shuts down when dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// serves the process-wide registry.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Self::bind_with(addr, Arc::new(crate::snapshot))
+    }
+
+    /// Binds `addr` serving snapshots from `provider` — the embedding
+    /// hook for services that aggregate or filter their own registry
+    /// view.
+    pub fn bind_with(addr: &str, provider: SnapshotProvider) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-server".to_string())
+            .spawn(move || accept_loop(listener, stop_flag, provider))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, provider: SnapshotProvider) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Serve inline: endpoints are cheap and consumers scrape
+                // serially; no per-connection thread churn.
+                let _ = handle_connection(stream, &provider);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, provider: &SnapshotProvider) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let path = match read_request_path(&mut stream)? {
+        Some(p) => p,
+        None => {
+            return respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n");
+        }
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = crate::prometheus::render(&provider());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/trace/last.json" => {
+            let body = crate::journal::export_chrome_trace(&crate::journal::journal_events());
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Reads the request head (bounded) and extracts the path of a GET line.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        // Stop once the first line is complete; we ignore headers/body.
+        if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
+            break;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Ok(None);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let first = head.lines().next().unwrap_or("");
+    let mut parts = first.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_health_metrics_and_404() {
+        let mut server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_provider_is_served() {
+        let provider: SnapshotProvider = Arc::new(|| Snapshot {
+            counters: vec![("custom.provider.hits".into(), 9)],
+            gauges: vec![],
+            histograms: vec![],
+        });
+        let server = MetricsServer::bind_with("127.0.0.1:0", provider).expect("bind");
+        let (_, body) = get(server.local_addr(), "/metrics");
+        assert!(
+            body.contains("loggrep_custom_provider_hits_total 9"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let server = MetricsServer::bind("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.write_all(b"BOGUS\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+}

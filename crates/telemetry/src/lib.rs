@@ -24,6 +24,13 @@
 //! * **Exporters are views.** [`snapshot`] captures every metric; the
 //!   [`export`] module renders a snapshot as aligned text or JSON without
 //!   any serialization dependency.
+//! * **Deep observability is layered on top.** The [`journal`] records
+//!   span begin/end edges and counter deltas into per-thread ring buffers
+//!   (exportable as Chrome trace-event JSON or collapsed stacks), the
+//!   [`sampler`] profiles live span stacks at a configurable rate, the
+//!   [`prometheus`] module renders snapshots in text exposition format,
+//!   and [`http::MetricsServer`] serves `/metrics`, `/healthz`, and
+//!   `/trace/last.json` over a std-only TCP listener.
 //!
 //! # Example
 //!
@@ -44,13 +51,26 @@
 #![deny(missing_docs)]
 
 pub mod export;
+pub mod http;
+pub mod journal;
+pub mod json;
 mod metrics;
+pub mod prometheus;
 mod registry;
+pub mod sampler;
 mod span;
 
 pub use export::{export_json, export_text, export_trace_text};
+pub use http::{MetricsServer, SnapshotProvider};
+pub use journal::{
+    clear_journal, current_trace_id, export_chrome_trace, export_collapsed, journal_enabled,
+    journal_events, mark, set_journal_enabled, trace_scope, trace_scope_with, EventKind,
+    TraceEvent, TraceScope,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use prometheus::render as export_prometheus;
 pub use registry::{counter, gauge, histogram, reset, snapshot, Snapshot};
+pub use sampler::{sample_now, Sampler, SamplerReport};
 pub use span::{context, span, span_path, Context, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -83,7 +103,11 @@ macro_rules! counter {
         if $crate::enabled() {
             static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
                 ::std::sync::OnceLock::new();
-            HANDLE.get_or_init(|| $crate::counter($name)).add($delta);
+            let handle = *HANDLE.get_or_init(|| $crate::counter($name));
+            handle.add($delta);
+            if $crate::journal_enabled() {
+                $crate::journal::record_counter($name, handle.get());
+            }
         }
     }};
 }

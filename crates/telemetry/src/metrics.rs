@@ -99,7 +99,11 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    pub(crate) const fn new() -> Self {
+    /// Creates a standalone (unregistered) histogram. Most callers want
+    /// [`crate::histogram`], which registers a handle for snapshots; a
+    /// standalone histogram suits local one-shot aggregation (quantiles
+    /// over a batch of sizes, say) without polluting the registry.
+    pub const fn new() -> Self {
         // `[AtomicU64::new(0); 65]` needs Copy; build via a const block.
         Self {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],

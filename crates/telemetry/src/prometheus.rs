@@ -1,0 +1,125 @@
+//! Prometheus text exposition (format version 0.0.4) of a [`Snapshot`].
+//!
+//! # Naming scheme
+//!
+//! Every metric is prefixed `loggrep_`; dots, slashes, and other
+//! non-`[a-zA-Z0-9_:]` characters in registry names map to `_`:
+//!
+//! * counters  → `loggrep_<name>_total` (counter type), e.g.
+//!   `query.cache.misses` → `loggrep_query_cache_misses_total`;
+//! * gauges    → `loggrep_<name>` (gauge type), e.g.
+//!   `pool.queue_depth` → `loggrep_pool_queue_depth`;
+//! * histograms → `loggrep_<name>` rendered as a *summary*: p50/p95/p99
+//!   `quantile` samples derived from the pow2 buckets, plus `_sum` and
+//!   `_count`. Span histograms record nanoseconds, so
+//!   `query/reconstruct` → `loggrep_query_reconstruct{quantile="0.99"}`
+//!   is a nanosecond latency.
+//!
+//! Quantiles come from [`HistogramSnapshot::quantile`] — the upper bound
+//! of the bucket where the cumulative count crosses the rank, clamped to
+//! observed min/max — so they are upper estimates with power-of-two
+//! resolution, not exact order statistics.
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+
+/// The quantiles exported for each histogram.
+pub const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+/// Maps a registry metric name to a Prometheus metric name (prefixed,
+/// sanitized, no suffix).
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("loggrep_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = metric_name(name) + "_total";
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = metric_name(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        push_summary(&mut out, &n, h);
+    }
+    out
+}
+
+fn push_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    for (q, label) in QUANTILES {
+        out.push_str(&format!(
+            "{name}{{quantile=\"{label}\"}} {}\n",
+            h.quantile(q)
+        ));
+    }
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn names_sanitize() {
+        assert_eq!(metric_name("query.cache.misses"), "loggrep_query_cache_misses");
+        assert_eq!(metric_name("query/reconstruct"), "loggrep_query_reconstruct");
+        assert_eq!(metric_name("odd name-1:x"), "loggrep_odd_name_1:x");
+    }
+
+    #[test]
+    fn exposition_shape() {
+        let h = Histogram::new();
+        for v in [10u64, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        let snap = Snapshot {
+            counters: vec![("parse.lines".into(), 120)],
+            gauges: vec![("pool.queue_depth".into(), -2)],
+            histograms: vec![("query/plan".into(), h.snapshot())],
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE loggrep_parse_lines_total counter\n"), "{text}");
+        assert!(text.contains("loggrep_parse_lines_total 120\n"));
+        assert!(text.contains("# TYPE loggrep_pool_queue_depth gauge\n"));
+        assert!(text.contains("loggrep_pool_queue_depth -2\n"));
+        assert!(text.contains("# TYPE loggrep_query_plan summary\n"));
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(
+                text.contains(&format!("loggrep_query_plan{{quantile=\"{q}\"}} ")),
+                "missing quantile {q} in {text}"
+            );
+        }
+        assert!(text.contains("loggrep_query_plan_sum 11110\n"));
+        assert!(text.contains("loggrep_query_plan_count 4\n"));
+
+        // Every non-comment line is `name[{labels}] value` with a numeric
+        // value — the well-formedness a scraper relies on.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in `{line}`");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&Snapshot::default()), "");
+    }
+}

@@ -1,0 +1,118 @@
+//! Scrapes the metrics endpoint over a real TCP socket and validates the
+//! Prometheus text exposition line by line (the curl-free smoke test CI
+//! runs).
+//!
+//! One test function: the registry and journal are process-global, and
+//! this integration binary owns its process.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn request(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {response:?}"));
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn scrape_and_parse_the_exposition() {
+    telemetry::set_enabled(true);
+    telemetry::set_journal_enabled(true);
+    telemetry::reset();
+    telemetry::clear_journal();
+
+    // Give the endpoints real data: spans, a counter, and a gauge.
+    {
+        let _t = telemetry::trace_scope();
+        let _outer = telemetry::span("scrape/outer");
+        let _inner = telemetry::span("scrape/outer/inner");
+        telemetry::counter!("scrape.hits", 3);
+        telemetry::gauge("scrape.depth").set(7);
+    }
+
+    let mut server = telemetry::MetricsServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // /healthz
+    let (head, body) = request(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "ok\n");
+
+    // /metrics: well-formed Prometheus 0.0.4 text exposition.
+    let (head, body) = request(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "missing exposition content type: {head}"
+    );
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples += 1;
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line `{line}`"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric value in `{line}`"));
+        let name = name_part.split('{').next().unwrap();
+        assert!(name.starts_with("loggrep_"), "unprefixed metric `{line}`");
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name `{name}`"
+        );
+        if let Some(labels) = name_part.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "bad label block in `{line}`"
+                );
+            }
+        }
+    }
+    assert!(samples > 0, "no samples in exposition:\n{body}");
+    assert!(body.contains("# TYPE loggrep_scrape_hits_total counter"), "{body}");
+    assert!(body.contains("loggrep_scrape_hits_total 3"), "{body}");
+    assert!(body.contains("loggrep_scrape_depth 7"), "{body}");
+    // Span histograms surface as summaries with the three quantiles.
+    for q in ["0.5", "0.95", "0.99"] {
+        assert!(
+            body.contains(&format!("quantile=\"{q}\"")),
+            "missing quantile {q}:\n{body}"
+        );
+    }
+
+    // /trace/last.json: parseable Chrome trace with our spans in it.
+    let (head, body) = request(addr, "/trace/last.json");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let doc = telemetry::json::parse(&body).unwrap_or_else(|e| panic!("bad trace JSON: {e}"));
+    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+    assert!(
+        events.iter().any(|e| e.str("name") == Some("scrape/outer")),
+        "recorded span missing from /trace/last.json"
+    );
+
+    // Unknown paths 404; garbage requests 400 — neither kills the server.
+    let (head, _) = request(addr, "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    let (head, _) = request(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "server died after bad request");
+
+    server.shutdown();
+    telemetry::set_journal_enabled(false);
+    telemetry::set_enabled(false);
+}

@@ -42,6 +42,18 @@ else
     echo "ci: miri not available (nightly toolchain + miri component); skipping"
 fi
 
+# Observability smoke: scrape /metrics, /healthz, and /trace/last.json
+# over real TCP (std TcpStream, no curl) and schema-check the Chrome
+# trace JSON a traced query emits.
+cargo test -q -p telemetry --test http
+cargo test -q -p cli --test trace_out
+
 # Thread-scaling benchmark; BENCH_parallel.json records wall times, speedups
 # vs serial, and the per-stage telemetry breakdown for each thread count.
 ./target/release/parallel_scaling --threads 1,2,4 --out BENCH_parallel.json
+
+# Perf-regression gate: append one hot-path run (compress MB/s, selective
+# and scan latency, sampler overhead) to the committed trajectory and fail
+# on a >25% regression vs the median of the previous runs (or >5% sampler
+# overhead). See DESIGN.md "Perf-regression tracking".
+./target/release/hotpath --label ci --out BENCH_hotpath.json --check
