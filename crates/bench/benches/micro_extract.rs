@@ -3,20 +3,25 @@
 //! full per-block compression pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logparse::Column;
 use loggrep::extract::{nominal, real};
 use loggrep::{LogGrep, LogGrepConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn real_values(n: usize) -> Vec<Vec<u8>> {
-    (0..n)
-        .map(|i| format!("blk_{:08x}F8{:04x}", i * 2654435761u64 as usize, i % 65536).into_bytes())
-        .collect()
+fn real_values(n: usize) -> Column {
+    Column::from_values(
+        (0..n)
+            .map(|i| format!("blk_{:08x}F8{:04x}", i * 2654435761u64 as usize, i % 65536))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_bytes),
+    )
 }
 
-fn nominal_values(n: usize) -> Vec<Vec<u8>> {
+fn nominal_values(n: usize) -> Column {
     let dict = ["SUC#1604", "ERR#1623", "SUC#1611", "ERR#404", "TIMEOUT"];
-    (0..n).map(|i| dict[i % dict.len()].as_bytes().to_vec()).collect()
+    Column::from_values((0..n).map(|i| dict[i % dict.len()].as_bytes()))
 }
 
 fn bench_extraction(c: &mut Criterion) {

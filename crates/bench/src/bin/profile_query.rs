@@ -1,22 +1,29 @@
 //! Ad-hoc query profiler: compresses one workload, runs a few queries, and
 //! prints the per-stage telemetry breakdown in the same format as the CLI's
 //! `--trace` flag (`--json` switches to the machine-readable per-stage
-//! report from `bench::per_stage_json`).
+//! report from `bench::per_stage_json`; `--log <name>` picks the workload).
 
 #![forbid(unsafe_code)]
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
+    let log = argv
+        .iter()
+        .position(|a| a == "--log")
+        .and_then(|i| argv.get(i + 1).cloned())
+        .unwrap_or_else(|| "Log A".to_string());
     telemetry::set_enabled(true);
     telemetry::reset();
 
-    let spec = workloads::by_name("Log A").unwrap();
+    let spec = workloads::by_name(&log).unwrap();
     let raw = spec.generate(42, 4 << 20);
     let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig::default());
     let (boxed, cstats) = engine.compress_with_stats(&raw).unwrap();
     eprintln!(
-        "compress: ratio {:.1}, groups {}, {} capsule(s)",
+        "compress: ratio {:.1}, speed {:.1} MB/s, groups {}, {} capsule(s)",
         cstats.ratio(),
+        cstats.speed_mb_s(),
         cstats.groups,
         cstats.capsules,
     );

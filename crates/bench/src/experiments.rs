@@ -357,7 +357,7 @@ pub fn strictness(logs: &[LogSpec]) {
             .groups
             .iter()
             .flat_map(|g| g.vars.iter())
-            .flat_map(|v| v.iter().map(|x| x.as_slice()));
+            .flat_map(|v| v.iter());
         let (t, v) = stats(all_values);
         block_t.push(t);
         block_v.push(v);
@@ -367,7 +367,7 @@ pub fn strictness(logs: &[LogSpec]) {
                 if values.len() < config.min_vector_for_patterns {
                     continue;
                 }
-                let (t, var) = stats(values.iter().map(|v| v.as_slice()));
+                let (t, var) = stats(values.iter());
                 vec_t.push(t);
                 vec_v.push(var);
                 match extract_vector(values, &config, (gi * 131 + vi) as u64) {

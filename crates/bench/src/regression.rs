@@ -9,6 +9,15 @@
 //! Medians (rather than the single previous run) absorb one-off scheduler
 //! noise; the absolute floors keep micro-benchmarks measured in tens of
 //! microseconds from tripping the relative threshold on timer jitter.
+//!
+//! The gate is a **two-sided ratchet**. Regressions beyond the threshold
+//! fail the check, and confirmed improvements are locked in: when a run
+//! beats the baseline median by the same margin (see [`improvements`]) the
+//! `hotpath` bin re-measures to confirm and appends the run with
+//! `baseline: true`. [`check`] never reaches past the most recent baseline
+//! marker when building its comparison window, so pre-improvement runs
+//! cannot dilute the median back down — a later return to the old, slower
+//! numbers fails the check instead of hiding inside a stale window.
 
 use telemetry::json::{self, Value};
 
@@ -45,16 +54,21 @@ pub struct Record {
     /// Wall-time overhead of running the sampling profiler during the
     /// selective-query loop, in percent (0 when it was not measured).
     pub sampler_overhead_pct: f64,
+    /// Ratchet marker: this run recorded a confirmed improvement, and
+    /// [`check`] windows never reach past it. Absent (false) in
+    /// pre-ratchet trajectories.
+    pub baseline: bool,
 }
 
 impl Record {
     fn to_json(&self) -> String {
         let mut label = String::new();
         telemetry::export::push_json_string(&mut label, &self.label);
+        let baseline = if self.baseline { ", \"baseline\": true" } else { "" };
         format!(
             "{{\"label\": {label}, \"unix_secs\": {}, \"compress_mb_s\": {:.3}, \
              \"selective_secs\": {:.9}, \"scan_secs\": {:.9}, \
-             \"sampler_overhead_pct\": {:.3}}}",
+             \"sampler_overhead_pct\": {:.3}{baseline}}}",
             self.unix_secs, self.compress_mb_s, self.selective_secs, self.scan_secs,
             self.sampler_overhead_pct,
         )
@@ -69,6 +83,7 @@ impl Record {
             selective_secs: need("selective_secs")?,
             scan_secs: need("scan_secs")?,
             sampler_overhead_pct: v.num("sampler_overhead_pct").unwrap_or(0.0),
+            baseline: matches!(v.get("baseline"), Some(Value::Bool(true))),
         })
     }
 }
@@ -108,8 +123,19 @@ fn median(values: &mut [f64]) -> f64 {
     }
 }
 
+/// The comparison window: up to [`BASELINE_WINDOW`] trailing runs, never
+/// reaching past the most recent `baseline` ratchet marker.
+fn window(prior: &[Record]) -> &[Record] {
+    let anchor = prior
+        .iter()
+        .rposition(|r| r.baseline)
+        .unwrap_or(0);
+    let since = &prior[anchor..];
+    &since[since.len().saturating_sub(BASELINE_WINDOW)..]
+}
+
 /// Checks the newest run against the median of (up to
-/// [`BASELINE_WINDOW`]) preceding runs.
+/// [`BASELINE_WINDOW`]) preceding runs since the last baseline marker.
 ///
 /// Returns one human-readable message per violated bound; an empty vector
 /// means the trajectory is healthy. A history with fewer than two runs
@@ -128,7 +154,7 @@ pub fn check(history: &[Record]) -> Vec<String> {
     if prior.is_empty() {
         return failures;
     }
-    let window = &prior[prior.len().saturating_sub(BASELINE_WINDOW)..];
+    let window = window(prior);
 
     let mut base: Vec<f64> = window.iter().map(|r| r.compress_mb_s).collect();
     let base_compress = median(&mut base);
@@ -170,6 +196,57 @@ pub fn check(history: &[Record]) -> Vec<String> {
     failures
 }
 
+/// The improvement side of the ratchet: metrics where the newest run beats
+/// the baseline median by more than [`RELATIVE_THRESHOLD`].
+///
+/// One message per improved metric; empty means nothing ratchet-worthy.
+/// Latency improvements below the same absolute floors `check` uses are
+/// ignored — at that scale a "win" is timer jitter, and ratcheting it in
+/// would set an unmeetable baseline. Callers should confirm with a second
+/// measurement pass before recording a `baseline` marker.
+pub fn improvements(history: &[Record]) -> Vec<String> {
+    let mut wins = Vec::new();
+    let Some((latest, prior)) = history.split_last() else {
+        return wins;
+    };
+    if prior.is_empty() {
+        return wins;
+    }
+    let window = window(prior);
+
+    let mut base: Vec<f64> = window.iter().map(|r| r.compress_mb_s).collect();
+    let base_compress = median(&mut base);
+    if latest.compress_mb_s > base_compress * (1.0 + RELATIVE_THRESHOLD) {
+        wins.push(format!(
+            "compress throughput improved: {:.1} MB/s vs baseline median {:.1} MB/s",
+            latest.compress_mb_s, base_compress,
+        ));
+    }
+
+    let mut base: Vec<f64> = window.iter().map(|r| r.selective_secs).collect();
+    let base_selective = median(&mut base);
+    if latest.selective_secs < base_selective * (1.0 - RELATIVE_THRESHOLD)
+        && base_selective > SELECTIVE_FLOOR_SECS
+    {
+        wins.push(format!(
+            "selective query improved: {:.1} µs vs baseline median {:.1} µs",
+            latest.selective_secs * 1e6,
+            base_selective * 1e6,
+        ));
+    }
+
+    let mut base: Vec<f64> = window.iter().map(|r| r.scan_secs).collect();
+    let base_scan = median(&mut base);
+    if latest.scan_secs < base_scan * (1.0 - RELATIVE_THRESHOLD) && base_scan > SCAN_FLOOR_SECS {
+        wins.push(format!(
+            "scan query improved: {:.2} ms vs baseline median {:.2} ms",
+            latest.scan_secs * 1e3,
+            base_scan * 1e3,
+        ));
+    }
+    wins
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +259,7 @@ mod tests {
             selective_secs: selective,
             scan_secs: scan,
             sampler_overhead_pct: 1.0,
+            baseline: false,
         }
     }
 
@@ -236,6 +314,60 @@ mod tests {
         history.push(rec(100.0, 10e-3, 0.5)); // the outlier
         history.push(rec(100.0, 1.1e-3, 0.5)); // latest: fine vs median
         assert!(check(&history).is_empty(), "{:?}", check(&history));
+    }
+
+    #[test]
+    fn baseline_flag_roundtrips_and_defaults_false() {
+        let mut records = vec![rec(100.0, 1e-3, 0.5), rec(200.0, 0.5e-3, 0.25)];
+        records[1].baseline = true;
+        let rendered = render_history(&records);
+        let parsed = parse_history(&rendered).unwrap();
+        assert!(!parsed[0].baseline);
+        assert!(parsed[1].baseline);
+        // Pre-ratchet trajectories (no `baseline` key) parse as false.
+        let legacy = parse_history(
+            "{\"runs\": [{\"unix_secs\": 1, \"compress_mb_s\": 1.0, \
+             \"selective_secs\": 0.001, \"scan_secs\": 0.5}]}",
+        )
+        .unwrap();
+        assert!(!legacy[0].baseline);
+    }
+
+    #[test]
+    fn improvements_detected_symmetrically() {
+        let mut history: Vec<Record> = (0..5).map(|_| rec(100.0, 1e-3, 0.5)).collect();
+        history.push(rec(200.0, 0.4e-3, 0.2));
+        let wins = improvements(&history);
+        assert_eq!(wins.len(), 3, "{wins:?}");
+        assert!(wins[0].contains("compress"), "{wins:?}");
+        assert!(wins[1].contains("selective"), "{wins:?}");
+        assert!(wins[2].contains("scan"), "{wins:?}");
+        // A steady trajectory reports no improvements.
+        let steady: Vec<Record> = (0..5).map(|_| rec(100.0, 1e-3, 0.5)).collect();
+        assert!(improvements(&steady).is_empty());
+    }
+
+    #[test]
+    fn improvements_below_floor_are_ignored() {
+        // 40 µs -> 20 µs is a 50% "win" but both sides are timer noise.
+        let history = vec![rec(100.0, 40e-6, 5e-3), rec(100.0, 20e-6, 2e-3)];
+        assert!(improvements(&history).is_empty(), "{:?}", improvements(&history));
+    }
+
+    #[test]
+    fn baseline_marker_pins_the_window() {
+        // Five slow runs, then a confirmed 4x improvement, then a return to
+        // the old numbers. Without the marker the slow runs dominate the
+        // median and the relapse passes; the ratchet must catch it.
+        let mut history: Vec<Record> = (0..5).map(|_| rec(100.0, 4e-3, 2.0)).collect();
+        let mut improved = rec(100.0, 1e-3, 0.5);
+        improved.baseline = true;
+        history.push(improved);
+        history.push(rec(100.0, 4e-3, 2.0));
+        let failures = check(&history);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("selective"), "{failures:?}");
+        assert!(failures[1].contains("scan"), "{failures:?}");
     }
 
     #[test]

@@ -45,15 +45,23 @@ impl Codec for Cm1 {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
         let (expected_len, consumed) = varint::get_uvarint(input)
             .ok_or_else(|| CodecError::new("cm1: truncated header"))?;
         let expected_len = expected_len as usize;
         if expected_len == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let mut dec = RangeDecoder::new(input.get(consumed..).unwrap_or_default())?;
         let mut model = fresh_model();
-        let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+        // Cap the preallocation: the declared length is untrusted input.
+        out.reserve(expected_len.min(1 << 20));
         let mut prev = 0u8;
         while out.len() < expected_len {
             if dec.overrun() {
@@ -64,7 +72,7 @@ impl Codec for Cm1 {
             out.push(b);
             prev = b;
         }
-        Ok(out)
+        Ok(())
     }
 }
 

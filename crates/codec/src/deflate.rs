@@ -152,11 +152,18 @@ impl Codec for Deflate {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
         let (expected_len, consumed) = varint::get_uvarint(input)
             .ok_or_else(|| CodecError::new("deflate: truncated header"))?;
         let expected_len = expected_len as usize;
         if expected_len == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let mut r = BitReader::new(input.get(consumed..).unwrap_or_default());
         let litlen_lens = read_len_table(&mut r, NUM_LITLEN)?;
@@ -164,7 +171,8 @@ impl Codec for Deflate {
         let litlen_dec = Decoder::from_lengths(&litlen_lens)?;
         let dist_dec = Decoder::from_lengths(&dist_lens)?;
 
-        let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+        // Cap the preallocation: the declared length is untrusted input.
+        out.reserve(expected_len.min(1 << 20));
         loop {
             let sym = litlen_dec.decode(&mut r)? as usize;
             if sym == EOB {
@@ -208,7 +216,7 @@ impl Codec for Deflate {
                 out.len()
             )));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -106,13 +106,21 @@ impl Codec for FastLz {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
         let (expected_len, consumed) = varint::get_uvarint(input)
             .ok_or_else(|| CodecError::new("fastlz: truncated header"))?;
         let expected_len = expected_len as usize;
         if expected_len == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+        // Cap the preallocation: the declared length is untrusted input.
+        out.reserve(expected_len.min(1 << 20));
         let mut pos = consumed;
         loop {
             let token = *input
@@ -135,7 +143,7 @@ impl Codec for FastLz {
                 return Err(CodecError::new("fastlz: output exceeds declared length"));
             }
             if out.len() == expected_len && pos == input.len() {
-                return Ok(out);
+                return Ok(());
             }
             let Some((off, _)) = input.get(pos..).and_then(|t| t.split_first_chunk::<2>()) else {
                 return Err(CodecError::new("fastlz: truncated offset"));
@@ -151,7 +159,7 @@ impl Codec for FastLz {
                 // The final sequence stores no match; a zero distance with a
                 // minimal match nibble can only come from that path.
                 if pos == input.len() && out.len() == expected_len {
-                    return Ok(out);
+                    return Ok(());
                 }
                 return Err(CodecError::new("fastlz: zero distance"));
             }

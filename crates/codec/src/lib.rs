@@ -92,6 +92,21 @@ pub trait Codec: Send + Sync {
     /// Returns [`CodecError`] if the buffer is truncated or corrupt.
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError>;
 
+    /// Decompresses into a caller-provided buffer, reusing its capacity.
+    ///
+    /// `out` is cleared first; on error its contents are unspecified. The
+    /// built-in codecs all override this with an allocation-free decode so
+    /// a query session can recycle one arena buffer across Capsules; the
+    /// default forwards to [`Codec::decompress`] and moves the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the buffer is truncated or corrupt.
+    fn decompress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        *out = self.decompress(input)?;
+        Ok(())
+    }
+
     /// [`Codec::compress`] plus per-codec byte accounting.
     ///
     /// When telemetry is enabled, records `codec.<name>.compress.bytes_in`
@@ -125,6 +140,24 @@ pub trait Codec: Send + Sync {
         }
         Ok(out)
     }
+
+    /// [`Codec::decompress_into`] plus per-codec byte accounting
+    /// (`codec.<name>.decompress.bytes_in` / `.bytes_out`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the buffer is truncated or corrupt.
+    fn decompress_tracked_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        self.decompress_into(input, out)?;
+        if telemetry::enabled() {
+            let name = self.name();
+            telemetry::counter(&format!("codec.{name}.decompress.bytes_in"))
+                .add(input.len() as u64);
+            telemetry::counter(&format!("codec.{name}.decompress.bytes_out"))
+                .add(out.len() as u64);
+        }
+        Ok(())
+    }
 }
 
 /// The identity codec: stores data uncompressed (behind a length header).
@@ -146,6 +179,13 @@ impl Codec for Store {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
         let (len, consumed) = varint::get_uvarint(input)
             .ok_or_else(|| CodecError::new("store: truncated length header"))?;
         let body = input.get(consumed..).unwrap_or_default();
@@ -156,7 +196,8 @@ impl Codec for Store {
                 body.len()
             )));
         }
-        Ok(body.to_vec())
+        out.extend_from_slice(body);
+        Ok(())
     }
 }
 
@@ -215,5 +256,23 @@ mod tests {
             assert!(by_name(name).is_some(), "missing codec {name}");
         }
         assert!(by_name("bogus").is_none());
+    }
+
+    #[test]
+    fn decompress_into_reuses_dirty_buffers() {
+        // A recycled arena buffer arrives full of stale bytes; every codec
+        // must clear it and produce the same output as `decompress`.
+        let data: Vec<u8> = (0..997u32).map(|i| (i * 31 % 251) as u8).collect();
+        for name in ["store", "deflate", "lzma-lite", "fastlz", "cm1"] {
+            let c = by_name(name).unwrap();
+            let packed = c.compress(&data);
+            let mut buf = vec![0xAB; 4096];
+            c.decompress_into(&packed, &mut buf).unwrap();
+            assert_eq!(buf, data, "codec {name}");
+            // Empty payloads must clear the buffer too.
+            let empty = c.compress(b"");
+            c.decompress_into(&empty, &mut buf).unwrap();
+            assert!(buf.is_empty(), "codec {name}");
+        }
     }
 }

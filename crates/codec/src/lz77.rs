@@ -205,13 +205,15 @@ impl<'a> MatchFinder<'a> {
     }
 }
 
+/// Longest common prefix of the windows starting at `a` and `b`, capped at
+/// `max`. Word-parallel via the shared SWAR kernel: the two windows are
+/// plain overlapping-read slices, so comparing them eight bytes at a time
+/// is safe even for self-referential matches (`b - a < 8`).
 #[inline]
 fn common_prefix(data: &[u8], a: usize, b: usize, max: usize) -> usize {
-    let mut len = 0;
-    while len < max && data[a + len] == data[b + len] {
-        len += 1;
-    }
-    len
+    let wa = data.get(a..data.len().min(a + max)).unwrap_or_default();
+    let wb = data.get(b..data.len().min(b + max)).unwrap_or_default();
+    strsearch::swar::common_prefix(wa, wb)
 }
 
 /// Expands a token stream back into bytes (the shared LZ77 "copy" loop).

@@ -197,18 +197,25 @@ impl Codec for LzmaLite {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let mut out = Vec::new();
+        self.decompress_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        out.clear();
         let (expected_len, consumed) = varint::get_uvarint(input)
             .ok_or_else(|| CodecError::new("lzma-lite: truncated header"))?;
         let expected_len = expected_len as usize;
         if expected_len == 0 {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let mut dec = RangeDecoder::new(input.get(consumed..).unwrap_or_default())?;
         let mut model = Model::new();
         let mut state = STATE_LIT;
         let mut rep0: u32 = 0;
         // Cap the preallocation: the declared length is untrusted input.
-        let mut out: Vec<u8> = Vec::with_capacity(expected_len.min(1 << 20));
+        out.reserve(expected_len.min(1 << 20));
         while out.len() < expected_len {
             if dec.overrun() {
                 return Err(CodecError::new("lzma-lite: input exhausted"));
@@ -256,7 +263,7 @@ impl Codec for LzmaLite {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -140,7 +140,7 @@ fn random_template(rng: &mut StdRng) -> Template {
     let mut parts = Vec::with_capacity(parts_n);
     for _ in 0..parts_n {
         parts.push(match rng.gen_range(0u32..9) {
-            0 | 1 | 2 => Seg::Lit(random_literal(rng)),
+            0..=2 => Seg::Lit(random_literal(rng)),
             3 => Seg::Hex {
                 prefix: ["blk_", "id_", "0x", ""][rng.gen_range(0usize..4)].to_string(),
                 digits: rng.gen_range(1usize..10),

@@ -57,8 +57,16 @@ impl Default for Harness {
     }
 }
 
-/// Every LogGrep engine configuration of the §6.3 matrix, labeled.
+/// Every LogGrep engine configuration of the §6.3 matrix, labeled, plus
+/// the codec-selection dimension: the default config exercises the
+/// per-capsule cost model (`auto`), and the forced single-codec configs
+/// cross-check it — a mixed-codec archive must decode to exactly the same
+/// lines as a uniformly compressed one.
 pub fn engine_matrix() -> Vec<(&'static str, LogGrepConfig)> {
+    let with_codec = |name: &str| LogGrepConfig {
+        codec_name: name.to_string(),
+        ..LogGrepConfig::default()
+    };
     vec![
         ("LogGrep", LogGrepConfig::default()),
         ("LogGrep-SP", LogGrepConfig::sp()),
@@ -67,6 +75,8 @@ pub fn engine_matrix() -> Vec<(&'static str, LogGrepConfig)> {
         ("LogGrep[w/o stamp]", LogGrepConfig::without_stamps()),
         ("LogGrep[w/o fixed]", LogGrepConfig::without_fixed()),
         ("LogGrep[w/o cache]", LogGrepConfig::without_cache()),
+        ("LogGrep[lzma]", with_codec("lzma-lite")),
+        ("LogGrep[deflate]", with_codec("deflate")),
     ]
 }
 

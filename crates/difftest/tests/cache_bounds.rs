@@ -19,14 +19,18 @@ fn lru_bound_holds_under_randomized_queries() {
     let lines: Vec<Vec<u8>> = blocks.iter().flatten().cloned().collect();
     let raw = block_bytes(&lines);
 
-    let mut config = LogGrepConfig::default();
-    config.query_cache_entries = CAP;
+    let config = LogGrepConfig {
+        query_cache_entries: CAP,
+        ..LogGrepConfig::default()
+    };
     let engine = LogGrep::new(config);
     let archive = engine.compress_to_archive(&raw).expect("clean input");
 
     // A disabled-cache twin provides the always-cold reference.
-    let mut cold_config = LogGrepConfig::without_cache();
-    cold_config.query_cache_entries = CAP;
+    let cold_config = LogGrepConfig {
+        query_cache_entries: CAP,
+        ..LogGrepConfig::without_cache()
+    };
     let cold_engine = LogGrep::new(cold_config);
     let cold_archive = cold_engine.compress_to_archive(&raw).expect("clean input");
 
@@ -77,8 +81,10 @@ fn unbounded_cache_still_replays_identically() {
     let blocks = genlog::generate_blocks(&mut rng);
     let lines: Vec<Vec<u8>> = blocks.iter().flatten().cloned().collect();
     let raw = block_bytes(&lines);
-    let mut config = LogGrepConfig::default();
-    config.query_cache_entries = 0; // Unbounded.
+    let config = LogGrepConfig {
+        query_cache_entries: 0, // Unbounded.
+        ..LogGrepConfig::default()
+    };
     let engine = LogGrep::new(config);
     let archive = engine.compress_to_archive(&raw).expect("clean input");
     for i in 0..10u64 {

@@ -70,10 +70,11 @@ fn injected_bug_is_caught_shrunk_and_serialized() {
         note: String::new(),
     };
 
-    let mut harness = Harness::default();
-    harness.threads = vec![1];
-    harness.with_baselines = false;
-    harness.extra.push(Box::new(DropLastMatch));
+    let harness = Harness {
+        threads: vec![1],
+        with_baselines: false,
+        extra: vec![Box::new(DropLastMatch)],
+    };
 
     let failure = harness.check(&case).expect_err("the bug must be caught");
     assert_eq!(failure.engine, "buggy[drop-last]", "{failure}");
@@ -155,10 +156,11 @@ fn corrupted_bytes_are_caught() {
         ]],
         note: String::new(),
     };
-    let mut harness = Harness::default();
-    harness.threads = vec![1];
-    harness.with_baselines = false;
-    harness.extra.push(Box::new(TruncateBytes));
+    let harness = Harness {
+        threads: vec![1],
+        with_baselines: false,
+        extra: vec![Box::new(TruncateBytes)],
+    };
     let failure = harness.check(&case).expect_err("corruption must be caught");
     assert_eq!(failure.engine, "buggy[truncate]");
     assert!(

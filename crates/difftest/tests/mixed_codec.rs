@@ -1,0 +1,35 @@
+//! The committed mixed-codec fixture must actually mix codecs under the
+//! auto cost model — otherwise the codec-selection dimension of the
+//! engine matrix would be cross-checking archives that all chose the same
+//! codec. One test function: the telemetry registry is process-global,
+//! and this integration binary owns its process.
+
+use difftest::corpus;
+use difftest::harness::block_bytes;
+
+#[test]
+fn fixture_compresses_with_multiple_codecs() {
+    let dir = corpus::default_dir();
+    let text = std::fs::read_to_string(dir.join("fixture-mixed-codec.case"))
+        .expect("mixed-codec fixture exists");
+    let case = corpus::Case::from_text(&text).expect("fixture parses");
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let engine = loggrep::LogGrep::new(loggrep::LogGrepConfig::default());
+    for block in &case.blocks {
+        let boxed = engine.compress(&block_bytes(block)).unwrap();
+        std::hint::black_box(&boxed);
+    }
+    telemetry::set_enabled(false);
+
+    let snap = telemetry::snapshot();
+    let used: Vec<&str> = ["store", "deflate", "lzma-lite", "fastlz"]
+        .into_iter()
+        .filter(|name| snap.counter(&format!("codec.{name}.compress.bytes_in")) > 0)
+        .collect();
+    assert!(
+        used.len() >= 3,
+        "mixed-codec fixture only exercised {used:?}; regenerate it or revisit the cost model"
+    );
+}

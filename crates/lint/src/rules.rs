@@ -170,14 +170,16 @@ pub fn check_source(file: &str, src: &str, scope: ScopeSpec) -> Vec<Diagnostic> 
                     check_truncation(toks, i, &taints, &mut emit);
                 }
             }
-            TokKind::Punct if t.is_punct('[') => {
-                if prev_ends_expr(toks, i) && !content_is_full_range(toks, i) {
-                    emit(
-                        t.line,
-                        RULE_PANIC,
-                        "bare indexing can panic on corrupt input; use .get()/.get_mut() and return Error::Corrupt".to_string(),
-                    );
-                }
+            TokKind::Punct
+                if t.is_punct('[')
+                    && prev_ends_expr(toks, i)
+                    && !content_is_full_range(toks, i) =>
+            {
+                emit(
+                    t.line,
+                    RULE_PANIC,
+                    "bare indexing can panic on corrupt input; use .get()/.get_mut() and return Error::Corrupt".to_string(),
+                );
             }
             TokKind::Punct if t.is_punct('+') || t.is_punct('*') => {
                 check_arith(toks, i, &mut emit);

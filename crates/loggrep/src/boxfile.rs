@@ -307,6 +307,15 @@ impl CapsuleBox {
 
     /// Decompresses one Capsule payload.
     pub fn decompress_capsule(&self, id: u32) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.decompress_capsule_into(id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decompresses one Capsule payload into a caller-provided buffer
+    /// (cleared first), reusing its capacity — the arena-friendly form the
+    /// query engine's payload cache uses.
+    pub fn decompress_capsule_into(&self, id: u32, out: &mut Vec<u8>) -> Result<()> {
         let meta = self
             .capsules
             .get(id as usize)
@@ -323,7 +332,8 @@ impl CapsuleBox {
             .get(start..end)
             .ok_or_else(|| Error::Corrupt("capsule range outside blob".into()))?;
         let codec = codec_by_id(meta.codec)?;
-        Ok(codec.decompress_tracked(payload)?)
+        codec.decompress_tracked_into(payload, out)?;
+        Ok(())
     }
 }
 
@@ -342,7 +352,16 @@ pub struct Archive {
     pub(crate) threads: usize,
     /// Lazily built map: line number → (group id, group row).
     line_index: std::sync::OnceLock<Vec<(u32, u32)>>,
+    /// Recycled decompression buffers: query sessions decompress Capsules
+    /// into these and return them on session drop, so repeated queries stop
+    /// re-allocating megabytes of payload Vecs (see `ExecShared`).
+    arena: parking_lot::Mutex<Vec<Vec<u8>>>,
 }
+
+/// Most buffers the arena will hold; beyond it, returned buffers are freed.
+/// Bounds idle memory at `ARENA_MAX_BUFFERS ×` the largest payload while
+/// still covering every Capsule of a typical block.
+const ARENA_MAX_BUFFERS: usize = 64;
 
 impl Archive {
     /// Opens an archive from serialized CapsuleBox bytes.
@@ -360,7 +379,30 @@ impl Archive {
             use_stamps: true,
             threads: 0,
             line_index: std::sync::OnceLock::new(),
+            arena: parking_lot::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Takes a recycled decompression buffer (empty, capacity retained), or
+    /// a fresh one when the arena is dry.
+    pub(crate) fn take_buffer(&self) -> Vec<u8> {
+        self.arena.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the arena for the next query session. The buffer
+    /// is cleared here; its capacity is what gets recycled.
+    pub(crate) fn return_buffer(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut arena = self.arena.lock();
+        if arena.len() < ARENA_MAX_BUFFERS {
+            arena.push(buf);
+        }
+    }
+
+    /// Number of buffers currently parked in the decompression arena
+    /// (test/telemetry visibility for the recycling path).
+    pub fn arena_buffers(&self) -> usize {
+        self.arena.lock().len()
     }
 
     /// The line-number → (group, row) map, built on first use.

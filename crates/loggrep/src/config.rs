@@ -40,8 +40,12 @@ pub struct LogGrepConfig {
     pub fixed_length: bool,
     /// Cache query results ("w/o cache" off).
     pub use_query_cache: bool,
-    /// Second-stage codec name (see [`codec::by_name`]); the paper uses
-    /// LZMA, reproduced here by `"lzma-lite"`.
+    /// Second-stage codec name (see [`codec::by_name`]), or `"auto"` for
+    /// the per-capsule cost model that picks LzmaLite, Deflate, or FastLz
+    /// from payload size and a sampled redundancy probe. The paper uses
+    /// LZMA everywhere, reproduced here by `"lzma-lite"`; `"auto"` keeps
+    /// LzmaLite where its ratio edge pays (small dictionary-class
+    /// capsules) and takes the 3–6× faster stages elsewhere.
     pub codec_name: String,
     /// Seed for the randomized choices in tree expansion (reproducibility).
     pub seed: u64,
@@ -70,7 +74,7 @@ impl Default for LogGrepConfig {
             use_stamps: true,
             fixed_length: true,
             use_query_cache: true,
-            codec_name: "lzma-lite".to_string(),
+            codec_name: "auto".to_string(),
             seed: 0x1095_5e23,
             threads: 0,
             query_cache_entries: 256,

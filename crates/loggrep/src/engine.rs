@@ -5,7 +5,7 @@ use crate::boxfile::{Archive, CapsuleBox, GroupMeta};
 use crate::capsule::{build_payload, codec_id_by_name, CapsuleMeta, Layout, Stamp};
 use crate::config::LogGrepConfig;
 use crate::error::{Error, Result};
-use crate::extract::nominal::format_index;
+use crate::extract::nominal::write_index_into;
 use crate::extract::{extract_vector, Extraction};
 use crate::stats::ArchiveStats;
 use crate::vector::VectorMeta;
@@ -52,12 +52,25 @@ struct Packer<'a> {
     main_codec_id: u8,
 }
 
+/// Sentinel "codec id" selecting the per-capsule cost model. Never written
+/// to the wire: [`encode_capsule`] resolves it to a concrete codec id per
+/// payload before the capsule is committed.
+const CODEC_AUTO: u8 = u8::MAX;
+
+/// The config name that selects [`CODEC_AUTO`].
+pub(crate) const CODEC_NAME_AUTO: &str = "auto";
+
 impl<'a> Packer<'a> {
     fn new(config: &'a LogGrepConfig) -> Result<Self> {
+        let main_codec_id = if config.codec_name == CODEC_NAME_AUTO {
+            CODEC_AUTO
+        } else {
+            codec_id_by_name(&config.codec_name)?
+        };
         Ok(Self {
             config,
             jobs: Vec::new(),
-            main_codec_id: codec_id_by_name(&config.codec_name)?,
+            main_codec_id,
         })
     }
 
@@ -123,6 +136,66 @@ impl<'a> Packer<'a> {
     }
 }
 
+/// Lines per parallel-parse chunk. Fixed (not derived from the pool
+/// size) so chunk boundaries — and the per-chunk scratch reuse pattern —
+/// never depend on the thread count.
+const PARSE_CHUNK_LINES: usize = 2048;
+
+/// Payloads below this size always use the store codec: headers dominate.
+const MIN_CODEC_LEN: usize = 64;
+/// Cost-model band: payloads up to this size may take LzmaLite.
+const LZMA_BAND_MAX: usize = 4096;
+/// Cost-model probe: bytes of payload sampled for the redundancy estimate.
+const PROBE_LEN: usize = 4096;
+
+/// The per-capsule codec cost model: picks a concrete codec id for one
+/// payload. A **pure function of the payload bytes** — no clocks, no
+/// shared state — so the choice (and therefore the archive) is identical
+/// no matter which worker thread encodes the capsule.
+///
+/// Thresholds come from the capsule-class ratio-vs-speed table emitted by
+/// `crates/bench/benches/micro_codecs.rs` (Log C, 4 MiB, this container):
+///
+/// * LzmaLite compresses at 2–12 MB/s vs Deflate's 25–37 MB/s, and its
+///   ratio edge over Deflate is large only on the small dictionary-class
+///   capsules (4.4× vs 2.3×); on the index class it is 13.9× vs 10.6×
+///   and on plain capsules Deflate actually wins (3.29× vs 3.21×).
+/// * So: LzmaLite only inside the small band (≤ [`LZMA_BAND_MAX`]) where
+///   its absolute cost is bounded and its edge is largest, and only when
+///   a FastLz probe confirms the payload is match-structured (dictionary
+///   capsules probe ≥ 1.27×, sub-value noise probes ≈ 1.0×).
+/// * Large payloads take Deflate, unless the probe of a strided sample
+///   finds essentially no matches — then FastLz, whose attempt is ~5×
+///   cheaper and whose miss is absorbed by the store fallback in
+///   [`encode_capsule`].
+fn cost_model_pick(payload: &[u8]) -> u8 {
+    let fastlz = crate::capsule::codec_by_id(3).expect("known codec id");
+    if payload.len() <= LZMA_BAND_MAX {
+        // Small band: LzmaLite iff the probe shows match structure
+        // (probe ratio ≥ 8/7), else Deflate.
+        let probe = fastlz.compress(payload).len();
+        return if probe.saturating_mul(8) <= payload.len().saturating_mul(7) {
+            2 // lzma-lite
+        } else {
+            1 // deflate
+        };
+    }
+    // Large band: probe a strided sample (head + middle) so a payload
+    // whose redundancy only shows up later still registers.
+    let head = payload.get(..PROBE_LEN / 2).unwrap_or(payload);
+    let mid_at = payload.len() / 2;
+    let mid = payload
+        .get(mid_at..(mid_at + PROBE_LEN / 2).min(payload.len()))
+        .unwrap_or_default();
+    let sampled = head.len() + mid.len();
+    let probe = fastlz.compress(head).len() + fastlz.compress(mid).len();
+    if probe.saturating_mul(50) <= sampled.saturating_mul(49) {
+        1 // deflate: enough match structure to pay for the deeper search
+    } else {
+        3 // fastlz: near-incompressible, take the cheap attempt
+    }
+}
+
 /// The pure encode stage: compresses one Capsule payload, returning the
 /// compressed bytes and the codec id actually used. Safe to run on any
 /// worker thread — it touches no shared state beyond telemetry.
@@ -130,9 +203,27 @@ fn encode_capsule(payload: &[u8], main_codec_id: u8) -> (Vec<u8>, u8) {
     let _ctx = telemetry::context("compress");
     let _span = telemetry::span("encode");
     // Tiny payloads skip the heavy codec: headers would dominate.
-    let codec_id = if payload.len() < 64 { 0 } else { main_codec_id };
+    let codec_id = if payload.len() < MIN_CODEC_LEN {
+        0
+    } else if main_codec_id == CODEC_AUTO {
+        cost_model_pick(payload)
+    } else {
+        main_codec_id
+    };
     let codec = crate::capsule::codec_by_id(codec_id).expect("known codec id");
-    (codec.compress_tracked(payload), codec_id)
+    let compressed = codec.compress_tracked(payload);
+    if codec_id != 0 && compressed.len() >= payload.len() {
+        // The codec expanded (or broke even on) an incompressible payload:
+        // store wins on size and decodes for free. Still a pure function
+        // of the payload, so thread-count determinism holds.
+        let store = crate::capsule::codec_by_id(0).expect("known codec id");
+        let stored = store.compress_tracked(payload);
+        if stored.len() < compressed.len() {
+            telemetry::counter!("pack.codec.store_fallback", 1);
+            return (stored, 0);
+        }
+    }
+    (compressed, codec_id)
 }
 
 impl LogGrep {
@@ -165,12 +256,26 @@ impl LogGrep {
         let _compress_span = telemetry::span("compress");
         telemetry::counter!("compress.bytes_raw", raw.len() as u64);
         let lines: Vec<&[u8]> = split_lines(raw);
+        let pool = Pool::new(self.config.threads);
 
-        // Parser: static patterns from a 5 % sample, then full parse.
+        // Parser: static patterns from a 5 % sample, then a full parse
+        // fanned out over fixed-size line chunks. `merge_chunks`
+        // concatenates per-chunk groups in chunk order, so the block — and
+        // therefore the archive — is byte-identical for every thread count.
         let parsed = {
             let _span = telemetry::span("parse");
-            let parser = Parser::train(&self.config.parser, lines.iter().copied());
-            parser.parse_all(lines.iter().copied())
+            let parser = {
+                let _span = telemetry::span("train");
+                Parser::train(&self.config.parser, lines.iter().copied())
+            };
+            let chunks: Vec<(usize, &[&[u8]])> =
+                lines.chunks(PARSE_CHUNK_LINES.max(1)).enumerate().collect();
+            let parts = pool.map(&chunks, |_, &(i, chunk)| {
+                let _ctx = telemetry::context("compress");
+                let _span = telemetry::span("parse.chunk");
+                parser.parse_chunk(chunk.iter().copied(), (i * PARSE_CHUNK_LINES) as u32)
+            });
+            parser.merge_chunks(parts)
         };
 
         let mut stats = ArchiveStats {
@@ -178,8 +283,6 @@ impl LogGrep {
             catch_all_lines: parsed.groups[logparse::CATCH_ALL as usize].rows() as u32,
             ..Default::default()
         };
-
-        let pool = Pool::new(self.config.threads);
 
         // Extractor (§4.1): every variable vector is extracted independently
         // — the outcome depends only on `(values, config, vector_id)` — so
@@ -203,6 +306,7 @@ impl LogGrep {
 
         // Assembler: walk groups in order, consuming the extractions in the
         // same order they were submitted, recording Capsule jobs.
+        let _assemble_span = telemetry::span("assemble");
         let mut packer = Packer::new(&self.config)?;
         let mut groups = Vec::new();
         let mut extractions = extractions.into_iter();
@@ -225,6 +329,7 @@ impl LogGrep {
         }
         stats.groups = groups.len();
         stats.capsules = packer.len();
+        drop(_assemble_span);
 
         // Packer: encode every Capsule across the pool, commit in order.
         let (capsules, blob) = packer.finish(&pool);
@@ -264,7 +369,7 @@ impl LogGrep {
     /// §3): builds payloads and records Capsule jobs with the Packer.
     fn assemble_vector(
         &self,
-        values: &[Vec<u8>],
+        values: &logparse::Column,
         extraction: Extraction<'_>,
         packer: &mut Packer<'_>,
         stats: &mut ArchiveStats,
@@ -292,7 +397,12 @@ impl LogGrep {
                 // Dictionary payload: regions padded per pattern width
                 // (fixed mode) or newline-delimited (w/o fixed).
                 let (dict_payload, dict_layout, dict_rows) = if self.config.fixed_length {
-                    let mut payload = Vec::new();
+                    let cap: usize = ex
+                        .patterns
+                        .iter()
+                        .map(|p| p.count as usize * p.max_len as usize)
+                        .sum();
+                    let mut payload = Vec::with_capacity(cap);
                     let mut di = 0usize;
                     for p in &ex.patterns {
                         for _ in 0..p.count {
@@ -305,7 +415,8 @@ impl LogGrep {
                     }
                     (payload, Layout::Raw, ex.dict_values.len() as u32)
                 } else {
-                    let mut payload = Vec::new();
+                    let cap: usize = ex.dict_values.iter().map(|v| v.len() + 1).sum();
+                    let mut payload = Vec::with_capacity(cap);
                     for v in &ex.dict_values {
                         payload.extend_from_slice(v);
                         payload.push(b'\n');
@@ -315,13 +426,31 @@ impl LogGrep {
                 let dict_stamp = Stamp::of(ex.dict_values.iter().map(|v| v.as_slice()));
                 let dict_cap = packer.push(dict_payload, dict_layout, dict_stamp, dict_rows);
 
-                // Index payload: fixed-width decimals (IdxLen digits).
-                let formatted: Vec<Vec<u8>> = ex
-                    .index
-                    .iter()
-                    .map(|&i| format_index(i, ex.idx_len))
-                    .collect();
-                let index_cap = packer.push_values(formatted.iter().map(|v| v.as_slice()));
+                // Index payload: fixed-width decimals (IdxLen digits),
+                // written straight into one payload buffer instead of one
+                // Vec per row. Every value is exactly `idx_len` digits
+                // (`idx_len = decimal_width(dict_len - 1)`), so the stamp
+                // and padded layout of `build_payload` are reproduced by
+                // slicing the buffer back into rows.
+                let fixed = self.config.fixed_length;
+                let idx_w = ex.idx_len as usize; // decimal_width is >= 1.
+                let stride = idx_w + usize::from(!fixed);
+                let mut payload = Vec::with_capacity(ex.index.len() * stride);
+                for &i in &ex.index {
+                    write_index_into(i, ex.idx_len, &mut payload);
+                    if !fixed {
+                        payload.push(b'\n');
+                    }
+                }
+                let stamp = Stamp::of(payload.chunks_exact(stride).map(|c| &c[..idx_w]));
+                let layout = if fixed {
+                    Layout::Padded {
+                        width: stamp.max_len.max(1),
+                    }
+                } else {
+                    Layout::Delimited
+                };
+                let index_cap = packer.push(payload, layout, stamp, ex.index.len() as u32);
 
                 VectorMeta::Nominal {
                     patterns: ex.patterns,
@@ -334,7 +463,7 @@ impl LogGrep {
             Extraction::Plain => {
                 stats.plain_vectors += 1;
                 telemetry::counter!("extract.vectors.plain", 1);
-                let capsule = packer.push_values(values.iter().map(|v| v.as_slice()));
+                let capsule = packer.push_values(values.iter());
                 VectorMeta::Plain { capsule }
             }
         }

@@ -9,6 +9,7 @@ pub use nominal::{DictPattern, NominalExtraction};
 pub use real::RealExtraction;
 
 use crate::config::LogGrepConfig;
+use logparse::Column;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -27,11 +28,11 @@ pub enum Extraction<'a> {
 /// Duplication rate of a value set: `(total - unique) / total` (§4.1).
 ///
 /// Returns 0.0 for an empty set.
-pub fn duplication_rate(values: &[Vec<u8>]) -> f64 {
+pub fn duplication_rate(values: &Column) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let unique: HashSet<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
+    let unique: HashSet<&[u8]> = values.iter().collect();
     (values.len() - unique.len()) as f64 / values.len() as f64
 }
 
@@ -45,7 +46,7 @@ pub enum Category {
 }
 
 /// Categorizes a vector by the paper's 0.5 duplication-rate heuristic.
-pub fn categorize(values: &[Vec<u8>], config: &LogGrepConfig) -> Category {
+pub fn categorize(values: &Column, config: &LogGrepConfig) -> Category {
     if duplication_rate(values) < config.duplication_threshold {
         Category::Real
     } else {
@@ -58,7 +59,7 @@ pub fn categorize(values: &[Vec<u8>], config: &LogGrepConfig) -> Category {
 /// `vector_id` seeds the randomized delimiter choices so compression is
 /// deterministic for a given configuration.
 pub fn extract_vector<'a>(
-    values: &'a [Vec<u8>],
+    values: &'a Column,
     config: &LogGrepConfig,
     vector_id: u64,
 ) -> Extraction<'a> {
@@ -84,13 +85,13 @@ pub fn extract_vector<'a>(
 mod tests {
     use super::*;
 
-    fn v(strs: &[&str]) -> Vec<Vec<u8>> {
-        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    fn v(strs: &[&str]) -> Column {
+        Column::from_values(strs.iter().map(|s| s.as_bytes()))
     }
 
     #[test]
     fn duplication_rate_basics() {
-        assert_eq!(duplication_rate(&[]), 0.0);
+        assert_eq!(duplication_rate(&Column::new()), 0.0);
         assert_eq!(duplication_rate(&v(&["a", "b", "c"])), 0.0);
         assert!((duplication_rate(&v(&["a", "a", "b", "b"])) - 0.5).abs() < 1e-9);
         assert!((duplication_rate(&v(&["a", "a", "a", "a"])) - 0.75).abs() < 1e-9);
@@ -118,7 +119,8 @@ mod tests {
 
     #[test]
     fn toggles_disable_extraction() {
-        let values: Vec<Vec<u8>> = (0..100).map(|i| format!("blk_{i}").into_bytes()).collect();
+        let owned: Vec<Vec<u8>> = (0..100).map(|i| format!("blk_{i}").into_bytes()).collect();
+        let values = Column::from_values(owned.iter().map(|v| v.as_slice()));
         let cfg = LogGrepConfig::sp();
         assert!(matches!(
             extract_vector(&values, &cfg, 0),
@@ -128,9 +130,10 @@ mod tests {
 
     #[test]
     fn real_extraction_is_deterministic() {
-        let values: Vec<Vec<u8>> = (0..200)
+        let owned: Vec<Vec<u8>> = (0..200)
             .map(|i| format!("blk_{:04x}F8{}", i * 37 % 4096, i % 10).into_bytes())
             .collect();
+        let values = Column::from_values(owned.iter().map(|v| v.as_slice()));
         let cfg = LogGrepConfig::default();
         let a = match extract_vector(&values, &cfg, 7) {
             Extraction::Real(e) => e.pattern.display(),

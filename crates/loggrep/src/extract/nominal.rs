@@ -8,6 +8,7 @@
 
 use crate::capsule::Stamp;
 use crate::pattern::{RuntimePattern, Segment};
+use logparse::Column;
 use std::collections::HashMap;
 
 /// One merged pattern over a slice of the dictionary.
@@ -55,13 +56,13 @@ fn sketch(value: &[u8]) -> (Vec<u8>, Vec<&[u8]>) {
 
 /// Runs pattern merging over the whole vector (O(n log n): the unique
 /// values are grouped — conceptually sorted — by sketch).
-pub fn extract(values: &[Vec<u8>]) -> NominalExtraction {
+pub fn extract(values: &Column) -> NominalExtraction {
     // Step 1: deduplicate, keeping first-seen order.
     let mut first_seen: HashMap<&[u8], u32> = HashMap::new();
     let mut unique: Vec<&[u8]> = Vec::new();
-    for v in values {
-        first_seen.entry(v.as_slice()).or_insert_with(|| {
-            unique.push(v.as_slice());
+    for v in values.iter() {
+        first_seen.entry(v).or_insert_with(|| {
+            unique.push(v);
             (unique.len() - 1) as u32
         });
     }
@@ -146,10 +147,7 @@ pub fn extract(values: &[Vec<u8>]) -> NominalExtraction {
     }
 
     // Index vector: per original row, the dictionary index.
-    let index: Vec<u32> = values
-        .iter()
-        .map(|v| dict_index_of[v.as_slice()])
-        .collect();
+    let index: Vec<u32> = values.iter().map(|v| dict_index_of[v]).collect();
     let idx_len = decimal_width(dict_values.len().saturating_sub(1) as u32);
 
     NominalExtraction {
@@ -173,10 +171,28 @@ pub fn decimal_width(v: u32) -> u32 {
 
 /// Formats a dictionary index as zero-padded fixed-width decimal.
 pub fn format_index(idx: u32, width: u32) -> Vec<u8> {
-    let s = idx.to_string();
-    let mut out = vec![b'0'; (width as usize).saturating_sub(s.len())];
-    out.extend_from_slice(s.as_bytes());
+    let mut out = Vec::new();
+    write_index_into(idx, width, &mut out);
     out
+}
+
+/// Appends `idx` as zero-padded fixed-width decimal onto `out`: the
+/// allocation-free form of [`format_index`] the Assembler uses to build
+/// index-capsule payloads in one buffer. Indices wider than `width` keep
+/// all their digits (matching [`format_index`]).
+pub fn write_index_into(idx: u32, width: u32, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.resize(start + width.max(decimal_width(idx)) as usize, b'0');
+    let mut v = idx;
+    let mut i = out.len();
+    loop {
+        i -= 1;
+        out[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
 }
 
 /// Parses a zero-padded decimal index.
@@ -198,8 +214,8 @@ pub fn parse_index(bytes: &[u8]) -> Option<u32> {
 mod tests {
     use super::*;
 
-    fn v(strs: &[&str]) -> Vec<Vec<u8>> {
-        strs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    fn v(strs: &[&str]) -> Column {
+        Column::from_values(strs.iter().map(|s| s.as_bytes()))
     }
 
     #[test]
@@ -213,7 +229,10 @@ mod tests {
         assert_eq!(ex.patterns[0].max_len, 7);
         assert_eq!(ex.patterns[1].count, 1);
         assert_eq!(ex.patterns[1].max_len, 4);
-        assert_eq!(ex.dict_values, v(&["ERR#404", "ERR#501", "SUCC"]));
+        assert_eq!(
+            ex.dict_values,
+            vec![b"ERR#404".to_vec(), b"ERR#501".to_vec(), b"SUCC".to_vec()]
+        );
         assert_eq!(ex.index, vec![0, 2, 1, 2, 0, 2, 2]);
         assert_eq!(ex.idx_len, 1);
     }

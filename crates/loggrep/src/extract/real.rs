@@ -12,6 +12,7 @@
 use crate::capsule::Stamp;
 use crate::config::LogGrepConfig;
 use crate::pattern::{RuntimePattern, Segment};
+use logparse::Column;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -40,7 +41,7 @@ enum Leaf {
 /// Returns `None` when no useful pattern exists (pattern would be a single
 /// sub-variable) or too many values fail to match it.
 pub fn extract<'a>(
-    values: &'a [Vec<u8>],
+    values: &'a Column,
     config: &LogGrepConfig,
     rng: &mut StdRng,
 ) -> Option<RealExtraction<'a>> {
@@ -49,7 +50,7 @@ pub fn extract<'a>(
         .max(32)
         .min(values.len());
     let stride = values.len().div_ceil(want).max(1);
-    let mut sample: Vec<&[u8]> = values.iter().step_by(stride).map(|v| v.as_slice()).collect();
+    let mut sample: Vec<&[u8]> = values.iter().step_by(stride).collect();
     sample.sort_unstable();
     sample.dedup();
     if sample.is_empty() {
@@ -105,7 +106,7 @@ pub fn extract<'a>(
             }
             None => {
                 outlier_rows.push(row as u32);
-                outlier_values.push(value.as_slice());
+                outlier_values.push(value);
             }
         }
     }
@@ -236,10 +237,13 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    fn column_of(values: &[String]) -> Column {
+        Column::from_values(values.iter().map(|s| s.as_bytes()))
+    }
+
     fn run(values: Vec<String>) -> Option<RealExtraction<'static>> {
         // Leak for 'static convenience in tests.
-        let values: &'static [Vec<u8>] =
-            Box::leak(values.into_iter().map(|s| s.into_bytes()).collect::<Vec<_>>().into_boxed_slice());
+        let values: &'static Column = Box::leak(Box::new(column_of(&values)));
         let cfg = LogGrepConfig::default();
         let mut rng = StdRng::seed_from_u64(42);
         extract(values, &cfg, &mut rng)
@@ -269,7 +273,7 @@ mod tests {
         let values: Vec<String> = (0..300)
             .map(|i| format!("/root/usr/admin/task{}.log", i))
             .collect();
-        let raw: Vec<Vec<u8>> = values.iter().map(|s| s.clone().into_bytes()).collect();
+        let raw = column_of(&values);
         let cfg = LogGrepConfig::default();
         let mut rng = StdRng::seed_from_u64(1);
         let ex = extract(&raw, &cfg, &mut rng).expect("pattern expected");
@@ -280,7 +284,7 @@ mod tests {
                 continue;
             }
             let subs: Vec<&[u8]> = ex.sub_values.iter().map(|sv| sv[pr]).collect();
-            assert_eq!(ex.pattern.render(&subs), *value, "row {row}");
+            assert_eq!(ex.pattern.render(&subs), value, "row {row}");
             pr += 1;
         }
     }
@@ -314,7 +318,7 @@ mod tests {
         let values: Vec<String> = (0..100).map(|_| "same".to_string()).collect();
         // Duplication rate is high, so this is normally nominal; call the
         // tree expander directly to check the constant path.
-        let raw: Vec<Vec<u8>> = values.iter().map(|s| s.clone().into_bytes()).collect();
+        let raw = column_of(&values);
         let cfg = LogGrepConfig::default();
         let mut rng = StdRng::seed_from_u64(9);
         let ex = extract(&raw, &cfg, &mut rng).expect("constant pattern");

@@ -101,15 +101,27 @@ impl RuntimePattern {
     /// Indices out of range for `subs` (impossible for patterns that
     /// passed [`RuntimePattern::read`] validation) render as empty.
     pub fn render(&self, subs: &[&[u8]]) -> Vec<u8> {
-        debug_assert_eq!(subs.len(), self.sub_vars(), "sub-variable count mismatch");
         let mut out = Vec::new();
+        self.render_into(subs, &mut out);
+        out
+    }
+
+    /// Rebuilds a value into a caller-provided buffer (cleared first),
+    /// reusing its capacity — the allocation-free form reconstruction loops
+    /// use. Accepts any byte-slice-like values so scratch `Vec<u8>` buffers
+    /// work directly; out-of-range indices render as empty, as in
+    /// [`RuntimePattern::render`].
+    pub fn render_into<V: AsRef<[u8]>>(&self, subs: &[V], out: &mut Vec<u8>) {
+        debug_assert_eq!(subs.len(), self.sub_vars(), "sub-variable count mismatch");
+        out.clear();
         for seg in &self.segments {
             match seg {
                 Segment::Const(c) => out.extend_from_slice(c),
-                Segment::Var(v) => out.extend_from_slice(subs.get(*v).copied().unwrap_or_default()),
+                Segment::Var(v) => {
+                    out.extend_from_slice(subs.get(*v).map(AsRef::as_ref).unwrap_or_default())
+                }
             }
         }
-        out
     }
 
     /// Human-readable form, e.g. `block_<typ=1,len=1>F8<typ=5,len=4>`.

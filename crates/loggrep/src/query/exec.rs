@@ -25,12 +25,21 @@ use strsearch::FixedRows;
 /// so concurrent workers touching different Capsules rarely share a lock.
 const CACHE_SHARDS: usize = 16;
 
-/// A leaf search fans out across groups only when the candidate groups hold
-/// at least this many rows; below it, thread spawns outweigh the scans.
-const PARALLEL_EVAL_MIN_ROWS: u32 = 4096;
+/// A wildcard/overflow verification fans out across row chunks only at or
+/// above this many candidate rows. Rendering one row costs a few µs while a
+/// single worker spawn costs ~0.25–0.75 ms on the virtualized hosts this
+/// targets, so thousands of rows must be at stake before threads pay off —
+/// selective queries must stay strictly serial to hit their latency budget.
+const PARALLEL_VERIFY_MIN_ROWS: usize = 4096;
 
-/// Reconstruction fans out across line chunks only above this many lines.
-const PARALLEL_RECONSTRUCT_MIN_LINES: usize = 256;
+/// Reconstruction fans out across line chunks only at or above this many
+/// lines (same spawn-cost argument as [`PARALLEL_VERIFY_MIN_ROWS`]).
+const PARALLEL_RECONSTRUCT_MIN_LINES: usize = 4096;
+
+/// Lower bound on items per parallel chunk: inputs just over the fan-out
+/// thresholds engage only a few workers instead of splitting µs-sized
+/// slivers across the whole pool.
+const MIN_PARALLEL_CHUNK: usize = 1024;
 
 /// The result of a query: matching lines in original log order.
 #[derive(Debug, Clone)]
@@ -62,7 +71,10 @@ impl Archive {
         let _trace = telemetry::trace_scope();
         let _query_span = telemetry::span("query");
         telemetry::counter!("query.executed", 1);
-        let shared = ExecShared::new(self);
+        let shared = {
+            let _span = telemetry::span("setup");
+            ExecShared::new(self)
+        };
         let mut ctx = ExecCtx::new(&shared);
         ctx.stats.capsules_total = self.boxed.capsules.len() as u32;
 
@@ -88,7 +100,13 @@ impl Archive {
             let _span = telemetry::span("reconstruct");
             ctx.reconstruct(&line_numbers)?
         };
-        let mut stats = ctx.stats;
+        let mut stats = std::mem::take(&mut ctx.stats);
+        {
+            // `ctx` is plain data over `shared`'s borrow; dropping `shared`
+            // is the real teardown (payload buffers return to the arena).
+            let _span = telemetry::span("teardown");
+            drop(shared);
+        }
         stats.elapsed = start.elapsed();
         Ok(QueryResult {
             line_numbers,
@@ -136,6 +154,23 @@ impl<'a> ExecShared<'a> {
     }
 }
 
+impl Drop for ExecShared<'_> {
+    /// Returns the session's decompressed payload buffers to the archive's
+    /// arena so the next query reuses their capacity instead of
+    /// re-allocating megabytes of Vecs. Workers only hold payload `Arc`s
+    /// transiently and are joined before the session ends, so each payload
+    /// is unshared here; a still-shared one is simply freed.
+    fn drop(&mut self) {
+        for shard in &self.payloads {
+            for (_, arc) in shard.lock().drain() {
+                if let Ok(buf) = Arc::try_unwrap(arc) {
+                    self.archive.return_buffer(buf);
+                }
+            }
+        }
+    }
+}
+
 /// Per-worker execution context: a handle on the shared state plus this
 /// worker's own statistics, merged by the coordinator when the worker is
 /// done. The coordinating (caller-side) context is just worker zero.
@@ -178,9 +213,14 @@ impl<'a> ExecCtx<'a> {
         if let Some(p) = shard.get(&id) {
             return Ok(p.clone());
         }
-        // Decompress under the shard lock: see [`ExecShared`].
+        // Decompress under the shard lock: see [`ExecShared`]. The buffer
+        // comes from (and on session drop returns to) the archive arena.
         let _span = telemetry::span("decompress");
-        let bytes = self.archive.boxed.decompress_capsule(id)?;
+        let mut bytes = self.archive.take_buffer();
+        if let Err(e) = self.archive.boxed.decompress_capsule_into(id, &mut bytes) {
+            self.archive.return_buffer(bytes);
+            return Err(e);
+        }
         self.stats.capsules_decompressed += 1;
         self.stats.bytes_decompressed += bytes.len() as u64;
         telemetry::counter!("query.capsules_decompressed", 1);
@@ -221,8 +261,10 @@ impl<'a> ExecCtx<'a> {
         Ok(arc)
     }
 
-    /// The unpadded value of `row` in a Capsule.
-    fn capsule_value(&mut self, id: u32, row: u32) -> Result<Vec<u8>> {
+    /// The unpadded value of `row` in a Capsule, appended into `out`
+    /// (cleared first) so render loops reuse one buffer per slot.
+    fn capsule_value_into(&mut self, id: u32, row: u32, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
         let meta = self.meta(id)?;
         let payload = self.payload(id)?;
         match meta.layout {
@@ -235,20 +277,20 @@ impl<'a> ExecCtx<'a> {
                 if (row as usize) >= f.rows() {
                     return Err(Error::Corrupt("capsule row out of range".into()));
                 }
-                Ok(f.value(row as usize).to_vec())
+                out.extend_from_slice(f.value(row as usize));
             }
             Layout::Delimited => {
                 let ranges = self.ranges(id)?;
                 let &(lo, hi) = ranges
                     .get(row as usize)
                     .ok_or_else(|| Error::Corrupt("capsule row out of range".into()))?;
-                Ok(payload
-                    .get(lo..hi)
-                    .ok_or_else(|| Error::Corrupt("capsule row range outside payload".into()))?
-                    .to_vec())
+                out.extend_from_slice(payload.get(lo..hi).ok_or_else(|| {
+                    Error::Corrupt("capsule row range outside payload".into())
+                })?);
             }
-            Layout::Raw => Err(Error::Corrupt("raw capsule has no row addressing".into())),
+            Layout::Raw => return Err(Error::Corrupt("raw capsule has no row addressing".into())),
         }
+        Ok(())
     }
 
     /// Rows of a Capsule whose values satisfy `(mode, needle)`.
@@ -309,6 +351,7 @@ impl<'a> ExecCtx<'a> {
     /// right side of an `and`/`not` is only evaluated on groups where the
     /// left side still has candidate rows.
     fn eval_expr(&mut self, expr: &Expr) -> Result<RowSet> {
+        let _span = telemetry::span("eval");
         let ngroups = self.archive.boxed.groups.len();
         let per_group = self.eval_expr_groups(expr, &vec![false; ngroups])?;
         let mut global = Vec::new();
@@ -358,86 +401,108 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
-    /// Evaluates one search string over every non-skipped group, fanning
-    /// out across the worker pool when the candidate set is large enough.
+    /// Evaluates one search string over every non-skipped group, serially.
     ///
-    /// Groups partition the lines, so per-group evaluations are independent;
-    /// workers share the Capsule caches through [`ExecShared`] and their
-    /// statistics are merged here in group order. Results are identical to
-    /// the serial loop for every pool size.
+    /// Fanning out across *groups* is never worth it: literal searches are
+    /// sub-millisecond Capsule scans (cheaper than one thread spawn on the
+    /// virtualized hosts this targets) and the expensive part of wildcard
+    /// searches — per-row verification — fans out across row chunks inside
+    /// [`ExecCtx::verify_rows`], which parallelizes within a group instead
+    /// of being capped by the group count.
     fn eval_str_over_groups(&mut self, s: &SearchString, skip: &[bool]) -> Result<Vec<RowSet>> {
-        let shared = self.shared;
-        let candidate_rows: u32 = self
-            .archive
-            .boxed
-            .groups
-            .iter()
-            .zip(skip)
-            .filter(|&(_, &skipped)| !skipped)
-            .map(|(g, _)| g.rows())
-            .sum();
-        let active = skip.iter().filter(|&&skipped| !skipped).count();
-        if shared.pool.threads() == 1 || active < 2 || candidate_rows < PARALLEL_EVAL_MIN_ROWS {
-            let mut out = Vec::with_capacity(skip.len());
-            for (gid, &skipped) in skip.iter().enumerate() {
-                if skipped {
-                    out.push(RowSet::empty());
-                } else {
-                    out.push(self.eval_search_in_group(s, gid)?);
-                }
+        let mut out = Vec::with_capacity(skip.len());
+        for (gid, &skipped) in skip.iter().enumerate() {
+            if skipped {
+                out.push(RowSet::empty());
+            } else {
+                out.push(self.eval_search_in_group(s, gid)?);
             }
-            return Ok(out);
-        }
-        let gids: Vec<usize> = (0..skip.len()).collect();
-        let trace_id = telemetry::current_trace_id();
-        let results = shared.pool.try_map(&gids, |_, &gid| {
-            if skip.get(gid).copied().unwrap_or(true) {
-                return Ok((RowSet::empty(), QueryStats::default()));
-            }
-            let _trace = telemetry::trace_scope_with(trace_id);
-            let _ctx = telemetry::context("query");
-            let mut worker = ExecCtx::new(shared);
-            let rows = worker.eval_search_in_group(s, gid)?;
-            Ok::<_, Error>((rows, worker.stats))
-        })?;
-        let mut out = Vec::with_capacity(results.len());
-        for (rows, worker_stats) in results {
-            self.stats.merge(&worker_stats);
-            out.push(rows);
         }
         Ok(out)
     }
 
     fn eval_search_in_group(&mut self, s: &SearchString, gid: usize) -> Result<RowSet> {
-        {
-            let rows = if let Some(lit) = s.as_literal() {
-                self.eval_literal_in_group(gid, lit)?
-            } else {
-                // Wildcard string: locate candidates with the longest
-                // literal fragment, then verify by reconstruction.
-                let frag = s.longest_literal();
-                let group_rows = self.group(gid)?.rows();
-                let candidates = if frag.is_empty() {
-                    RowSet::all(group_rows)
-                } else {
-                    self.eval_literal_in_group(gid, frag)?
-                };
-                let mut verified = Vec::new();
-                for row in candidates.iter() {
-                    let line = self.render_row(gid, row)?;
-                    self.note_row_verified();
-                    if s.matches_line(&line, DEFAULT_DELIMS) {
-                        verified.push(row);
-                    }
-                }
-                RowSet::from_sorted(verified)
-            };
-            Ok(rows)
+        if let Some(lit) = s.as_literal() {
+            return self.eval_literal_in_group(gid, lit);
         }
+        // Wildcard string: locate candidates with the longest literal
+        // fragment, then verify by reconstruction.
+        let frag = s.longest_literal();
+        let group_rows = self.group(gid)?.rows();
+        let candidates = if frag.is_empty() {
+            RowSet::all(group_rows)
+        } else {
+            self.eval_literal_in_group(gid, frag)?
+        };
+        let rows: Vec<u32> = candidates.iter().collect();
+        self.verify_rows(gid, &rows, |line| s.matches_line(line, DEFAULT_DELIMS))
+    }
+
+    /// Renders each of `rows` (ascending) and keeps those passing `pred` —
+    /// the verify-by-reconstruction step shared by wildcard searches and
+    /// the planner's Overflow fallback.
+    ///
+    /// Large candidate sets are verified in parallel: contiguous row chunks
+    /// go to pool workers (sharing the Capsule caches through
+    /// [`ExecShared`]), and hits concatenate in chunk order, so the result
+    /// and statistics match the serial loop exactly.
+    fn verify_rows(
+        &mut self,
+        gid: usize,
+        rows: &[u32],
+        pred: impl Fn(&[u8]) -> bool + Sync,
+    ) -> Result<RowSet> {
+        let shared = self.shared;
+        if shared.pool.threads() == 1 || rows.len() < PARALLEL_VERIFY_MIN_ROWS {
+            let mut scratch = RenderScratch::default();
+            let mut line = Vec::new();
+            let mut hits = Vec::new();
+            for &row in rows {
+                self.render_row_into(gid, row, &mut scratch, &mut line)?;
+                self.note_row_verified();
+                if pred(&line) {
+                    hits.push(row);
+                }
+            }
+            return Ok(RowSet::from_sorted(hits));
+        }
+        let chunk = rows
+            .len()
+            .div_ceil(shared.pool.threads() * 4)
+            .max(MIN_PARALLEL_CHUNK);
+        let trace_id = telemetry::current_trace_id();
+        // Workers re-root their span stacks at the caller's current path so
+        // their spans aggregate under the same histograms as the serial
+        // loop, whichever eval path fanned the verification out.
+        let ctx_path = telemetry::span_path();
+        let chunks = shared.pool.map_chunks(rows, chunk, |_, chunk_rows| {
+            let _trace = telemetry::trace_scope_with(trace_id);
+            let _ctx = ctx_path.as_deref().map(telemetry::context);
+            let mut worker = ExecCtx::new(shared);
+            let mut scratch = RenderScratch::default();
+            let mut line = Vec::new();
+            let mut hits = Vec::new();
+            for &row in chunk_rows {
+                worker.render_row_into(gid, row, &mut scratch, &mut line)?;
+                worker.note_row_verified();
+                if pred(&line) {
+                    hits.push(row);
+                }
+            }
+            Ok::<_, Error>((hits, worker.stats))
+        });
+        let mut out = Vec::new();
+        for chunk_result in chunks {
+            let (hits, worker_stats) = chunk_result?;
+            self.stats.merge(&worker_stats);
+            out.extend(hits);
+        }
+        Ok(RowSet::from_sorted(out))
     }
 
     /// Rows of a group whose rendered line contains the literal `kw`.
     fn eval_literal_in_group(&mut self, gid: usize, kw: &[u8]) -> Result<RowSet> {
+        let _span = telemetry::span("literal");
         let group = self.group(gid)?;
         let nrows = group.rows();
         if nrows == 0 {
@@ -585,13 +650,16 @@ impl<'a> ExecCtx<'a> {
         match self.plan_timed(&segs, needle, mode) {
             Plan::All => Ok(RowSet::from_sorted(pattern_rows())),
             Plan::Overflow => {
-                // Scan the variable vector by materializing values.
+                // Scan the variable vector by materializing values into
+                // reused scratch buffers.
                 let map = pattern_rows();
+                let mut subs: Vec<Vec<u8>> = Vec::new();
+                let mut value = Vec::new();
                 let mut hits = Vec::new();
                 for (pr, &row) in map.iter().enumerate() {
-                    let v = self.real_value(pattern, sub_caps, pr as u32)?;
+                    self.real_value_into(pattern, sub_caps, pr as u32, &mut subs, &mut value)?;
                     self.note_row_verified();
-                    if value_matches(&v, needle, mode) {
+                    if value_matches(&value, needle, mode) {
                         hits.push(row);
                     }
                 }
@@ -648,6 +716,7 @@ impl<'a> ExecCtx<'a> {
         mode: Mode,
         nrows: u32,
     ) -> Result<RowSet> {
+        let _span = telemetry::span("nominal");
         let regions = VectorMeta::dict_regions(patterns)?;
         let fixed = matches!(self.meta(dict_cap)?.layout, Layout::Raw);
         let mut matched: Vec<u32> = Vec::new();
@@ -761,40 +830,55 @@ impl<'a> ExecCtx<'a> {
     // Value reconstruction.
     // ------------------------------------------------------------------
 
-    /// The value of sub-variable capsules assembled through a pattern.
-    fn real_value(
+    /// The value of sub-variable capsules assembled through a pattern,
+    /// rendered into `out` (cleared first). `subs` is the caller's reusable
+    /// per-sub-variable scratch.
+    fn real_value_into(
         &mut self,
         pattern: &RuntimePattern,
         sub_caps: &[u32],
         pattern_row: u32,
-    ) -> Result<Vec<u8>> {
-        let mut subs: Vec<Vec<u8>> = Vec::with_capacity(sub_caps.len());
-        for &cap in sub_caps {
-            subs.push(self.capsule_value(cap, pattern_row)?);
+        subs: &mut Vec<Vec<u8>>,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        if subs.len() < sub_caps.len() {
+            subs.resize_with(sub_caps.len(), Vec::new);
         }
-        let refs: Vec<&[u8]> = subs.iter().map(|v| v.as_slice()).collect();
-        Ok(pattern.render(&refs))
+        for (sub, &cap) in subs.iter_mut().zip(sub_caps) {
+            self.capsule_value_into(cap, pattern_row, sub)?;
+        }
+        pattern.render_into(subs.get(..sub_caps.len()).unwrap_or_default(), out);
+        Ok(())
     }
 
-    /// The value of slot `slot` on group row `row`.
-    fn slot_value(&mut self, gid: usize, slot: usize, row: u32) -> Result<Vec<u8>> {
+    /// The value of slot `slot` on group row `row`, rendered into `out`
+    /// (cleared first). `subs` is the caller's reusable sub-variable
+    /// scratch for pattern-decomposed vectors.
+    fn slot_value_into(
+        &mut self,
+        gid: usize,
+        slot: usize,
+        row: u32,
+        subs: &mut Vec<Vec<u8>>,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
         let vector = self
             .group(gid)?
             .vectors
             .get(slot)
             .ok_or_else(|| Error::Corrupt("template slot outside vector table".into()))?;
         match vector {
-            VectorMeta::Plain { capsule } => self.capsule_value(*capsule, row),
+            VectorMeta::Plain { capsule } => self.capsule_value_into(*capsule, row, out),
             VectorMeta::Real {
                 pattern,
                 sub_caps,
                 outlier_cap,
                 outlier_rows,
             } => match outlier_rows.binary_search(&row) {
-                Ok(outlier_pos) => self.capsule_value(*outlier_cap, outlier_pos as u32),
+                Ok(outlier_pos) => self.capsule_value_into(*outlier_cap, outlier_pos as u32, out),
                 Err(outliers_before) => {
                     let pattern_row = row - outliers_before as u32;
-                    self.real_value(pattern, sub_caps, pattern_row)
+                    self.real_value_into(pattern, sub_caps, pattern_row, subs, out)
                 }
             },
             VectorMeta::Nominal {
@@ -803,18 +887,26 @@ impl<'a> ExecCtx<'a> {
                 index_cap,
                 ..
             } => {
-                let raw = self.capsule_value(*index_cap, row)?;
+                self.capsule_value_into(*index_cap, row, out)?;
                 let idx =
-                    parse_index(&raw).ok_or_else(|| Error::Corrupt("bad index value".into()))?;
-                self.dict_value(patterns, *dict_cap, idx)
+                    parse_index(out).ok_or_else(|| Error::Corrupt("bad index value".into()))?;
+                self.dict_value_into(patterns, *dict_cap, idx, out)
             }
         }
     }
 
-    /// The dictionary value with global index `idx`.
-    fn dict_value(&mut self, patterns: &[DictPattern], dict_cap: u32, idx: u32) -> Result<Vec<u8>> {
+    /// The dictionary value with global index `idx`, rendered into `out`
+    /// (cleared first).
+    fn dict_value_into(
+        &mut self,
+        patterns: &[DictPattern],
+        dict_cap: u32,
+        idx: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
         let fixed = matches!(self.meta(dict_cap)?.layout, Layout::Raw);
         if fixed {
+            out.clear();
             let regions = VectorMeta::dict_regions(patterns)?;
             let region = regions
                 .iter()
@@ -834,53 +926,66 @@ impl<'a> ExecCtx<'a> {
             }
             if width == 0 {
                 // A zero-width region stores only empty values.
-                return Ok(Vec::new());
+                return Ok(());
             }
-            Ok(rows.value(local).to_vec())
+            out.extend_from_slice(rows.value(local));
+            Ok(())
         } else {
-            self.capsule_value(dict_cap, idx)
+            self.capsule_value_into(dict_cap, idx, out)
         }
     }
 
-    /// Renders the full original line of group row `row`.
-    fn render_row(&mut self, gid: usize, row: u32) -> Result<Vec<u8>> {
+    /// Renders the full original line of group row `row` into `line`
+    /// (cleared first), materializing each slot value into the scratch's
+    /// reused buffers — only this row's column values are ever touched.
+    fn render_row_into(
+        &mut self,
+        gid: usize,
+        row: u32,
+        scratch: &mut RenderScratch,
+        line: &mut Vec<u8>,
+    ) -> Result<()> {
         let group = self.group(gid)?;
         let slots = group.vectors.len();
-        let mut values = Vec::with_capacity(slots);
-        for slot in 0..slots {
-            values.push(self.slot_value(gid, slot, row)?);
+        if scratch.values.len() < slots {
+            scratch.values.resize_with(slots, Vec::new);
         }
-        let refs: Vec<&[u8]> = values.iter().map(|v| v.as_slice()).collect();
-        Ok(group.template.render(&refs))
+        let RenderScratch { values, subs } = scratch;
+        for (slot, value) in values.iter_mut().take(slots).enumerate() {
+            self.slot_value_into(gid, slot, row, subs, value)?;
+        }
+        group
+            .template
+            .render_into(values.get(..slots).unwrap_or_default(), line);
+        Ok(())
     }
 
     /// Reconstructs every row of a group and keeps those passing `pred`.
     fn brute_force_group(
         &mut self,
         gid: usize,
-        pred: impl Fn(&[u8]) -> bool,
+        pred: impl Fn(&[u8]) -> bool + Sync,
     ) -> Result<RowSet> {
         let nrows = self.group(gid)?.rows();
-        let mut hits = Vec::new();
-        for row in 0..nrows {
-            let line = self.render_row(gid, row)?;
-            self.note_row_verified();
-            if pred(&line) {
-                hits.push(row);
-            }
-        }
-        Ok(RowSet::from_sorted(hits))
+        let rows: Vec<u32> = (0..nrows).collect();
+        self.verify_rows(gid, &rows, pred)
     }
 
-    /// Renders one line number through the line index.
-    fn render_line(&mut self, index: &[(u32, u32)], lineno: u32) -> Result<Vec<u8>> {
+    /// Renders one line number through the line index into `line`.
+    fn render_line_into(
+        &mut self,
+        index: &[(u32, u32)],
+        lineno: u32,
+        scratch: &mut RenderScratch,
+        line: &mut Vec<u8>,
+    ) -> Result<()> {
         let &(gid, row) = index
             .get(lineno as usize)
             .ok_or_else(|| Error::Corrupt("line number out of range".into()))?;
         if gid == u32::MAX {
             return Err(Error::Corrupt("line number missing from groups".into()));
         }
-        self.render_row(gid as usize, row)
+        self.render_row_into(gid as usize, row, scratch, line)
     }
 
     /// Reconstructs the given global line numbers, in ascending line order.
@@ -899,21 +1004,30 @@ impl<'a> ExecCtx<'a> {
         let index = self.archive.line_index();
         let lines: Vec<u32> = wanted.iter().collect();
         if shared.pool.threads() == 1 || lines.len() < PARALLEL_RECONSTRUCT_MIN_LINES {
+            let mut scratch = RenderScratch::default();
+            let mut line = Vec::new();
             let mut out = Vec::with_capacity(lines.len());
             for &lineno in &lines {
-                out.push(self.render_line(index, lineno)?);
+                self.render_line_into(index, lineno, &mut scratch, &mut line)?;
+                out.push(line.clone());
             }
             return Ok(out);
         }
-        let chunk = lines.len().div_ceil(shared.pool.threads() * 4);
+        let chunk = lines
+            .len()
+            .div_ceil(shared.pool.threads() * 4)
+            .max(MIN_PARALLEL_CHUNK);
         let trace_id = telemetry::current_trace_id();
         let chunks = shared.pool.map_chunks(&lines, chunk, |_, chunk_lines| {
             let _trace = telemetry::trace_scope_with(trace_id);
             let _ctx = telemetry::context("query/reconstruct");
             let mut worker = ExecCtx::new(shared);
+            let mut scratch = RenderScratch::default();
+            let mut line = Vec::new();
             let mut rendered = Vec::with_capacity(chunk_lines.len());
             for &lineno in chunk_lines {
-                rendered.push(worker.render_line(index, lineno)?);
+                worker.render_line_into(index, lineno, &mut scratch, &mut line)?;
+                rendered.push(line.clone());
             }
             Ok::<_, Error>((rendered, worker.stats))
         });
@@ -925,6 +1039,19 @@ impl<'a> ExecCtx<'a> {
         }
         Ok(out)
     }
+}
+
+/// Reusable buffers for one render loop: per-slot value buffers plus
+/// sub-variable buffers, so rendering a row allocates nothing once they are
+/// warm — the row-level counterpart of the archive's payload arena. Each
+/// worker owns one; buffers grow to the widest row seen and stay there for
+/// the rest of the loop.
+#[derive(Default)]
+struct RenderScratch {
+    /// One value buffer per template slot.
+    values: Vec<Vec<u8>>,
+    /// One buffer per runtime-pattern sub-variable.
+    subs: Vec<Vec<u8>>,
 }
 
 /// Slices a dictionary region out of a decompressed payload, rejecting

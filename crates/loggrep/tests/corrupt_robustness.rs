@@ -143,7 +143,7 @@ fn restamp(mutant: &mut [u8]) {
 #[test]
 fn body_bit_flips_with_valid_crc_never_panic_or_lie() {
     let (bytes, lines) = archive_bytes();
-    let mut rng = XorShift(0x5eed_0f_c0ffee);
+    let mut rng = XorShift(0x5eed_0fc0_ffee);
     let mut opened = 0u32;
     for _ in 0..150 {
         let mut mutant = bytes.clone();

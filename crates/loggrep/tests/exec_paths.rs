@@ -145,3 +145,33 @@ fn whole_line_and_boundary_keywords() {
         &["alpha beta", "gamma delta", "beta", "delta", "alpha delta"],
     );
 }
+
+/// The decompression arena recycles payload buffers: a query parks its
+/// decompressed Capsules on the archive, repeat queries (and the
+/// full-reconstruction path) reuse that storage, and results are identical
+/// either way.
+#[test]
+fn arena_recycles_buffers_across_queries() {
+    let mut raw = Vec::new();
+    for i in 0..500 {
+        raw.extend_from_slice(format!("job {} state S{} took {}ms\n", i, i % 7, i * 3 % 97).as_bytes());
+    }
+    let engine = LogGrep::new(LogGrepConfig::default());
+    let archive = engine.compress_to_archive(&raw).unwrap();
+    assert_eq!(archive.arena_buffers(), 0, "arena starts empty");
+
+    let first = archive.query("S3").unwrap();
+    assert_eq!(first.lines, oracle(&raw, "S3"));
+    let parked = archive.arena_buffers();
+    assert!(parked > 0, "query should park its payload buffers");
+
+    archive.clear_caches();
+    let second = archive.query("S3").unwrap();
+    assert_eq!(first.lines, second.lines);
+    assert!(archive.arena_buffers() >= parked, "repeat query must recycle, not leak");
+
+    // The full-decompress path shares the same arena.
+    let all = archive.reconstruct_all().unwrap();
+    assert_eq!(all.len(), 500);
+    assert!(archive.arena_buffers() >= parked);
+}

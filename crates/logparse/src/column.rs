@@ -1,0 +1,144 @@
+//! Column-wise value storage: one flat byte buffer plus row offsets.
+//!
+//! A parsed block holds hundreds of thousands of short slot values. Storing
+//! each as its own `Vec<u8>` costs one heap allocation per value — the
+//! dominant cost of the parse stage, and a scalability cliff when chunks
+//! parse on multiple threads (allocator pressure serializes them). A
+//! [`Column`] stores a whole variable vector in two allocations.
+
+/// One variable vector stored column-wise.
+///
+/// Values are concatenated in `bytes`; `offsets` has `len() + 1` entries
+/// with `offsets[i]..offsets[i + 1]` spanning value `i`. Offsets are `u32`:
+/// a column never outgrows its log block, and blocks are bounded well under
+/// 4 GiB (the engine holds the raw block in memory to compress it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    bytes: Vec<u8>,
+    offsets: Vec<u32>,
+}
+
+impl Default for Column {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Column {
+    /// An empty column.
+    pub fn new() -> Self {
+        Self {
+            bytes: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Builds a column from an iterator of values.
+    pub fn from_values<'a, I: IntoIterator<Item = &'a [u8]>>(values: I) -> Self {
+        let mut c = Self::new();
+        for v in values {
+            c.push(v);
+        }
+        c
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, value: &[u8]) {
+        self.bytes.extend_from_slice(value);
+        debug_assert!(u32::try_from(self.bytes.len()).is_ok(), "column > 4 GiB");
+        self.offsets.push(self.bytes.len() as u32);
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total bytes across all values.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The value at row `i`, or `None` out of range.
+    pub fn get(&self, i: usize) -> Option<&[u8]> {
+        let start = *self.offsets.get(i)? as usize;
+        let end = *self.offsets.get(i + 1)? as usize;
+        self.bytes.get(start..end)
+    }
+
+    /// Iterates the values in row order. The iterator is `Clone` +
+    /// `ExactSizeIterator`, so it can feed payload builders that take two
+    /// passes.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + Clone + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| self.bytes.get(w[0] as usize..w[1] as usize).unwrap_or(b""))
+    }
+
+    /// Appends every value of `other` after this column's values.
+    pub fn append(&mut self, other: &Column) {
+        let base = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(&other.bytes);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
+    }
+
+    /// Reserves space for `values` more values totalling `bytes` bytes.
+    pub fn reserve(&mut self, values: usize, bytes: usize) {
+        self.offsets.reserve(values);
+        self.bytes.reserve(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let vals: Vec<&[u8]> = vec![b"alpha", b"", b"x", b"beta-beta"];
+        let c = Column::from_values(vals.iter().copied());
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.total_bytes(), 15);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(c.get(i), Some(*v));
+        }
+        assert_eq!(c.get(4), None);
+        let collected: Vec<&[u8]> = c.iter().collect();
+        assert_eq!(collected, vals);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new();
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn append_rebases_offsets() {
+        let mut a = Column::from_values([b"one".as_slice(), b"two"]);
+        let b = Column::from_values([b"".as_slice(), b"three"]);
+        a.append(&b);
+        let collected: Vec<&[u8]> = a.iter().collect();
+        assert_eq!(collected, vec![&b"one"[..], b"two", b"", b"three"]);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn iterator_is_clone_for_two_pass_consumers() {
+        let c = Column::from_values([b"aa".as_slice(), b"bbb"]);
+        let it = c.iter();
+        let first: usize = it.clone().map(|v| v.len()).sum();
+        let second: usize = it.map(|v| v.len()).sum();
+        assert_eq!(first, second);
+    }
+}

@@ -41,9 +41,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod column;
 pub mod template;
 pub mod tokenizer;
 
+pub use column::Column;
 pub use template::{Piece, Template};
 pub use tokenizer::{Tokenizer, DEFAULT_DELIMS};
 
@@ -174,22 +176,84 @@ impl Parser {
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
+        self.merge_chunks(vec![self.parse_chunk(lines, 0)])
+    }
+
+    /// Parses a contiguous chunk of a block's lines, numbering rows from
+    /// `base`. This is the parallel-parse building block: chunks parsed
+    /// independently and concatenated with [`Self::merge_chunks`] (in
+    /// chunk order) yield exactly the block a serial [`Self::parse_all`]
+    /// over the concatenated lines produces.
+    pub fn parse_chunk<'a, I>(&self, lines: I, base: u32) -> Vec<Group>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
         let mut groups: Vec<Group> = self
             .templates
             .iter()
             .map(|t| Group::empty(t.slots()))
             .collect();
-        let mut total_lines = 0u32;
-        for (lineno, line) in lines.into_iter().enumerate() {
-            let (tid, vars) = self.parse_line(line);
-            let group = &mut groups[tid as usize];
-            group.line_numbers.push(lineno as u32);
-            for (slot, value) in vars.iter().enumerate() {
-                group.vars[slot].push(value.to_vec());
+        // Per-line scratch, reused across the whole block: every line shares
+        // the block lifetime `'a`, so one tokenization buffer and one slot-
+        // value buffer serve the loop without per-line allocation.
+        let mut toks = tokenizer::Tokenized {
+            tokens: Vec::new(),
+            delim_runs: Vec::new(),
+            delim_hash: 0,
+        };
+        let mut vars: Vec<&'a [u8]> = Vec::new();
+        for (offset, line) in lines.into_iter().enumerate() {
+            self.tokenizer.tokenize_into(line, &mut toks);
+            let mut tid = CATCH_ALL;
+            if !toks.tokens.is_empty() {
+                let key = (toks.tokens.len(), toks.delim_hash);
+                if let Some(candidates) = self.index.get(&key) {
+                    for &cand in candidates {
+                        if self.templates[cand as usize].extract_into(
+                            &toks.tokens,
+                            &toks.delim_runs,
+                            &mut vars,
+                        ) {
+                            tid = cand;
+                            break;
+                        }
+                    }
+                }
             }
-            total_lines += 1;
+            let group = &mut groups[tid as usize];
+            group.line_numbers.push(base + offset as u32);
+            if tid == CATCH_ALL {
+                group.vars[0].push(line);
+            } else {
+                for (slot, value) in vars.iter().enumerate() {
+                    group.vars[slot].push(value);
+                }
+            }
         }
-        telemetry::counter!("parse.lines", total_lines as u64);
+        groups
+    }
+
+    /// Concatenates per-chunk groups (in chunk order) into one
+    /// [`ParsedBlock`] — byte-identical to parsing the concatenated lines
+    /// serially, no matter how the lines were chunked.
+    pub fn merge_chunks(&self, parts: Vec<Vec<Group>>) -> ParsedBlock {
+        let mut parts = parts.into_iter();
+        let mut groups: Vec<Group> = parts.next().unwrap_or_else(|| {
+            self.templates
+                .iter()
+                .map(|t| Group::empty(t.slots()))
+                .collect()
+        });
+        for part in parts {
+            for (dst, src) in groups.iter_mut().zip(part) {
+                dst.line_numbers.extend(src.line_numbers);
+                for (d, s) in dst.vars.iter_mut().zip(&src.vars) {
+                    d.append(s);
+                }
+            }
+        }
+        let total_lines = groups.iter().map(|g| g.rows() as u32).sum();
+        telemetry::counter!("parse.lines", u64::from(total_lines));
         telemetry::counter!(
             "parse.catch_all_lines",
             groups[CATCH_ALL as usize].rows() as u64
@@ -207,15 +271,15 @@ impl Parser {
 pub struct Group {
     /// Original (0-based) line number of each row, ascending.
     pub line_numbers: Vec<u32>,
-    /// `vars[slot][row]` = the value of `slot` on that row.
-    pub vars: Vec<Vec<Vec<u8>>>,
+    /// `vars[slot]` = the column of `slot`'s values, one row per line.
+    pub vars: Vec<Column>,
 }
 
 impl Group {
     fn empty(slots: usize) -> Self {
         Self {
             line_numbers: Vec::new(),
-            vars: vec![Vec::new(); slots],
+            vars: vec![Column::new(); slots],
         }
     }
 
@@ -242,7 +306,7 @@ impl ParsedBlock {
     pub fn reconstruct_line(&self, lineno: u32) -> Option<Vec<u8>> {
         for (tid, group) in self.groups.iter().enumerate() {
             if let Ok(row) = group.line_numbers.binary_search(&lineno) {
-                let vars: Vec<&[u8]> = group.vars.iter().map(|v| v[row].as_slice()).collect();
+                let vars: Vec<&[u8]> = group.vars.iter().filter_map(|v| v.get(row)).collect();
                 return Some(self.templates[tid].render(&vars));
             }
         }

@@ -190,26 +190,45 @@ impl Template {
     /// Extracts slot values from a same-structure token list, or `None` if
     /// the line does not match this template (different statics or delims).
     pub fn extract<'a>(&self, tokens: &[&'a [u8]], delim_runs: &[&'a [u8]]) -> Option<Vec<&'a [u8]>> {
+        let mut vars = Vec::with_capacity(self.slots);
+        if self.extract_into(tokens, delim_runs, &mut vars) {
+            Some(vars)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`Self::extract`], but writes the slot values into `vars`
+    /// (cleared first) and returns whether the line matched. The bulk-parse
+    /// hot loop reuses one `vars` buffer across every line of a block, so
+    /// steady-state extraction allocates nothing.
+    pub fn extract_into<'a>(
+        &self,
+        tokens: &[&'a [u8]],
+        delim_runs: &[&'a [u8]],
+        vars: &mut Vec<&'a [u8]>,
+    ) -> bool {
+        vars.clear();
         if tokens.len() != self.token_view.len() || delim_runs.len() != self.delim_runs.len() {
-            return None;
+            return false;
         }
         for (mine, theirs) in self.delim_runs.iter().zip(delim_runs) {
             if mine.as_slice() != *theirs {
-                return None;
+                return false;
             }
         }
-        let mut vars = Vec::with_capacity(self.slots);
         for (view, tok) in self.token_view.iter().zip(tokens) {
             match view {
                 Some(v) => {
                     if v.as_slice() != *tok {
-                        return None;
+                        vars.clear();
+                        return false;
                     }
                 }
                 None => vars.push(*tok),
             }
         }
-        Some(vars)
+        true
     }
 
     /// Renders the template with the given slot values.
@@ -218,15 +237,27 @@ impl Template {
     ///
     /// Panics if `vars.len() != self.slots()`.
     pub fn render(&self, vars: &[&[u8]]) -> Vec<u8> {
-        assert_eq!(vars.len(), self.slots, "slot count mismatch");
         let mut out = Vec::new();
+        self.render_into(vars, &mut out);
+        out
+    }
+
+    /// Renders into a caller-provided buffer (cleared first), reusing its
+    /// capacity — the allocation-free form reconstruction loops use. Accepts
+    /// any byte-slice-like values so scratch `Vec<u8>` buffers work directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars.len() != self.slots()`.
+    pub fn render_into<V: AsRef<[u8]>>(&self, vars: &[V], out: &mut Vec<u8>) {
+        assert_eq!(vars.len(), self.slots, "slot count mismatch");
+        out.clear();
         for p in &self.pieces {
             match p {
                 Piece::Static(s) => out.extend_from_slice(s),
-                Piece::Slot(i) => out.extend_from_slice(vars[*i]),
+                Piece::Slot(i) => out.extend_from_slice(vars[*i].as_ref()),
             }
         }
-        out
     }
 
     /// A human-readable form like `write to file:<*> done`.

@@ -45,8 +45,21 @@ impl Tokenizer {
 
     /// Splits `line` into tokens and delimiter runs.
     pub fn tokenize<'a>(&self, line: &'a [u8]) -> Tokenized<'a> {
-        let mut tokens = Vec::new();
-        let mut delim_runs = Vec::new();
+        let mut out = Tokenized {
+            tokens: Vec::new(),
+            delim_runs: Vec::new(),
+            delim_hash: 0,
+        };
+        self.tokenize_into(line, &mut out);
+        out
+    }
+
+    /// Splits `line` into tokens and delimiter runs, reusing `out`'s
+    /// buffers. The bulk-parse hot loop calls this with one scratch
+    /// `Tokenized` so steady-state tokenization allocates nothing.
+    pub fn tokenize_into<'a>(&self, line: &'a [u8], out: &mut Tokenized<'a>) {
+        out.tokens.clear();
+        out.delim_runs.clear();
         let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis.
         let mut i = 0usize;
         loop {
@@ -60,7 +73,7 @@ impl Tokenizer {
                 hash = (hash ^ b as u64).wrapping_mul(0x1000_0000_01b3);
             }
             hash = (hash ^ 0xfe).wrapping_mul(0x1000_0000_01b3); // Run boundary.
-            delim_runs.push(run);
+            out.delim_runs.push(run);
             if i >= line.len() {
                 break;
             }
@@ -69,13 +82,9 @@ impl Tokenizer {
             while i < line.len() && !self.is_delim(line[i]) {
                 i += 1;
             }
-            tokens.push(&line[tok_start..i]);
+            out.tokens.push(&line[tok_start..i]);
         }
-        Tokenized {
-            tokens,
-            delim_runs,
-            delim_hash: hash,
-        }
+        out.delim_hash = hash;
     }
 }
 

@@ -50,16 +50,29 @@ pub const THREADS_ENV: &str = "LOGGREP_THREADS";
 /// The default worker count: `LOGGREP_THREADS` if set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`] (1 if even
 /// that is unavailable).
+///
+/// The parallelism probe is cached: on virtualized kernels it can take
+/// **milliseconds** (procfs-backed syscalls), which would dominate a
+/// selective query if paid on every `Pool::new(0)`. The env var is still
+/// read on every call (sub-µs) so tests can vary it at runtime.
 pub fn default_threads() -> usize {
     match std::env::var(THREADS_ENV)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
     {
         Some(n) if n > 0 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        _ => host_parallelism(),
     }
+}
+
+/// Cached [`std::thread::available_parallelism`].
+fn host_parallelism() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// A bounded scoped worker pool.

@@ -79,9 +79,18 @@ impl BoyerMoore {
         if m > n {
             return None;
         }
+        let last = self.needle[m - 1];
         let mut s = from; // Current alignment of the needle in the haystack.
         while s + m <= n {
-            let mut j = (m - 1) as i64;
+            // SWAR gallop: an alignment is only viable when its final byte
+            // equals the needle's final byte, so jump straight to the next
+            // such alignment word-parallel. This only ever skips alignments
+            // the compare loop would reject at j == m-1, so no match is
+            // missed, and it is at least as far as the bad-character shift
+            // for a final-byte mismatch.
+            let hit = crate::swar::find_byte(haystack, last, s + m - 1)?;
+            s = hit + 1 - m;
+            let mut j = m as i64 - 2; // Final byte already matched.
             while j >= 0 && self.needle[j as usize] == haystack[s + j as usize] {
                 j -= 1;
             }

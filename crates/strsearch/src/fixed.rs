@@ -85,10 +85,8 @@ impl<'a> FixedRows<'a> {
         let start = row * self.width;
         // lint:allow(no-panic-in-decode) — documented panic contract; callers bound row by rows()
         let raw = &self.buf[start..start + self.width];
-        let end = raw
-            .iter()
-            .rposition(|&b| b != self.pad)
-            .map_or(0, |p| p + 1);
+        // SWAR pad trim: find the last non-pad byte word-parallel.
+        let end = crate::swar::rfind_not_byte(raw, self.pad).map_or(0, |p| p + 1);
         // lint:allow(no-panic-in-decode) — end ≤ raw.len() by rposition
         &raw[..end]
     }

@@ -46,8 +46,16 @@ impl Kmp {
     /// Finds the first match at or after `from`.
     pub fn find_from(&self, haystack: &[u8], from: usize) -> Option<usize> {
         let m = self.needle.len();
+        let first = self.needle[0];
         let mut k = 0usize;
-        for (i, &b) in haystack.iter().enumerate().skip(from) {
+        let mut i = from;
+        while i < haystack.len() {
+            // With no live prefix, the automaton just scans for the first
+            // needle byte — do that word-parallel instead of byte-at-a-time.
+            if k == 0 {
+                i = crate::swar::find_byte(haystack, first, i)?;
+            }
+            let b = haystack[i];
             while k > 0 && b != self.needle[k] {
                 k = self.fail[k - 1];
             }
@@ -57,6 +65,7 @@ impl Kmp {
             if k == m {
                 return Some(i + 1 - m);
             }
+            i += 1;
         }
         None
     }
@@ -69,9 +78,19 @@ impl Kmp {
     /// Returns the offsets of all (possibly overlapping) matches in one pass.
     pub fn find_all(&self, haystack: &[u8]) -> Vec<usize> {
         let m = self.needle.len();
+        let first = self.needle[0];
         let mut out = Vec::new();
         let mut k = 0usize;
-        for (i, &b) in haystack.iter().enumerate() {
+        let mut i = 0usize;
+        while i < haystack.len() {
+            if k == 0 {
+                // SWAR skip to the next possible match start (see find_from).
+                match crate::swar::find_byte(haystack, first, i) {
+                    Some(p) => i = p,
+                    None => break,
+                }
+            }
+            let b = haystack[i];
             while k > 0 && b != self.needle[k] {
                 k = self.fail[k - 1];
             }
@@ -82,6 +101,7 @@ impl Kmp {
                 out.push(i + 1 - m);
                 k = self.fail[k - 1];
             }
+            i += 1;
         }
         out
     }
@@ -94,14 +114,27 @@ impl Kmp {
     /// Boyer-Moore does not.
     pub fn find_records(&self, haystack: &[u8], delim: u8) -> Vec<usize> {
         let m = self.needle.len();
+        let first = self.needle[0];
         let mut out = Vec::new();
         let mut record = 0usize;
         let mut k = 0usize;
         let mut last_hit_record = usize::MAX;
-        for &b in haystack {
+        let mut i = 0usize;
+        while i < haystack.len() {
+            if k == 0 {
+                // With no live prefix only two bytes matter: the next
+                // possible match start and the next delimiter (which must
+                // still be counted). Jump to whichever comes first.
+                match crate::swar::find_byte2(haystack, first, delim, i) {
+                    Some(p) => i = p,
+                    None => break,
+                }
+            }
+            let b = haystack[i];
             if b == delim {
                 record += 1;
                 k = 0; // A match cannot span records.
+                i += 1;
                 continue;
             }
             while k > 0 && b != self.needle[k] {
@@ -117,6 +150,7 @@ impl Kmp {
                 }
                 k = self.fail[k - 1];
             }
+            i += 1;
         }
         out
     }

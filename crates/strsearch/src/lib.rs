@@ -13,6 +13,7 @@
 pub mod bm;
 pub mod fixed;
 pub mod kmp;
+pub mod swar;
 pub mod wildcard;
 
 pub use bm::BoyerMoore;
@@ -34,7 +35,19 @@ pub use wildcard::TokenPattern;
 pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     match needle.len() {
         0 => Some(0),
-        1 => haystack.iter().position(|&b| b == needle[0]),
+        1 => swar::find_byte(haystack, needle[0], 0),
+        // Short needles: SWAR-skip on the first byte and verify in place —
+        // cheaper than building Boyer-Moore tables for a one-shot search.
+        2..=4 => {
+            let mut from = 0;
+            while let Some(pos) = swar::find_byte(haystack, needle[0], from) {
+                if haystack.get(pos..pos + needle.len()) == Some(needle) {
+                    return Some(pos);
+                }
+                from = pos + 1;
+            }
+            None
+        }
         _ => BoyerMoore::new(needle).find(haystack),
     }
 }

@@ -1,0 +1,252 @@
+//! Safe word-parallel (SWAR) byte-scanning primitives.
+//!
+//! Every helper here processes eight haystack bytes per step using plain
+//! `u64` arithmetic — no `unsafe`, no alignment assumptions. Loads go
+//! through [`u64::from_le_bytes`] on `chunks_exact(8)` slices, so the
+//! compiler proves every access in bounds and still lowers the copy to a
+//! single unaligned load on the targets we care about.
+//!
+//! The zero-byte detector is the classic exact formula
+//! `(v.wrapping_sub(LO)) & !v & HI` with `LO = 0x0101…01` and
+//! `HI = 0x8080…80`: a lane's high bit is set iff that lane is zero,
+//! except that lanes *above* the first zero may be corrupted by the
+//! borrow — which is harmless because every caller only consumes the
+//! lowest set bit (`trailing_zeros`), and lanes below the first zero are
+//! borrow-free and therefore exact.
+
+/// Low bit of every lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// High bit of every lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+/// Lanes per word.
+const LANES: usize = 8;
+
+/// Broadcasts a byte into all eight lanes.
+#[inline]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * LO
+}
+
+/// Loads eight bytes as a little-endian word. `chunk` must be exactly
+/// eight bytes (all callers pass `chunks_exact(8)` output).
+#[inline]
+fn load(chunk: &[u8]) -> u64 {
+    let mut word = [0u8; LANES];
+    word.copy_from_slice(chunk);
+    u64::from_le_bytes(word)
+}
+
+/// Lane index (0 = lowest address) of the lowest flagged lane of a
+/// zero-byte detector result. Caller guarantees `flags != 0`.
+#[inline]
+fn first_lane(flags: u64) -> usize {
+    (flags.trailing_zeros() / 8) as usize
+}
+
+/// Zero-byte flags for `word`: high bit of lane i set iff lane i is zero
+/// (lanes above the first zero may carry borrow noise — see module docs).
+#[inline]
+fn zero_flags(word: u64) -> u64 {
+    word.wrapping_sub(LO) & !word & HI
+}
+
+/// Finds the first occurrence of `byte` at or after `from`.
+#[inline]
+pub fn find_byte(haystack: &[u8], byte: u8, from: usize) -> Option<usize> {
+    let tail = haystack.get(from..)?;
+    let target = splat(byte);
+    let mut chunks = tail.chunks_exact(LANES);
+    let mut at = from;
+    for chunk in chunks.by_ref() {
+        let flags = zero_flags(load(chunk) ^ target);
+        if flags != 0 {
+            return Some(at + first_lane(flags));
+        }
+        at += LANES;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == byte)
+        .map(|i| at + i)
+}
+
+/// Finds the first occurrence of `b0` *or* `b1` at or after `from`.
+#[inline]
+pub fn find_byte2(haystack: &[u8], b0: u8, b1: u8, from: usize) -> Option<usize> {
+    let tail = haystack.get(from..)?;
+    let (t0, t1) = (splat(b0), splat(b1));
+    let mut chunks = tail.chunks_exact(LANES);
+    let mut at = from;
+    for chunk in chunks.by_ref() {
+        let word = load(chunk);
+        let flags = zero_flags(word ^ t0) | zero_flags(word ^ t1);
+        if flags != 0 {
+            return Some(at + first_lane(flags));
+        }
+        at += LANES;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == b0 || b == b1)
+        .map(|i| at + i)
+}
+
+/// Finds the first occurrence of any byte of `set` at or after `from`.
+///
+/// Word-parallel for small sets (one splat-XOR pass per set byte per
+/// word); falls back to a scalar scan when the set is large enough that
+/// per-byte masking would beat it.
+#[inline]
+pub fn find_byte_any(haystack: &[u8], set: &[u8], from: usize) -> Option<usize> {
+    const MAX_SWAR_SET: usize = 8;
+    let tail = haystack.get(from..)?;
+    if set.len() > MAX_SWAR_SET {
+        return tail.iter().position(|b| set.contains(b)).map(|i| from + i);
+    }
+    let mut chunks = tail.chunks_exact(LANES);
+    let mut at = from;
+    for chunk in chunks.by_ref() {
+        let word = load(chunk);
+        let mut flags = 0u64;
+        for &b in set {
+            flags |= zero_flags(word ^ splat(b));
+        }
+        if flags != 0 {
+            return Some(at + first_lane(flags));
+        }
+        at += LANES;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|b| set.contains(b))
+        .map(|i| at + i)
+}
+
+/// Index of the *last* byte that differs from `byte`, or `None` if every
+/// byte equals it (or the slice is empty). This is the padded-row trim:
+/// `value.len() = rfind_not_byte(row, pad).map_or(0, |p| p + 1)`.
+#[inline]
+pub fn rfind_not_byte(haystack: &[u8], byte: u8) -> Option<usize> {
+    let target = splat(byte);
+    let mut end = haystack.len();
+    let mut chunks = haystack.rchunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        // XOR is zero only in lanes equal to `byte`; the highest nonzero
+        // lane is the last mismatch. leading_zeros counts whole matching
+        // lanes from the top of the little-endian word = end of the slice.
+        let diff = load(chunk) ^ target;
+        if diff != 0 {
+            let lanes_from_end = (diff.leading_zeros() / 8) as usize;
+            return Some(end - 1 - lanes_from_end);
+        }
+        end -= LANES;
+    }
+    chunks.remainder().iter().rposition(|&b| b != byte)
+}
+
+/// Length of the longest common prefix of `a` and `b`.
+#[inline]
+pub fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let (Some(a), Some(b)) = (a.get(..n), b.get(..n)) else {
+        return 0;
+    };
+    let mut len = 0usize;
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in ac.by_ref().zip(bc.by_ref()) {
+        // The lowest set bit of the XOR lies inside the first differing
+        // lane, so first_lane works on the raw diff.
+        let diff = load(ca) ^ load(cb);
+        if diff != 0 {
+            return len + first_lane(diff);
+        }
+        len += LANES;
+    }
+    len + ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find(h: &[u8], b: u8, from: usize) -> Option<usize> {
+        h.iter().enumerate().skip(from).find(|&(_, &x)| x == b).map(|(i, _)| i)
+    }
+
+    #[test]
+    fn find_byte_matches_naive() {
+        let h: Vec<u8> = (0..64u32).map(|i| (i * 7 % 11) as u8).collect();
+        for from in 0..h.len() + 2 {
+            for b in 0..12u8 {
+                assert_eq!(find_byte(&h, b, from), naive_find(&h, b, from), "b={b} from={from}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_byte_edge_lanes() {
+        // Hits in every lane position, including chunk boundaries.
+        for pos in 0..24 {
+            let mut h = vec![b'x'; 24];
+            h[pos] = b'!';
+            assert_eq!(find_byte(&h, b'!', 0), Some(pos));
+        }
+        assert_eq!(find_byte(b"", b'a', 0), None);
+        assert_eq!(find_byte(b"abc", b'a', 3), None);
+        assert_eq!(find_byte(b"abc", b'a', 9), None);
+    }
+
+    #[test]
+    fn find_byte2_and_set() {
+        let h = b"aaaaaaaaaaXbbbbbbbbbbY";
+        assert_eq!(find_byte2(h, b'X', b'Y', 0), Some(10));
+        assert_eq!(find_byte2(h, b'Y', b'X', 11), Some(21));
+        assert_eq!(find_byte2(h, b'q', b'q', 0), None);
+        assert_eq!(find_byte_any(h, b"YX", 0), Some(10));
+        assert_eq!(find_byte_any(h, b"", 0), None);
+        // Large set takes the scalar fallback.
+        assert_eq!(find_byte_any(h, b"0123456789Y", 0), Some(21));
+    }
+
+    #[test]
+    fn rfind_not_byte_matches_rposition() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"....",
+            b"a...",
+            b"...a",
+            b"abcdefghij......",
+            b"................x",
+            b"x................",
+        ];
+        for h in cases {
+            assert_eq!(
+                rfind_not_byte(h, b'.'),
+                h.iter().rposition(|&b| b != b'.'),
+                "h={h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn common_prefix_matches_naive() {
+        let a = b"the quick brown fox jumps over the lazy dog";
+        for cut in 0..a.len() {
+            let mut b = a.to_vec();
+            b[cut] ^= 1;
+            assert_eq!(common_prefix(a, &b), cut, "cut={cut}");
+        }
+        assert_eq!(common_prefix(a, a), a.len());
+        assert_eq!(common_prefix(a, &a[..10]), 10);
+        assert_eq!(common_prefix(b"", b"x"), 0);
+    }
+}

@@ -112,9 +112,21 @@ impl TokenPattern {
 
     /// Tests the pattern against any token of `line`, where tokens are
     /// maximal runs not containing any byte of `delims`.
+    ///
+    /// Tokenization skips from delimiter to delimiter word-parallel
+    /// instead of classifying every byte (same semantics as
+    /// `line.split(|b| delims.contains(b))`).
     pub fn matches_any_token(&self, line: &[u8], delims: &[u8]) -> bool {
-        line.split(|b| delims.contains(b))
-            .any(|token| self.matches(token))
+        let mut start = 0usize;
+        while start <= line.len() {
+            let end = crate::swar::find_byte_any(line, delims, start).unwrap_or(line.len());
+            let token = line.get(start..end).unwrap_or_default();
+            if self.matches(token) {
+                return true;
+            }
+            start = end + 1;
+        }
+        false
     }
 }
 

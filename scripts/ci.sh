@@ -20,7 +20,9 @@ cargo run -q --release -p lint
 LOGGREP_THREADS=1 cargo test -q
 LOGGREP_THREADS=4 cargo test -q
 
-cargo clippy --all-targets -- -D warnings
+# Workspace-wide (root clippy silently skips crates the root package does
+# not depend on, e.g. lint and difftest).
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Differential fuzzing smoke: a bounded seeded run of the whole engine
 # matrix (full, SP, every §6.3 ablation, at 1 and 4 threads, plus the
@@ -55,5 +57,7 @@ cargo test -q -p cli --test trace_out
 # Perf-regression gate: append one hot-path run (compress MB/s, selective
 # and scan latency, sampler overhead) to the committed trajectory and fail
 # on a >25% regression vs the median of the previous runs (or >5% sampler
-# overhead). See DESIGN.md "Perf-regression tracking".
+# overhead). The gate is a two-sided ratchet: confirmed improvements are
+# recorded as `baseline` markers that pin future comparison windows. See
+# DESIGN.md "Perf-regression tracking".
 ./target/release/hotpath --label ci --out BENCH_hotpath.json --check
