@@ -1,0 +1,145 @@
+//! Node storage: replicated blocks with a crash-safe stage/commit cycle.
+//!
+//! A replica of a block exists in one of two states on a node:
+//!
+//! * **staged** — the serialized CapsuleBox bytes arrived (the prepare
+//!   half of ingest) but the coordinator has not acknowledged the block
+//!   yet. Staged replicas are volatile: a node restart discards them.
+//! * **committed** — the coordinator saw every replica stage successfully
+//!   and promoted the block. Committed replicas are durable: they survive
+//!   crash/restart cycles and serve queries.
+//!
+//! Blocks are stored as wire bytes, with the opened [`Archive`] cached
+//! lazily behind a mutex, so fault-injection helpers can corrupt the
+//! stored bytes and the next read re-opens (and fails checksum
+//! validation) exactly like a real on-disk replica would.
+
+use crate::transport::NodeId;
+use loggrep::Archive;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One replica of a block on one node.
+struct StoredBlock {
+    block_no: usize,
+    shard: usize,
+    bytes: Vec<u8>,
+    /// Lazily opened archive; invalidated when the bytes are mutated.
+    archive: Mutex<Option<Arc<Archive>>>,
+}
+
+impl StoredBlock {
+    fn open(&self) -> Result<Arc<Archive>, String> {
+        let mut cached = self.archive.lock();
+        if let Some(a) = cached.as_ref() {
+            return Ok(Arc::clone(a));
+        }
+        let archive = Archive::from_bytes(&self.bytes)
+            .map_err(|e| format!("block {}: {e}", self.block_no))?;
+        let archive = Arc::new(archive);
+        *cached = Some(Arc::clone(&archive));
+        Ok(archive)
+    }
+}
+
+/// One storage node: owns staged and committed block replicas.
+pub struct Node {
+    /// Node id (0-based).
+    pub id: NodeId,
+    committed: Vec<StoredBlock>,
+    staged: Vec<StoredBlock>,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId) -> Self {
+        Self {
+            id,
+            committed: Vec::new(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// Number of committed blocks on this node.
+    pub fn block_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Sum of committed replica bytes on this node.
+    pub fn stored_bytes(&self) -> usize {
+        self.committed.iter().map(|b| b.bytes.len()).sum()
+    }
+
+    /// Stages a block replica (the prepare half of ingest).
+    pub(crate) fn stage(&mut self, block_no: usize, shard: usize, bytes: Vec<u8>) {
+        self.staged.push(StoredBlock {
+            block_no,
+            shard,
+            bytes,
+            archive: Mutex::new(None),
+        });
+    }
+
+    /// Promotes a staged replica to committed (the acknowledge half).
+    pub(crate) fn commit(&mut self, block_no: usize) {
+        if let Some(pos) = self.staged.iter().position(|b| b.block_no == block_no) {
+            let block = self.staged.swap_remove(pos);
+            let at = self
+                .committed
+                .partition_point(|b| b.block_no < block.block_no);
+            self.committed.insert(at, block);
+        }
+    }
+
+    /// Drops a staged replica (prepare failed on a peer).
+    pub(crate) fn abort(&mut self, block_no: usize) {
+        self.staged.retain(|b| b.block_no != block_no);
+    }
+
+    /// Drops a committed replica (batch rollback).
+    pub(crate) fn drop_block(&mut self, block_no: usize) {
+        self.committed.retain(|b| b.block_no != block_no);
+    }
+
+    /// Crash recovery: staged replicas were never acknowledged, so a
+    /// restart discards them; committed replicas survive.
+    pub(crate) fn restart(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Runs `command` against every committed block of `shard`, in block
+    /// order. Any open or query error aborts with that error, so the
+    /// gather layer can fall back to another replica.
+    pub(crate) fn query_shard(
+        &self,
+        shard: usize,
+        command: &str,
+    ) -> Result<Vec<(usize, u32, Vec<u8>)>, String> {
+        let mut out = Vec::new();
+        for block in self.committed.iter().filter(|b| b.shard == shard) {
+            let archive = block.open()?;
+            let result = archive
+                .query(command)
+                .map_err(|e| format!("block {}: {e}", block.block_no))?;
+            for (lineno, line) in result.line_numbers.iter().zip(result.lines) {
+                out.push((block.block_no, *lineno, line));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fault injection: mutates the stored bytes of a committed replica
+    /// and invalidates its archive cache, so the next read re-opens the
+    /// corrupted bytes. Returns false if the replica is not here.
+    pub(crate) fn corrupt_block(
+        &mut self,
+        block_no: usize,
+        f: impl FnOnce(&mut Vec<u8>),
+    ) -> bool {
+        let Some(block) = self.committed.iter_mut().find(|b| b.block_no == block_no) else {
+            return false;
+        };
+        f(&mut block.bytes);
+        *block.archive.lock() = None;
+        true
+    }
+}

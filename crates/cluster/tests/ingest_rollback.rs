@@ -1,0 +1,78 @@
+//! Ingest crash-safety: a replica failing mid-batch must roll the whole
+//! batch back — no half-ingested blocks, no leaked queue slots, and no
+//! drift in the `cluster.blocks` gauge.
+//!
+//! This test owns its process (one integration-test file = one process)
+//! because it asserts deltas on process-wide gauges and counters.
+
+use cluster::{Cluster, ClusterConfig, ClusterError, FaultPlan};
+use loggrep::LogGrepConfig;
+
+#[test]
+fn mid_batch_replica_crash_rolls_back_cleanly() {
+    telemetry::set_enabled(true);
+    let raw: Vec<u8> = (0..1200)
+        .flat_map(|i| format!("INFO event {i} on host{}\n", i % 4).into_bytes())
+        .collect();
+
+    // Node 1 crashes permanently after its 3rd message, which lands in
+    // the middle of staging this multi-block batch.
+    let cfg = ClusterConfig {
+        replication: 2,
+        shards: 8,
+        faults: FaultPlan {
+            crash_after_messages: vec![(1, 3)],
+            ..FaultPlan::seeded(42)
+        },
+        ..ClusterConfig::for_nodes(3, LogGrepConfig::default())
+    };
+    let mut c = Cluster::with_config(cfg).unwrap();
+
+    let before = telemetry::snapshot();
+    let err = c.ingest(&raw, 2 * 1024).unwrap_err();
+    let after = telemetry::snapshot();
+
+    let ClusterError::Ingest(msg) = &err else {
+        panic!("expected Ingest error, got {err}");
+    };
+    assert!(msg.contains("unreachable"), "{msg}");
+
+    // The rollback is total: no logical blocks, no replicas, no bytes.
+    assert_eq!(c.block_count(), 0, "no block may survive the rollback");
+    for node in c.nodes() {
+        assert_eq!(node.block_count(), 0, "node {} leaked a replica", node.id);
+        assert_eq!(node.stored_bytes(), 0);
+    }
+
+    // Telemetry agrees: the blocks gauge does not drift, the admission
+    // queues drained, and the rollback was counted.
+    assert_eq!(
+        after.gauge("cluster.blocks"),
+        before.gauge("cluster.blocks"),
+        "cluster.blocks gauge drifted across a rolled-back ingest"
+    );
+    assert_eq!(after.gauge("cluster.ingest_queue"), 0);
+    assert!(
+        after.counter("cluster.ingest_rollback") > before.counter("cluster.ingest_rollback"),
+        "rollback of committed blocks must be counted"
+    );
+
+    // Queries see an empty cluster, not a torn one.
+    let empty = c.query("INFO").unwrap();
+    assert!(empty.complete);
+    assert_eq!(empty.lines.len(), 0);
+
+    // After restarting the crashed node the same batch ingests fine and
+    // the gauge moves by exactly the committed block count.
+    c.restart_node(1);
+    let blocks = c.ingest(&raw, 2 * 1024).unwrap();
+    assert!(blocks > 1);
+    let settled = telemetry::snapshot();
+    assert_eq!(
+        settled.gauge("cluster.blocks") - before.gauge("cluster.blocks"),
+        blocks as i64
+    );
+    let result = c.query("host2").unwrap();
+    assert!(result.complete);
+    assert_eq!(result.lines.len(), 300);
+}

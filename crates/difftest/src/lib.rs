@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cluster_faults;
 pub mod corpus;
 pub mod genlog;
 pub mod harness;

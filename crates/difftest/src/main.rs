@@ -4,8 +4,13 @@
 //! ```text
 //! difftest --seed N --cases M [--threads 1,4] [--no-baselines]
 //!          [--corpus-dir DIR] [--bench-out FILE] [--budget-secs S]
-//!          [--replay FILE]
+//!          [--replay FILE] [--cluster-faults]
 //! ```
+//!
+//! `--cluster-faults` switches to the cluster-under-faults mode: each case
+//! ingests a generated log into a replicated cluster over a seeded fault
+//! schedule and checks the partial-results contract against the oracle
+//! (see [`difftest::cluster_faults`]).
 //!
 //! Stdout is deterministic for a given seed and case count (timings go
 //! only to the `--bench-out` JSON), so two runs with the same arguments
@@ -33,6 +38,7 @@ struct Args {
     bench_out: Option<String>,
     budget_secs: Option<u64>,
     replay: Option<String>,
+    cluster_faults: bool,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +51,7 @@ fn parse_args() -> Args {
         bench_out: None,
         budget_secs: None,
         replay: None,
+        cluster_faults: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -93,6 +100,10 @@ fn parse_args() -> Args {
                 args.replay = Some(value(i));
                 i += 2;
             }
+            "--cluster-faults" => {
+                args.cluster_faults = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -102,8 +113,70 @@ fn parse_args() -> Args {
     args
 }
 
+/// The `--cluster-faults` mode: seeded fault schedules against the
+/// replicated cluster, checked against the oracle's partial-results
+/// contract. Stdout is deterministic for a given seed and case count.
+fn run_cluster_faults(args: &Args) -> ! {
+    let start = Instant::now();
+    let mut summary = difftest::cluster_faults::Summary::default();
+    let mut truncated = false;
+    for case in 0..args.cases {
+        if let Some(budget) = args.budget_secs {
+            if start.elapsed().as_secs() >= budget {
+                truncated = true;
+                break;
+            }
+        }
+        let outcome = difftest::cluster_faults::run_case(args.seed, case);
+        if let Some(d) = &outcome.disagreement {
+            println!("case {case}: FAIL {d}");
+        }
+        summary.absorb(case, &outcome);
+    }
+    if truncated {
+        println!(
+            "difftest: stopped at the wall-clock budget after {} of {} cases",
+            summary.cases, args.cases
+        );
+    }
+    println!(
+        "difftest cluster-faults: seed={} cases={} faults_injected={} fallbacks={} retries={} ingests_aborted={} partials={} disagreements={}",
+        args.seed,
+        summary.cases,
+        summary.faults_injected,
+        summary.fallbacks,
+        summary.retries,
+        summary.ingests_aborted,
+        summary.partials,
+        summary.disagreements.len(),
+    );
+    if let Some(out) = &args.bench_out {
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut json = String::new();
+        let _ = write!(
+            json,
+            "{{\n  \"bench\": \"cluster_faults\",\n  \"seed\": {},\n  \"cases\": {},\n  \"faults_injected\": {},\n  \"fallbacks\": {},\n  \"retries\": {},\n  \"ingests_aborted\": {},\n  \"partials\": {},\n  \"disagreements\": {},\n  \"elapsed_secs\": {elapsed:.3}\n}}\n",
+            args.seed,
+            summary.cases,
+            summary.faults_injected,
+            summary.fallbacks,
+            summary.retries,
+            summary.ingests_aborted,
+            summary.partials,
+            summary.disagreements.len(),
+        );
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+        }
+    }
+    std::process::exit(if summary.disagreements.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
+    if args.cluster_faults {
+        run_cluster_faults(&args);
+    }
     let harness = Harness {
         threads: args.threads.clone(),
         with_baselines: args.with_baselines,

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example scale_out`
 
-use cluster::Cluster;
+use cluster::{Cluster, ClusterConfig, FaultPlan};
 use loggrep::LogGrepConfig;
 use std::time::Instant;
 
@@ -18,7 +18,7 @@ fn main() {
 
     let query = &spec.queries[0];
     for nodes in [1usize, 2, 4, 8] {
-        let mut c = Cluster::new(nodes, LogGrepConfig::default());
+        let mut c = Cluster::new(nodes, LogGrepConfig::default()).expect("nonzero nodes");
         let t0 = Instant::now();
         let blocks = c.ingest(&raw, 2 << 20).expect("clean input");
         let ingest = t0.elapsed();
@@ -38,4 +38,26 @@ fn main() {
          wall-clock speedups require more than the {} core(s) available here)",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
+
+    // Fault tolerance: replicate 2x, kill a node mid-flight, and watch the
+    // query fall back to the surviving replicas with an identical answer.
+    println!("\n-- fault tolerance (replication 2, one node crashed) --");
+    let mut c = Cluster::with_config(ClusterConfig {
+        replication: 2,
+        faults: FaultPlan::seeded(7),
+        ..ClusterConfig::for_nodes(3, LogGrepConfig::default())
+    })
+    .expect("valid topology");
+    c.ingest(&raw, 2 << 20).expect("clean input");
+    let healthy = c.query(query).expect("valid query");
+    c.crash_node(1);
+    let degraded = c.query(query).expect("valid query");
+    println!(
+        "healthy: {} hit(s), complete={} | node 1 down: {} hit(s), complete={}",
+        healthy.lines.len(),
+        healthy.complete,
+        degraded.lines.len(),
+        degraded.complete,
+    );
+    assert_eq!(healthy.lines, degraded.lines, "replicas cover the crash");
 }

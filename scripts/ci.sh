@@ -33,6 +33,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 ./target/release/difftest --seed 5 --cases 200 --budget-secs 120 \
     --bench-out BENCH_difftest.json
 
+# Cluster fault-tolerance suites: the root `cargo test` above only covers
+# the root package, so run the cluster crate's own tests (SimNet
+# determinism, ingest rollback, replica read-fallback, fault schedules)
+# explicitly.
+cargo test -q -p cluster
+
+# Cluster-under-faults oracle smoke: bounded seeded sweeps where each case
+# ingests a generated log into a replicated cluster over a seeded fault
+# schedule (drops, slow nodes, crashes, partitions) and checks the
+# partial-results contract against the naive oracle. Fault decisions are a
+# pure function of the seed and all time is virtual, so the runs are
+# deterministic and need no ABBA/median timing estimators (nothing here is
+# wall-clock-sensitive). BENCH_cluster_faults.json records cases run,
+# faults injected, fallbacks taken, and (required zero) disagreements.
+./target/release/difftest --cluster-faults --seed 5 --cases 40 \
+    --budget-secs 120 --bench-out BENCH_cluster_faults.json
+
 # Optional: run the tiny roundtrip under Miri when a nightly toolchain
 # with Miri is installed; skip gracefully (with a note) everywhere else.
 if command -v rustup >/dev/null 2>&1 \
