@@ -447,6 +447,7 @@ impl Cluster {
             for r in self.map.replicas(shard) {
                 // Best-effort rollback message; the state change is
                 // authoritative (the coordinator's abort record).
+                // lint:allow(swallowed-result) — a failed rollback RPC is re-driven by the abort record; nothing to handle here
                 let _ = self.net.rpc(
                     r,
                     MsgCtx {

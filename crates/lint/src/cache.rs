@@ -1,0 +1,284 @@
+//! Incremental analysis cache (`target/lint-cache.json`).
+//!
+//! A warm run re-analyzes only files whose content hash changed; for
+//! unchanged files the cached *raw* (pre-suppression) diagnostics,
+//! `lint:allow` list, and per-function lock summaries are reloaded.
+//! The global passes — lock-order cycle detection, suppression, and
+//! stale-allow — are recomputed from that data on every run, so a warm
+//! run can still see a cross-file deadlock introduced by the one file
+//! that did change.
+//!
+//! Hashes are FNV-1a over the file contents, stored as hex *strings*:
+//! the in-tree JSON reader ([`telemetry::json`]) parses numbers as
+//! `f64`, which cannot hold a 64-bit hash exactly. Bumping
+//! [`ANALYZER_VERSION`] (on any rule-semantics change) invalidates the
+//! whole cache.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use telemetry::json::{self, Value};
+
+use crate::lexer::Allow;
+use crate::lockorder::{FnLockSummary, HeldCall, LockEdge};
+use crate::rules::{rule_by_name, Diagnostic};
+use crate::FileAnalysis;
+
+/// Bump on any change to rule semantics or the cache schema; a mismatch
+/// discards the whole cache.
+pub const ANALYZER_VERSION: u32 = 2;
+
+/// Where the cache lives under the workspace root.
+pub fn path(root: &Path) -> PathBuf {
+    root.join("target").join("lint-cache.json")
+}
+
+/// 64-bit FNV-1a of `src`, as a 16-digit hex string.
+pub fn fnv1a_hex(src: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Loads the cache; any parse problem or version mismatch yields an
+/// empty map (the run is then simply cold).
+pub fn load(root: &Path) -> HashMap<String, FileAnalysis> {
+    let mut out = HashMap::new();
+    let Ok(text) = fs::read_to_string(path(root)) else {
+        return out;
+    };
+    let Ok(v) = json::parse(&text) else {
+        return out;
+    };
+    if v.str("version") != Some(ANALYZER_VERSION.to_string().as_str()) {
+        return out;
+    }
+    let Some(Value::Obj(files)) = v.get("files") else {
+        return out;
+    };
+    for (rel, fv) in files {
+        if let Some(a) = file_from(rel, fv) {
+            out.insert(rel.clone(), a);
+        }
+    }
+    out
+}
+
+fn file_from(rel: &str, v: &Value) -> Option<FileAnalysis> {
+    let hash = v.str("hash")?.to_string();
+    let mut raw = Vec::new();
+    for d in v.get("raw")?.as_arr()? {
+        raw.push(diag_from(d)?);
+    }
+    let mut allows = Vec::new();
+    for a in v.get("allows")?.as_arr()? {
+        allows.push(allow_from(a)?);
+    }
+    let mut locks = Vec::new();
+    for l in v.get("locks")?.as_arr()? {
+        locks.push(lock_from(l)?);
+    }
+    Some(FileAnalysis {
+        file: rel.to_string(),
+        hash,
+        raw,
+        allows,
+        locks,
+        from_cache: true,
+    })
+}
+
+fn diag_from(v: &Value) -> Option<Diagnostic> {
+    Some(Diagnostic {
+        file: v.str("file")?.to_string(),
+        line: v.num("line")? as u32,
+        rule: rule_by_name(v.str("rule")?)?,
+        message: v.str("message")?.to_string(),
+    })
+}
+
+fn allow_from(v: &Value) -> Option<Allow> {
+    let mut rules = Vec::new();
+    for r in v.get("rules")?.as_arr()? {
+        rules.push(r.as_str()?.to_string());
+    }
+    Some(Allow {
+        line: v.num("line")? as u32,
+        rules,
+        has_reason: v.get("has_reason") == Some(&Value::Bool(true)),
+    })
+}
+
+fn lock_from(v: &Value) -> Option<FnLockSummary> {
+    let mut s = FnLockSummary {
+        qual_name: v.str("qual_name")?.to_string(),
+        ..FnLockSummary::default()
+    };
+    for l in v.get("locks")?.as_arr()? {
+        let pair = l.as_arr()?;
+        s.locks.push((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_num()? as u32));
+    }
+    for e in v.get("edges")?.as_arr()? {
+        s.edges.push(LockEdge {
+            from: e.str("from")?.to_string(),
+            to: e.str("to")?.to_string(),
+            line: e.num("line")? as u32,
+        });
+    }
+    for c in v.get("held_calls")?.as_arr()? {
+        s.held_calls.push(HeldCall {
+            lock: c.str("lock")?.to_string(),
+            callee: c.str("callee")?.to_string(),
+            line: c.num("line")? as u32,
+        });
+    }
+    Some(s)
+}
+
+/// Persists the cache; failures are the caller's to ignore (a missing
+/// cache only costs a cold run).
+pub fn store(root: &Path, analyses: &[FileAnalysis]) -> std::io::Result<()> {
+    let target = root.join("target");
+    fs::create_dir_all(&target)?;
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str(&format!("{{\"version\": \"{ANALYZER_VERSION}\",\n\"files\": {{"));
+    for (i, a) in analyses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n\"{}\": {}", crate::escape(&a.file), file_json(a)));
+    }
+    out.push_str("\n}}\n");
+    fs::write(path(root), out)
+}
+
+fn file_json(a: &FileAnalysis) -> String {
+    let mut s = format!("{{\"hash\": \"{}\", \"raw\": [", a.hash);
+    for (i, d) in a.raw.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            crate::escape(&d.file),
+            d.line,
+            d.rule,
+            crate::escape(&d.message)
+        ));
+    }
+    s.push_str("], \"allows\": [");
+    for (i, al) in a.allows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rules: Vec<String> = al.rules.iter().map(|r| format!("\"{}\"", crate::escape(r))).collect();
+        s.push_str(&format!(
+            "{{\"line\": {}, \"rules\": [{}], \"has_reason\": {}}}",
+            al.line,
+            rules.join(","),
+            al.has_reason
+        ));
+    }
+    s.push_str("], \"locks\": [");
+    for (i, f) in a.locks.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let locks: Vec<String> = f
+            .locks
+            .iter()
+            .map(|(id, line)| format!("[\"{}\", {line}]", crate::escape(id)))
+            .collect();
+        let edges: Vec<String> = f
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"from\": \"{}\", \"to\": \"{}\", \"line\": {}}}",
+                    crate::escape(&e.from),
+                    crate::escape(&e.to),
+                    e.line
+                )
+            })
+            .collect();
+        let calls: Vec<String> = f
+            .held_calls
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"lock\": \"{}\", \"callee\": \"{}\", \"line\": {}}}",
+                    crate::escape(&c.lock),
+                    crate::escape(&c.callee),
+                    c.line
+                )
+            })
+            .collect();
+        s.push_str(&format!(
+            "{{\"qual_name\": \"{}\", \"locks\": [{}], \"edges\": [{}], \"held_calls\": [{}]}}",
+            crate::escape(&f.qual_name),
+            locks.join(","),
+            edges.join(","),
+            calls.join(",")
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a_hex(""), format!("{:016x}", 0xcbf2_9ce4_8422_2325u64));
+        assert_ne!(fnv1a_hex("a"), fnv1a_hex("b"));
+        assert_eq!(fnv1a_hex("fn main() {}"), fnv1a_hex("fn main() {}"));
+    }
+
+    #[test]
+    fn cache_round_trips() {
+        let dir = crate::test_dir("cache_round_trip");
+        let analysis = crate::analyze_file(
+            "crates/x/src/lib.rs",
+            "impl S { fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }\nfn g(&self) { let _ = rpc(p); }\n// lint:allow(swallowed-result) — test\n",
+            fnv1a_hex("content"),
+        );
+        store(&dir, std::slice::from_ref(&analysis)).unwrap();
+        let loaded = load(&dir);
+        let got = loaded.get("crates/x/src/lib.rs").expect("entry");
+        assert!(got.from_cache);
+        assert_eq!(got.hash, analysis.hash);
+        assert_eq!(got.raw.len(), analysis.raw.len());
+        assert_eq!(got.allows.len(), analysis.allows.len());
+        assert_eq!(got.locks.len(), analysis.locks.len());
+        assert_eq!(got.locks[0].edges.len(), analysis.locks[0].edges.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_discards() {
+        let dir = crate::test_dir("cache_version");
+        std::fs::create_dir_all(dir.join("target")).unwrap();
+        std::fs::write(
+            path(&dir),
+            "{\"version\": \"0\",\n\"files\": {\n\"a.rs\": {\"hash\": \"00\", \"raw\": [], \"allows\": [], \"locks\": []}\n}}\n",
+        )
+        .unwrap();
+        assert!(load(&dir).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_is_a_cold_run() {
+        let dir = crate::test_dir("cache_corrupt");
+        std::fs::create_dir_all(dir.join("target")).unwrap();
+        std::fs::write(path(&dir), "{not json").unwrap();
+        assert!(load(&dir).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

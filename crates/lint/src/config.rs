@@ -19,11 +19,26 @@ pub const DESIGNATED: &[(&str, ScopeSpec)] = &[
     ("crates/loggrep/src/query/session.rs", ScopeSpec::WholeFile),
     ("crates/cli/src/lib.rs", ScopeSpec::WholeFile),
     ("crates/strsearch/src/fixed.rs", ScopeSpec::WholeFile),
-    ("crates/codec/src/lib.rs", ScopeSpec::Functions(&["decompress", "decompress_tracked"])),
-    ("crates/codec/src/deflate.rs", ScopeSpec::Functions(&["decompress", "read_len_table"])),
-    ("crates/codec/src/fastlz.rs", ScopeSpec::Functions(&["decompress", "get_ext_len"])),
-    ("crates/codec/src/lzma_lite.rs", ScopeSpec::Functions(&["decompress"])),
-    ("crates/codec/src/cm1.rs", ScopeSpec::Functions(&["decompress"])),
+    (
+        "crates/codec/src/lib.rs",
+        ScopeSpec::Functions(&["decompress", "decompress_into", "decompress_tracked"]),
+    ),
+    (
+        "crates/codec/src/deflate.rs",
+        ScopeSpec::Functions(&["decompress", "decompress_into", "read_len_table"]),
+    ),
+    (
+        "crates/codec/src/fastlz.rs",
+        ScopeSpec::Functions(&["decompress", "decompress_into", "get_ext_len"]),
+    ),
+    (
+        "crates/codec/src/lzma_lite.rs",
+        ScopeSpec::Functions(&["decompress", "decompress_into"]),
+    ),
+    (
+        "crates/codec/src/cm1.rs",
+        ScopeSpec::Functions(&["decompress", "decompress_into"]),
+    ),
     ("crates/codec/src/huffman.rs", ScopeSpec::Functions(&["from_lengths", "decode"])),
     ("crates/codec/src/bitio.rs", ScopeSpec::Functions(&["read_bit", "read_bits", "refill", "align_byte"])),
     (

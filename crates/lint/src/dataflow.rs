@@ -1,0 +1,543 @@
+//! Intra-procedural taint tracking for the untrusted-input rules.
+//!
+//! PR 4's matchers were token-window heuristics: any `as` cast near a
+//! `+` fired `checked-length-arithmetic`, and taint only propagated one
+//! `let` hop. This pass is flow-sensitive: it walks each designated
+//! function's body in order, maintaining a per-variable taint
+//! environment, so
+//!
+//! * laundering through locals is caught (`let a = r.get_usize()?;
+//!   let b = a; Vec::with_capacity(b)` fires), and
+//! * untainted arithmetic no longer fires (`i + 1` near an unrelated
+//!   cast is clean), killing the false positives that forced windowing
+//!   hacks before.
+//!
+//! **Sources.** `Reader::get_u64` / `get_u32` / `get_usize` calls, wire
+//! struct fields (`.rows`, `.clen`, `.total_lines`, ...), and — because
+//! wire integers are `u64` on disk — `u64`-typed parameters of
+//! designated decode functions.
+//!
+//! **Sinks.** `Vec::with_capacity(n)` / `vec![x; n]` with a
+//! length-tainted `n` (`no-untrusted-prealloc`); narrowing `as` casts of
+//! u64-tainted values (`no-as-truncation`); unchecked `+` / `*` with a
+//! tainted operand (`checked-length-arithmetic`).
+//!
+//! **Neutralizers.** `get_len`, `.min()`, `.clamp()`, `try_from` /
+//! `try_into`, and any `checked_*` / `saturating_*` call clear taint for
+//! the expression they appear in: a bounded value is no longer
+//! attacker-sized.
+
+use std::collections::HashMap;
+
+use crate::lexer::{TokKind, Token};
+use crate::parser::{
+    match_open, parse, postfix_expr_start, prev_ends_expr, punct_at, top_level_semi, Function,
+    KEYWORDS,
+};
+use crate::rules::{Diagnostic, ScopeSpec, RULE_ARITH, RULE_PREALLOC, RULE_TRUNC};
+
+/// Taint bit: carries a wire-derived length/count.
+pub const TAINT_LEN: u8 = 1;
+/// Taint bit: carries a full wire-read `u64` (narrowing must be checked).
+pub const TAINT_U64: u8 = 2;
+
+/// `Reader` methods that introduce wire-derived values.
+const WIRE_SOURCES: &[&str] = &["get_u64", "get_u32", "get_usize"];
+/// Struct fields that carry wire-derived lengths/counts.
+const LEN_FIELDS: &[&str] = &["rows", "clen", "total_lines", "count", "dict_len", "raw_size"];
+/// Struct fields deserialized as `u64` from the wire.
+const U64_FIELDS: &[&str] = &["offset", "clen", "raw_size"];
+/// Call names that bound a wire-derived value, clearing taint.
+const NEUTRALIZERS: &[&str] = &["get_len", "min", "clamp", "try_from", "try_into", "len"];
+/// Call-name prefixes that guard arithmetic (and clear taint).
+const GUARD_PREFIXES: &[&str] = &["checked_", "saturating_", "wrapping_", "overflowing_"];
+/// Cast targets narrower than `u64`.
+const NARROW_TYPES: &[&str] = &["usize", "u32", "u16", "u8", "i32", "i16", "i8"];
+
+/// Runs the taint pass over one file's designated functions, returning
+/// raw (pre-suppression) diagnostics.
+pub fn check(file: &str, toks: &[Token], scope: ScopeSpec) -> Vec<Diagnostic> {
+    let parsed = parse(toks);
+    let mut diags = Vec::new();
+    for func in &parsed.functions {
+        if func.in_test {
+            continue;
+        }
+        let designated = match scope {
+            ScopeSpec::WholeFile => true,
+            ScopeSpec::Functions(names) => names.contains(&func.name.as_str()),
+        };
+        if !designated {
+            continue;
+        }
+        check_function(file, toks, func, &mut diags);
+    }
+    diags
+}
+
+/// Walks one function body in order, tracking per-variable taint.
+fn check_function(file: &str, toks: &[Token], func: &Function, diags: &mut Vec<Diagnostic>) {
+    let mut env: HashMap<String, u8> = HashMap::new();
+    seed_param_taint(toks, func, &mut env);
+
+    let body = func.body_open + 1..func.body_close;
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if t.text == "let" => {
+                i = process_let(toks, i, body.end, &mut env);
+                continue;
+            }
+            TokKind::Ident if t.text == "with_capacity" && punct_at(toks, i + 1, '(') => {
+                if let Some(close) = match_open(toks, i + 1) {
+                    if expr_taint(&toks[i + 2..close], &env) & TAINT_LEN != 0 {
+                        push(diags, file, t.line, RULE_PREALLOC,
+                            "with_capacity sized by a wire-derived value; bound it via Reader::get_len(max) or .min(remaining)");
+                    }
+                }
+            }
+            TokKind::Ident
+                if t.text == "vec" && punct_at(toks, i + 1, '!') && punct_at(toks, i + 2, '[') =>
+            {
+                if let Some(close) = match_open(toks, i + 2) {
+                    if let Some(semi) = top_level_semi(toks, i + 3, close) {
+                        if expr_taint(&toks[semi + 1..close], &env) & TAINT_LEN != 0 {
+                            push(diags, file, t.line, RULE_PREALLOC,
+                                "vec![_; n] sized by a wire-derived value; bound it via Reader::get_len(max) or .min(remaining)");
+                        }
+                    }
+                }
+            }
+            TokKind::Ident if t.text == "as" => {
+                check_cast(file, toks, i, &env, diags);
+            }
+            TokKind::Punct if (t.is_punct('+') || t.is_punct('*')) && !punct_at(toks, i + 1, '=') => {
+                check_arith(file, toks, i, body.clone(), &env, diags);
+            }
+            // Plain reassignment `name = expr;` updates the environment.
+            TokKind::Ident
+                if env.contains_key(&t.text)
+                    && punct_at(toks, i + 1, '=')
+                    && !punct_at(toks, i + 2, '=')
+                    && !punct_at(toks, i + 2, '>') =>
+            {
+                let end = top_level_semi(toks, i + 2, body.end.min(i + 200)).unwrap_or(i + 2);
+                let taint = expr_taint(&toks[i + 2..end], &env);
+                env.insert(t.text.clone(), taint);
+                i = end;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Marks `u64`-typed parameters of a designated decode function tainted:
+/// wire integers are `u64` on disk, so a `u64` argument reaching a decode
+/// path is untrusted until bounded.
+fn seed_param_taint(toks: &[Token], func: &Function, env: &mut HashMap<String, u8>) {
+    // The signature's parameter list is the first paren group before the body.
+    let mut open = None;
+    for j in (0..func.body_open).rev() {
+        if toks[j].is_ident("fn") {
+            for (k, t) in toks.iter().enumerate().take(func.body_open).skip(j) {
+                if t.is_punct('(') {
+                    open = Some(k);
+                    break;
+                }
+            }
+            break;
+        }
+    }
+    let Some(open) = open else { return };
+    let Some(close) = match_open(toks, open) else {
+        return;
+    };
+    let params = &toks[open + 1..close.min(func.body_open)];
+    // Split on top-level commas into `name: Type` entries.
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut entries = Vec::new();
+    for (k, t) in params.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                "," if depth == 0 => {
+                    entries.push(&params[start..k]);
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < params.len() {
+        entries.push(&params[start..]);
+    }
+    for entry in entries {
+        let Some(colon) = entry.iter().position(|t| t.is_punct(':')) else {
+            continue;
+        };
+        let name = entry[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && !KEYWORDS.contains(&t.text.as_str()));
+        let is_u64 = entry[colon..].iter().any(|t| t.is_ident("u64"));
+        if let (Some(name), true) = (name, is_u64) {
+            env.insert(name.text.clone(), TAINT_LEN | TAINT_U64);
+        }
+    }
+}
+
+/// Handles `let [mut] name = expr;` (including `let Some(name)` /
+/// `let Ok(name)` destructuring); returns the index to resume at.
+fn process_let(
+    toks: &[Token],
+    let_idx: usize,
+    body_end: usize,
+    env: &mut HashMap<String, u8>,
+) -> usize {
+    let mut j = let_idx + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let Some(first) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+        return let_idx + 1;
+    };
+    // `let Some(x) = ...` / `let Ok(x) = ...`: bind the inner name.
+    let name = if matches!(first.text.as_str(), "Some" | "Ok") && punct_at(toks, j + 1, '(') {
+        let mut k = j + 2;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        match toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+            Some(inner) => inner.text.clone(),
+            None => return let_idx + 1,
+        }
+    } else {
+        first.text.clone()
+    };
+    let Some(eq) = (j..body_end.min(j + 40)).find(|&k| {
+        punct_at(toks, k, '=')
+            && !punct_at(toks, k + 1, '=')
+            && !punct_at(toks, k + 1, '>')
+            && !punct_at(toks, k.wrapping_sub(1), '!')
+    }) else {
+        return let_idx + 1;
+    };
+    let end = top_level_semi(toks, eq + 1, body_end.min(eq + 400)).unwrap_or(eq + 1);
+    let taint = expr_taint(&toks[eq + 1..end], env);
+    env.insert(name, taint);
+    // Resume *inside* the initializer so sinks in it are still checked.
+    eq + 1
+}
+
+/// The taint of an expression span under `env`.
+///
+/// A neutralizer or guard call anywhere in the span clears taint — the
+/// value has been bounded. Otherwise the span's taint is the union of
+/// its sources: wire reads, wire fields, and tainted identifiers.
+pub fn expr_taint(span: &[Token], env: &HashMap<String, u8>) -> u8 {
+    let neutralized = span.iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (NEUTRALIZERS.contains(&t.text.as_str())
+                || GUARD_PREFIXES.iter().any(|p| t.text.starts_with(p)))
+    });
+    if neutralized {
+        return 0;
+    }
+    let mut mask = 0u8;
+    for (k, t) in span.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        let is_field = k > 0 && span[k - 1].is_punct('.');
+        if WIRE_SOURCES.contains(&name) {
+            mask |= TAINT_LEN;
+            if name == "get_u64" {
+                mask |= TAINT_U64;
+            }
+        } else if is_field {
+            if LEN_FIELDS.contains(&name) {
+                mask |= TAINT_LEN;
+            }
+            if U64_FIELDS.contains(&name) {
+                mask |= TAINT_U64;
+            }
+        } else if let Some(&m) = env.get(name) {
+            mask |= m;
+        }
+    }
+    mask
+}
+
+/// `<tainted u64> as usize/u32/...` → `no-as-truncation`.
+fn check_cast(
+    file: &str,
+    toks: &[Token],
+    as_idx: usize,
+    env: &HashMap<String, u8>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let narrow = toks
+        .get(as_idx + 1)
+        .is_some_and(|t| t.kind == TokKind::Ident && NARROW_TYPES.contains(&t.text.as_str()));
+    if !narrow || as_idx == 0 {
+        return;
+    }
+    let start = postfix_expr_start(toks, as_idx - 1);
+    if start >= as_idx {
+        return;
+    }
+    let operand = &toks[start..as_idx];
+    if expr_taint(operand, env) & TAINT_U64 != 0 {
+        let shown: String = operand
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join("");
+        push(
+            diags,
+            file,
+            toks[as_idx].line,
+            RULE_TRUNC,
+            &format!(
+                "`{} as {}` silently truncates a wire-read u64; use try_from/try_into and return Error::Corrupt",
+                shown,
+                toks[as_idx + 1].text
+            ),
+        );
+    }
+}
+
+/// Unchecked binary `+`/`*` with a tainted operand → `checked-length-arithmetic`.
+fn check_arith(
+    file: &str,
+    toks: &[Token],
+    op_idx: usize,
+    body: std::ops::Range<usize>,
+    env: &HashMap<String, u8>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !prev_ends_expr(toks, op_idx) {
+        return; // prefix `*` deref / unary context / trait-bound `+`
+    }
+    let left_start = postfix_expr_start(toks, op_idx - 1);
+    let left = if left_start < op_idx {
+        expr_taint(&toks[left_start..op_idx], env)
+    } else {
+        0
+    };
+    let right_span_end = forward_operand_end(toks, op_idx + 1, body.end);
+    let right = if op_idx + 1 < right_span_end {
+        expr_taint(&toks[op_idx + 1..right_span_end], env)
+    } else {
+        0
+    };
+    if (left | right) == 0 {
+        return;
+    }
+    // A guard anywhere in the enclosing statement absolves the operator:
+    // `a.checked_add(b * scale)` is deliberate, bounded arithmetic.
+    let is_boundary =
+        |t: &Token| t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
+    let mut lo = op_idx;
+    while lo > body.start && op_idx - lo < 40 && !is_boundary(&toks[lo - 1]) {
+        lo -= 1;
+    }
+    let hi = right_span_end.min(body.end);
+    let win = &toks[lo..hi];
+    let guarded = win.iter().enumerate().any(|(k, t)| {
+        t.kind == TokKind::Ident
+            && (GUARD_PREFIXES.iter().any(|p| t.text.starts_with(p))
+                // `u64::from(x)` / `u128::from(x)`: widened operands
+                // cannot wrap (the message suggests exactly this fix).
+                || (matches!(t.text.as_str(), "u64" | "u128")
+                    && win.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && win.get(k + 3).is_some_and(|t| t.is_ident("from"))))
+    });
+    if !guarded {
+        push(
+            diags,
+            file,
+            toks[op_idx].line,
+            RULE_ARITH,
+            &format!(
+                "`{}` on a wire-derived value can wrap in release builds; use checked_add/checked_mul (or widen via u64::from)",
+                toks[op_idx].text
+            ),
+        );
+    }
+}
+
+/// One-past-the-end of the operand expression starting at `from` (after
+/// a binary operator): prefix ops, an ident/field/path chain with call
+/// and index groups, `?`, and a trailing `as` cast.
+fn forward_operand_end(toks: &[Token], from: usize, limit: usize) -> usize {
+    let mut i = from;
+    // Skip prefix operators.
+    while i < limit
+        && toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && matches!(t.text.as_str(), "&" | "*" | "-"))
+    {
+        i += 1;
+    }
+    while let Some(t) = toks.get(i).filter(|_| i < limit) {
+        match t.kind {
+            TokKind::Ident if !KEYWORDS.contains(&t.text.as_str()) || t.text == "as" => {
+                i += 1;
+            }
+            TokKind::Num | TokKind::Str => i += 1,
+            TokKind::Punct if matches!(t.text.as_str(), "(" | "[") => match match_open(toks, i) {
+                Some(close) => i = close + 1,
+                None => break,
+            },
+            TokKind::Punct if matches!(t.text.as_str(), "." | "?" | ":") => i += 1,
+            _ => break,
+        }
+    }
+    i
+}
+
+fn push(diags: &mut Vec<Diagnostic>, file: &str, line: u32, rule: &'static str, message: &str) {
+    diags.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        rule,
+        message: message.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn whole(src: &str) -> Vec<Diagnostic> {
+        let l = lex(src);
+        check("t.rs", &l.tokens, ScopeSpec::WholeFile)
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn tainted_with_capacity_fires() {
+        let src = "fn f(r: &mut Reader) { let n = r.get_usize()?; let v = Vec::with_capacity(n); }";
+        assert_eq!(rules_of(&whole(src)), vec![RULE_PREALLOC]);
+    }
+
+    #[test]
+    fn laundering_through_locals_is_caught() {
+        // The PR 4 matcher only propagated one `let` hop; the dataflow
+        // pass must follow the whole chain.
+        let src = "fn f(r: &mut Reader) {\n let a = r.get_usize()?;\n let b = a;\n let c = b;\n let v = Vec::with_capacity(c);\n}";
+        let d = whole(src);
+        assert_eq!(rules_of(&d), vec![RULE_PREALLOC]);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn get_len_and_min_neutralize() {
+        let a = "fn f(r: &mut Reader) { let n = r.get_len(r.remaining())?; let v = Vec::with_capacity(n); }";
+        assert!(whole(a).is_empty());
+        let b = "fn f(r: &mut Reader) { let n = r.get_usize()?; let v = Vec::with_capacity(n.min(cap)); }";
+        assert!(whole(b).is_empty());
+    }
+
+    #[test]
+    fn rebinding_through_neutralizer_clears_taint() {
+        let src = "fn f(r: &mut Reader) { let mut n = r.get_usize()?; n = n.min(cap); let v = Vec::with_capacity(n); }";
+        assert!(whole(src).is_empty());
+    }
+
+    #[test]
+    fn per_function_environments_are_independent() {
+        let src = "fn a(r: &mut Reader) { let n = r.get_usize()?; use_it(n); }\n\
+                   fn b(r: &mut Reader) { let n = r.get_len(r.remaining())?; let v = Vec::with_capacity(n); }";
+        assert!(whole(src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_with_wire_field_fires() {
+        let src = "fn f(&self) { let v = vec![0u8; self.meta.total_lines as usize]; }";
+        let d = whole(src);
+        assert!(rules_of(&d).contains(&RULE_PREALLOC), "{d:?}");
+    }
+
+    #[test]
+    fn unchecked_add_of_u64_param_fires() {
+        let src = "fn f(start: usize, clen: u64) -> usize { start + clen as usize }";
+        let d = whole(src);
+        assert!(rules_of(&d).contains(&RULE_ARITH), "{d:?}");
+    }
+
+    #[test]
+    fn untainted_arithmetic_is_clean() {
+        // The PR 4 window heuristic fired on any `as` near `+`; the
+        // dataflow pass must not.
+        let src = "fn f(xs: &[u8]) -> usize { let i = xs.len(); i + 1 + (3 as usize) }";
+        assert!(whole(src).is_empty());
+    }
+
+    #[test]
+    fn checked_add_passes() {
+        let src = "fn f(start: u64, clen: u64) -> Option<u64> { start.checked_add(clen) }";
+        assert!(whole(src).is_empty());
+        let widened = "fn f(w: u32, r: u32) -> u64 { u64::from(w) * u64::from(r) }";
+        assert!(whole(widened).is_empty());
+    }
+
+    #[test]
+    fn wire_field_narrowing_fires() {
+        let src = "fn f(meta: &Meta) -> usize { meta.clen as usize }";
+        let d = whole(src);
+        assert!(rules_of(&d).contains(&RULE_TRUNC), "{d:?}");
+    }
+
+    #[test]
+    fn tainted_u64_narrowing_fires_and_try_from_passes() {
+        let bad = "fn f(r: &mut Reader) { let n = r.get_u64()?; g(n as usize); }";
+        assert!(rules_of(&whole(bad)).contains(&RULE_TRUNC));
+        let ok = "fn f(r: &mut Reader) { let n = usize::try_from(r.get_u64()?).map_err(corrupt)?; g(n); }";
+        assert!(whole(ok).is_empty());
+    }
+
+    #[test]
+    fn chained_cast_of_wire_call_fires() {
+        let bad = "fn f(r: &mut Reader) { g(r.get_u64()? as usize); }";
+        assert!(rules_of(&whole(bad)).contains(&RULE_TRUNC));
+    }
+
+    #[test]
+    fn lossless_widening_passes() {
+        assert!(whole("fn f(n: u32) -> u64 { n as u64 }").is_empty());
+    }
+
+    #[test]
+    fn fn_scope_limits_the_pass() {
+        let src = "fn decode(r: &mut Reader) { let n = r.get_usize()?; Vec::with_capacity(n); }\n\
+                   fn encode(r: &mut Reader) { let n = r.get_usize()?; Vec::with_capacity(n); }";
+        let l = lex(src);
+        let d = check("t.rs", &l.tokens, ScopeSpec::Functions(&["decode"]));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n#[test]\nfn t(r: &mut Reader) { let n = r.get_usize()?; Vec::with_capacity(n); }\n}";
+        assert!(whole(src).is_empty());
+    }
+
+    #[test]
+    fn destructuring_let_binds_inner_name() {
+        let src = "fn f(r: &mut Reader) { let Some(n) = r.get_usize().ok() else { return; }; let v = Vec::with_capacity(n); }";
+        let d = whole(src);
+        assert_eq!(rules_of(&d), vec![RULE_PREALLOC]);
+    }
+}

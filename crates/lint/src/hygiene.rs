@@ -1,0 +1,310 @@
+//! Hygiene rule pack: swallowed `Result`s, telemetry span balance, and
+//! stale `lint:allow` suppressions.
+//!
+//! These rules police the *operational* health of the tree rather than
+//! memory safety: a silently dropped RPC error hides replica divergence,
+//! an unbalanced telemetry span corrupts the trace journal, and a
+//! `lint:allow` that no longer suppresses anything is a hole waiting for
+//! a future regression to crawl through.
+
+use crate::lexer::{Allow, TokKind, Token};
+use crate::parser::{match_open, parse, punct_at};
+use crate::rules::{Diagnostic, RULE_SPAN_BALANCE, RULE_STALE_ALLOW, RULE_SWALLOWED};
+
+/// Fallible calls whose `Result` must not be discarded via `let _ =`.
+/// Decode and cluster entry points: a swallowed error here silently
+/// drops data or hides replica divergence.
+const FALLIBLE: &[&str] = &[
+    "rpc",
+    "decompress",
+    "flush",
+    "write_all",
+    "persist",
+    "replicate",
+    "apply_wal",
+];
+/// Prefixes treated like [`FALLIBLE`] members (`decode_header`, ...).
+const FALLIBLE_PREFIXES: &[&str] = &["decode", "read_block", "load_"];
+
+/// Runs the per-file hygiene rules (swallowed-result, span-balance).
+pub fn check(file: &str, toks: &[Token]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let parsed = parse(toks);
+    for func in &parsed.functions {
+        if func.in_test {
+            continue;
+        }
+        check_swallowed(file, toks, func.body_open, func.body_close, &mut diags);
+        check_span_balance(file, toks, func, &mut diags);
+    }
+    diags
+}
+
+fn is_fallible(name: &str) -> bool {
+    FALLIBLE.contains(&name) || FALLIBLE_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// `let _ = <expr containing a fallible call>;` — the error is gone.
+fn check_swallowed(file: &str, toks: &[Token], lo: usize, hi: usize, diags: &mut Vec<Diagnostic>) {
+    let mut i = lo;
+    while i + 2 < hi {
+        if !(toks[i].is_ident("let") && toks[i + 1].text == "_" && punct_at(toks, i + 2, '=')) {
+            i += 1;
+            continue;
+        }
+        // Exactly `let _ =`: `let _x =` keeps the value alive (a
+        // deliberate binding), and `==` is not an assignment.
+        if punct_at(toks, i + 3, '=') {
+            i += 1;
+            continue;
+        }
+        let end = statement_end(toks, i + 3, hi);
+        for j in i + 3..end {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident && is_fallible(&t.text) && punct_at(toks, j + 1, '(') {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    rule: RULE_SWALLOWED,
+                    message: format!(
+                        "`let _ =` discards the Result of `{}()`; handle the error or add a reasoned lint:allow",
+                        t.text
+                    ),
+                });
+                break;
+            }
+        }
+        i = end + 1;
+    }
+}
+
+/// First `;` at zero relative depth in `[from, hi)`.
+fn statement_end(toks: &[Token], from: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(hi).skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    hi
+}
+
+/// Telemetry span discipline inside one function:
+/// manual `record_span_begin`/`record_span_end` counts must match, and a
+/// `span(...)` RAII guard must be bound to a named variable (a discarded
+/// guard closes the span immediately, recording a zero-length trace).
+fn check_span_balance(
+    file: &str,
+    toks: &[Token],
+    func: &crate::parser::Function,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let (mut begins, mut ends) = (0u32, 0u32);
+    for i in func.body_open + 1..func.body_close {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !punct_at(toks, i + 1, '(') {
+            continue;
+        }
+        match t.text.as_str() {
+            "record_span_begin" => begins += 1,
+            "record_span_end" => ends += 1,
+            "span" => check_discarded_guard(file, toks, func.body_open, i, diags),
+            _ => {}
+        }
+    }
+    // Only mixed usage is diagnosable: a function with only begins (or
+    // only ends) is usually one half of an RAII pair, like
+    // `telemetry::span` itself and `Span::drop`.
+    if begins > 0 && ends > 0 && begins != ends {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: func.line,
+            rule: RULE_SPAN_BALANCE,
+            message: format!(
+                "`{}` records {begins} span begin(s) but {ends} end(s); unbalanced spans corrupt the trace journal",
+                func.qual_name
+            ),
+        });
+    }
+}
+
+/// Is the `span(...)` call at `i` a discarded RAII guard?
+fn check_discarded_guard(
+    file: &str,
+    toks: &[Token],
+    body_open: usize,
+    i: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Find the statement start and make sure the call is not nested
+    // inside another expression (then its value is used).
+    let mut b = i;
+    let mut depth = 0i32;
+    while b > body_open + 1 {
+        let t = &toks[b - 1];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        return; // nested: `f(ctx.span("x"))` uses the value
+                    }
+                    depth -= 1;
+                }
+                ";" | "{" | "}" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        b -= 1;
+    }
+    let discarded = if toks.get(b).is_some_and(|t| t.is_ident("let")) {
+        // `let _ = span(..)` discards; `let _g = span(..)` holds.
+        let mut k = b + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        toks.get(k).is_some_and(|t| t.text == "_")
+    } else {
+        // Bare `telemetry::span("x");` — guard dropped at the `;`.
+        match_open(toks, i + 1).is_some_and(|close| punct_at(toks, close + 1, ';'))
+    };
+    if discarded {
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line: toks[i].line,
+            rule: RULE_SPAN_BALANCE,
+            message: "span guard discarded immediately (`let _ =` or bare statement); bind it (`let _span = ...`) so the span covers the work".to_string(),
+        });
+    }
+}
+
+/// Global stale-suppression pass: a `lint:allow(rule)` that suppresses
+/// no raw diagnostic on its line or the next is dead and must go.
+/// `raw` must be the *pre-suppression* diagnostics for `file`.
+pub fn stale_allows(file: &str, allows: &[Allow], raw: &[Diagnostic]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for a in allows {
+        for rule in &a.rules {
+            let used = raw
+                .iter()
+                .any(|d| d.rule == rule.as_str() && (d.line == a.line || d.line == a.line + 1));
+            if !used {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: a.line,
+                    rule: RULE_STALE_ALLOW,
+                    message: format!(
+                        "lint:allow({rule}) suppresses nothing here; delete the stale hatch"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let l = lex(src);
+        check("t.rs", &l.tokens)
+    }
+
+    #[test]
+    fn swallowed_rpc_fires() {
+        let d = run("fn f(&self) { let _ = self.net.rpc(peer, msg); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_SWALLOWED);
+    }
+
+    #[test]
+    fn swallowed_decode_prefix_fires() {
+        let d = run("fn f(b: &[u8]) { let _ = decode_header(b); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn named_binding_and_infallible_pass() {
+        assert!(run("fn f(&self) { let _ack = self.net.rpc(peer, msg); }").is_empty());
+        assert!(run("fn f(v: &Vec<u8>) { let _ = v.len(); }").is_empty());
+    }
+
+    #[test]
+    fn handled_result_passes() {
+        assert!(run("fn f(&self) -> Result<Ack> { self.net.rpc(peer, msg) }").is_empty());
+        assert!(run("fn f(&self) { if let Err(e) = self.net.rpc(p, m) { log(e); } }").is_empty());
+    }
+
+    #[test]
+    fn unbalanced_manual_spans_fire() {
+        // Two begins, one end: one span leaks open.
+        let d = run("fn f(j: &J) { j.record_span_begin(a, t); j.record_span_begin(b, t); work(); j.record_span_end(a, t2); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_SPAN_BALANCE);
+        assert!(d[0].message.contains("2 span begin"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn balanced_manual_spans_pass() {
+        let src = "fn f(j: &J) { j.record_span_begin(id, t); work(); j.record_span_end(id, t2); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn raii_halves_are_exempt() {
+        // `span()` only begins; `Drop` only ends — neither is an error.
+        assert!(run("fn span(&self, id: u64) { self.j.record_span_begin(id, now()); }").is_empty());
+        assert!(run("fn drop(&mut self) { self.j.record_span_end(self.id, now()); }").is_empty());
+    }
+
+    #[test]
+    fn discarded_span_guard_fires() {
+        let a = run("fn f() { let _ = telemetry::span(\"q\"); work(); }");
+        assert_eq!(a.len(), 1, "{a:?}");
+        let b = run("fn f() { telemetry::span(\"q\"); work(); }");
+        assert_eq!(b.len(), 1, "{b:?}");
+    }
+
+    #[test]
+    fn bound_span_guard_passes() {
+        assert!(run("fn f() { let _span = telemetry::span(\"q\"); work(); }").is_empty());
+        // Nested use (value consumed by another call) is fine.
+        assert!(run("fn f() { keep(telemetry::span(\"q\")); }").is_empty());
+        // Tail expression returns the guard to the caller.
+        assert!(run("fn f(ctx: &Ctx) -> Span { ctx.span(\"q\") }").is_empty());
+    }
+
+    #[test]
+    fn test_functions_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t(&self) { let _ = self.net.rpc(p, m); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_detection() {
+        use crate::rules::RULE_PANIC;
+        let l = lex("fn f(x: Option<u8>) {\n    // lint:allow(no-panic-in-decode) — reason\n    x.unwrap_or(0);\n}");
+        // No panic diag on lines 2-3 → the allow is stale.
+        let d = stale_allows("t.rs", &l.allows, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_STALE_ALLOW);
+
+        // With a matching raw diag it is live.
+        let raw = vec![Diagnostic {
+            file: "t.rs".to_string(),
+            line: 3,
+            rule: RULE_PANIC,
+            message: String::new(),
+        }];
+        assert!(stale_allows("t.rs", &l.allows, &raw).is_empty());
+    }
+}

@@ -1,63 +1,225 @@
-//! Project-specific static analysis for untrusted decode paths.
+//! Project-specific static analysis for untrusted decode paths and
+//! concurrency discipline.
 //!
 //! LogGrep queries archives without fully decompressing them, so the
 //! CapsuleBox parser, wire reader, and codec decompressors routinely
-//! consume bytes this process did not produce. This crate walks the
-//! workspace with a hand-rolled Rust lexer and enforces the rules
-//! documented in DESIGN.md ("Static analysis & untrusted-input
-//! hardening"): no panics in decode paths, no unbounded wire-sized
-//! pre-allocation, checked length arithmetic, no truncating casts of
-//! wire integers, and crate-root hygiene.
+//! consume bytes this process did not produce; the worker pool and the
+//! replicated cluster add lock ordering and blocking-call discipline on
+//! top. This crate walks the workspace with a hand-rolled Rust lexer, a
+//! lightweight item parser ([`parser`]), and four rule passes:
 //!
-//! Run it as `cargo run -p lint` (add `--json` for machine-readable
-//! output); `scripts/ci.sh` enforces it before tests.
+//! * [`rules`] — token-window rules: panics in decode paths, crate-root
+//!   hygiene;
+//! * [`dataflow`] — flow-sensitive taint tracking from wire sources to
+//!   allocation/arithmetic/cast sinks;
+//! * [`lockorder`] — a global lock-order graph (cycle ⇒ potential
+//!   deadlock), blocking calls under locks, blocking calls in pool
+//!   workers;
+//! * [`hygiene`] — swallowed `Result`s, telemetry span balance, stale
+//!   `lint:allow` hatches.
+//!
+//! Per-file results are cached by content hash ([`cache`]) so warm runs
+//! re-analyze only changed files; the global passes (cycle detection,
+//! suppression, stale-allow) are recomputed every run from cached data.
+//! Output formats: human text, `--json`, and SARIF 2.1.0 ([`sarif`]).
+//!
+//! Run it as `cargo run -p lint` (see `--help` for flags);
+//! `scripts/ci.sh` enforces a zero-diagnostics gate before tests.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod config;
+pub mod dataflow;
+pub mod hygiene;
 pub mod lexer;
+pub mod lockorder;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
+use lexer::Allow;
+use lockorder::{FileLockInfo, FnLockSummary};
 use rules::Diagnostic;
 
-/// Lints every workspace source file under `root` and returns the
-/// diagnostics sorted by file and line.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
-    let crates = root.join("crates");
-    if crates.is_dir() {
-        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
-        dirs.sort();
-        for dir in dirs {
-            collect_rs(&dir.join("src"), &mut files)?;
+/// Everything the analyzer learned about one file. `raw` is
+/// *pre-suppression*: the stale-allow pass needs to know what an allow
+/// would have suppressed, so suppression is applied later, centrally,
+/// in [`finalize`].
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// FNV-1a content hash (hex) keying the incremental cache.
+    pub hash: String,
+    /// Raw per-file diagnostics, before suppression.
+    pub raw: Vec<Diagnostic>,
+    /// `lint:allow` comments found in the file.
+    pub allows: Vec<Allow>,
+    /// Per-function lock summaries for the global lock-order pass.
+    pub locks: Vec<FnLockSummary>,
+    /// Whether this analysis was served from the cache.
+    pub from_cache: bool,
+}
+
+/// Counters for one analyzer run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Total `.rs` files considered.
+    pub files: usize,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Wall time of the run in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl RunStats {
+    /// Cache hits as a fraction of files (0.0 on an empty workspace).
+    pub fn hit_rate(&self) -> f64 {
+        if self.files == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.files as f64
         }
     }
-    collect_rs(&root.join("src"), &mut files)?;
-    files.sort();
+}
 
-    let mut diags = Vec::new();
+/// Analyzer options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root (must contain `Cargo.toml`).
+    pub root: PathBuf,
+    /// Read/write `target/lint-cache.json` for incremental runs.
+    pub use_cache: bool,
+}
+
+/// Runs the full analyzer: walk, per-file passes (cached), global
+/// passes, suppression. Diagnostics come back sorted by file and line.
+pub fn run(opts: &Options) -> std::io::Result<(Vec<Diagnostic>, RunStats)> {
+    let started = Instant::now();
+    let files = workspace_files(&opts.root)?;
+    let cached = if opts.use_cache {
+        cache::load(&opts.root)
+    } else {
+        HashMap::new()
+    };
+
+    let mut analyses = Vec::with_capacity(files.len());
+    let mut stats = RunStats::default();
     for file in files {
         let Ok(src) = fs::read_to_string(&file) else {
             continue;
         };
-        let rel = relative(root, &file);
-        if let Some(scope) = config::scope_for(&rel) {
-            diags.extend(rules::check_source(&rel, &src, scope));
-        }
-        if let Some(is_lib) = crate_root_kind(&rel) {
-            diags.extend(rules::check_crate_root(&rel, &src, is_lib));
+        stats.files += 1;
+        let rel = relative(&opts.root, &file);
+        let hash = cache::fnv1a_hex(&src);
+        if let Some(hit) = cached.get(&rel).filter(|c| c.hash == hash) {
+            stats.cache_hits += 1;
+            analyses.push(hit.clone());
+        } else {
+            analyses.push(analyze_file(&rel, &src, hash));
         }
     }
-    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(diags)
+    if opts.use_cache {
+        cache::store(&opts.root, &analyses).ok(); // a lost cache only costs a cold run
+    }
+    let diags = finalize(&analyses);
+    stats.wall_ms = started.elapsed().as_millis() as u64;
+    Ok((diags, stats))
+}
+
+/// Compatibility entry point: a cold, cache-less run.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    run(&Options {
+        root: root.to_path_buf(),
+        use_cache: false,
+    })
+    .map(|(diags, _)| diags)
+}
+
+/// Runs every per-file pass over one source file.
+pub fn analyze_file(rel: &str, src: &str, hash: String) -> FileAnalysis {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.tokens;
+    let mut raw = Vec::new();
+    if let Some(scope) = config::scope_for(rel) {
+        raw.extend(rules::check_panic(rel, toks, scope));
+        raw.extend(dataflow::check(rel, toks, scope));
+    }
+    let lockinfo = lockorder::analyze(rel, toks);
+    raw.extend(lockinfo.diags);
+    raw.extend(hygiene::check(rel, toks));
+    if let Some(is_lib) = crate_root_kind(rel) {
+        raw.extend(rules::check_crate_root(rel, src, is_lib));
+    }
+    FileAnalysis {
+        file: rel.to_string(),
+        hash,
+        raw,
+        allows: lexed.allows,
+        locks: lockinfo.fns,
+        from_cache: false,
+    }
+}
+
+/// The global phase: lock-order cycles across files, then suppression,
+/// allow-reason, and stale-allow bookkeeping.
+pub fn finalize(analyses: &[FileAnalysis]) -> Vec<Diagnostic> {
+    let infos: Vec<FileLockInfo> = analyses
+        .iter()
+        .map(|a| FileLockInfo {
+            file: a.file.clone(),
+            fns: a.locks.clone(),
+            diags: Vec::new(),
+        })
+        .collect();
+    let info_refs: Vec<&FileLockInfo> = infos.iter().collect();
+    let mut global_by_file: HashMap<String, Vec<Diagnostic>> = HashMap::new();
+    for d in lockorder::global(&info_refs) {
+        global_by_file.entry(d.file.clone()).or_default().push(d);
+    }
+
+    let mut out = Vec::new();
+    for a in analyses {
+        let mut file_raw = a.raw.clone();
+        if let Some(globals) = global_by_file.remove(&a.file) {
+            file_raw.extend(globals);
+        }
+        let mut allowed: HashSet<(u32, &str)> = HashSet::new();
+        for allow in &a.allows {
+            if !allow.has_reason {
+                out.push(Diagnostic {
+                    file: a.file.clone(),
+                    line: allow.line,
+                    rule: rules::RULE_ALLOW_REASON,
+                    message: "lint:allow must state a reason after the rule list".to_string(),
+                });
+            }
+            for r in &allow.rules {
+                allowed.insert((allow.line, r.as_str()));
+                allowed.insert((allow.line + 1, r.as_str()));
+            }
+        }
+        for d in &file_raw {
+            if !allowed.contains(&(d.line, d.rule)) {
+                out.push(d.clone());
+            }
+        }
+        out.extend(hygiene::stale_allows(&a.file, &a.allows, &file_raw));
+    }
+    // Cycle diagnostics pointing at files outside the walk (shouldn't
+    // happen, but never drop a deadlock report silently).
+    for (_, globals) in global_by_file {
+        out.extend(globals);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
 }
 
 /// Renders diagnostics as a JSON array (no external deps, so by hand).
@@ -82,7 +244,7 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -94,6 +256,26 @@ fn escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Every workspace `.rs` file under `root`, sorted.
+fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
 }
 
 /// Recursively collects `.rs` files under `dir` (sorted by the caller).
@@ -131,5 +313,172 @@ fn crate_root_kind(rel: &str) -> Option<bool> {
         ["src", "main.rs"] | ["crates", _, "src", "main.rs"] => Some(false),
         ["crates", _, "src", "bin", f] if f.ends_with(".rs") => Some(false),
         _ => None,
+    }
+}
+
+/// Unique per-test scratch directory (tests clean up after themselves).
+#[cfg(test)]
+pub(crate) fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lint-test-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::{
+        RULE_ALLOW_REASON, RULE_LOCK_CYCLE, RULE_PANIC, RULE_PREALLOC, RULE_STALE_ALLOW,
+        RULE_SWALLOWED,
+    };
+
+    fn one_file(src: &str) -> Vec<Diagnostic> {
+        let a = analyze_file("crates/loggrep/src/wire.rs", src, cache::fnv1a_hex(src));
+        finalize(&[a])
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic-in-decode) — caller guarantees Some\n    x.unwrap()\n}";
+        assert!(one_file(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_diagnostic() {
+        let src = "fn f(x: Option<u8>) {\n    // lint:allow(no-panic-in-decode)\n    x.unwrap();\n}";
+        let d = one_file(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_ALLOW_REASON);
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) {\n    // lint:allow(no-as-truncation) — wrong rule\n    x.unwrap();\n}";
+        let d = one_file(src);
+        let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&RULE_PANIC), "{d:?}");
+        assert!(rules.contains(&RULE_STALE_ALLOW), "{d:?}");
+    }
+
+    #[test]
+    fn stale_allow_fires_after_fix() {
+        // The unwrap was fixed but the hatch stayed behind.
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic-in-decode) — caller guarantees Some\n    x.unwrap_or(0)\n}";
+        let d = one_file(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_STALE_ALLOW);
+    }
+
+    /// Self-test: seed a taint-laundering bug (wire length laundered
+    /// through two locals into an allocation) and prove the dataflow
+    /// pass catches it end to end through the public entry point.
+    #[test]
+    fn seeded_taint_laundering_is_caught() {
+        let src = "fn decode(r: &mut Reader) -> Result<Vec<u8>> {\n\
+                   \x20   let n = r.get_usize()?;\n\
+                   \x20   let hops = n;\n\
+                   \x20   let total = hops;\n\
+                   \x20   let out = Vec::with_capacity(total);\n\
+                   \x20   Ok(out)\n}";
+        let d = one_file(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_PREALLOC);
+        assert_eq!(d[0].line, 5);
+    }
+
+    /// Self-test: seed a cross-file lock-order cycle and prove the
+    /// global pass reports the deadlock.
+    #[test]
+    fn seeded_lock_order_cycle_is_caught() {
+        let a = analyze_file(
+            "crates/pool/src/a.rs",
+            "impl Queue { fn push(&self) { let g = self.items.lock(); let h = self.stats.lock(); } }",
+            "h1".to_string(),
+        );
+        let b = analyze_file(
+            "crates/pool/src/b.rs",
+            "impl Queue { fn report(&self) { let h = self.stats.lock(); let g = self.items.lock(); } }",
+            "h2".to_string(),
+        );
+        let d = finalize(&[a, b]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RULE_LOCK_CYCLE);
+        assert!(d[0].message.contains("Queue.items"), "{}", d[0].message);
+        assert!(d[0].message.contains("Queue.stats"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn warm_run_reanalyzes_only_changed_files() {
+        let root = test_dir("warm_run");
+        let src_dir = root.join("crates/one/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        fs::write(
+            src_dir.join("lib.rs"),
+            "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n//! One.\npub fn one() {}\n",
+        )
+        .unwrap();
+        fs::write(src_dir.join("other.rs"), "pub fn two() {}\n").unwrap();
+
+        let opts = Options {
+            root: root.clone(),
+            use_cache: true,
+        };
+        let (d1, s1) = run(&opts).unwrap();
+        assert!(d1.is_empty(), "{d1:?}");
+        assert_eq!(s1.files, 2);
+        assert_eq!(s1.cache_hits, 0);
+
+        // Untouched workspace: everything served from cache.
+        let (_, s2) = run(&opts).unwrap();
+        assert_eq!(s2.cache_hits, 2);
+        assert!((s2.hit_rate() - 1.0).abs() < 1e-9);
+
+        // Touch one file: exactly one re-analysis, and the new
+        // diagnostic in the changed file is reported.
+        fs::write(
+            src_dir.join("other.rs"),
+            "pub fn two(&self) { let _ = self.net.rpc(p, m); }\n",
+        )
+        .unwrap();
+        let (d3, s3) = run(&opts).unwrap();
+        assert_eq!(s3.cache_hits, 1);
+        assert_eq!(d3.len(), 1, "{d3:?}");
+        assert_eq!(d3[0].rule, RULE_SWALLOWED);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn cached_lock_summaries_still_feed_the_global_pass() {
+        // One file of a cross-file cycle comes from the cache, the other
+        // is fresh: the cycle must still be detected.
+        let root = test_dir("warm_cycle");
+        let src_dir = root.join("crates/one/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+        fs::write(
+            src_dir.join("a.rs"),
+            "impl Q { fn push(&self) { let g = self.items.lock(); let h = self.stats.lock(); } }\n",
+        )
+        .unwrap();
+        fs::write(src_dir.join("b.rs"), "pub fn free() {}\n").unwrap();
+        let opts = Options {
+            root: root.clone(),
+            use_cache: true,
+        };
+        let (d1, _) = run(&opts).unwrap();
+        assert!(d1.is_empty(), "{d1:?}");
+
+        // Introduce the reverse order in b.rs only; a.rs is warm.
+        fs::write(
+            src_dir.join("b.rs"),
+            "impl Q { fn report(&self) { let h = self.stats.lock(); let g = self.items.lock(); } }\n",
+        )
+        .unwrap();
+        let (d2, s2) = run(&opts).unwrap();
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(d2.len(), 1, "{d2:?}");
+        assert_eq!(d2[0].rule, RULE_LOCK_CYCLE);
+        fs::remove_dir_all(&root).ok();
     }
 }

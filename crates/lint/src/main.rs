@@ -1,21 +1,52 @@
-//! CLI driver: `cargo run -p lint [--json] [root]`.
+//! CLI driver:
+//! `cargo run -p lint [--json|--sarif] [--no-cache] [--bench-out FILE] [--max-ms N] [root]`.
 //!
 //! Exits 0 when the workspace is clean, 1 when any diagnostic fires,
-//! and 2 on usage or I/O errors.
+//! and 2 on usage or I/O errors (including a blown `--max-ms` budget).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root = PathBuf::from(".");
-    for arg in std::env::args().skip(1) {
+    let mut use_cache = true;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut max_ms: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--sarif" => format = Format::Sarif,
+            "--no-cache" => use_cache = false,
+            "--bench-out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("lint: --bench-out needs a file path");
+                    return ExitCode::from(2);
+                };
+                bench_out = Some(PathBuf::from(path));
+            }
+            "--max-ms" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("lint: --max-ms needs a number");
+                    return ExitCode::from(2);
+                };
+                max_ms = Some(n);
+            }
             "--help" | "-h" => {
-                println!("usage: lint [--json] [workspace-root]");
+                println!(
+                    "usage: lint [--json|--sarif] [--no-cache] [--bench-out FILE] [--max-ms N] [workspace-root]"
+                );
+                println!("rules: {}", lint::rules::ALL_RULES.join(", "));
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') => root = PathBuf::from(other),
@@ -29,23 +60,54 @@ fn main() -> ExitCode {
         eprintln!("lint: {} is not a workspace root (no Cargo.toml)", root.display());
         return ExitCode::from(2);
     }
-    let diags = match lint::lint_workspace(&root) {
-        Ok(d) => d,
+    let opts = lint::Options { root, use_cache };
+    let (diags, stats) = match lint::run(&opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("lint: {e}");
             return ExitCode::from(2);
         }
     };
-    if json {
-        println!("{}", lint::to_json(&diags));
-    } else {
-        for d in &diags {
-            println!("{d}");
+
+    match format {
+        Format::Json => println!("{}", lint::to_json(&diags)),
+        Format::Sarif => println!("{}", lint::sarif::to_sarif(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!(
+                    "lint: clean ({} files, {} cached, {} ms)",
+                    stats.files, stats.cache_hits, stats.wall_ms
+                );
+            } else {
+                println!("lint: {} diagnostic(s)", diags.len());
+            }
         }
-        if diags.is_empty() {
-            println!("lint: clean");
-        } else {
-            println!("lint: {} diagnostic(s)", diags.len());
+    }
+
+    if let Some(path) = bench_out {
+        let bench = format!(
+            "{{\n  \"bench\": \"lint\",\n  \"wall_ms\": {},\n  \"files\": {},\n  \"cache_hits\": {},\n  \"cache_hit_rate\": {:.4},\n  \"diagnostics\": {}\n}}\n",
+            stats.wall_ms,
+            stats.files,
+            stats.cache_hits,
+            stats.hit_rate(),
+            diags.len()
+        );
+        if let Err(e) = std::fs::write(&path, bench) {
+            eprintln!("lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(budget) = max_ms {
+        if stats.wall_ms > budget {
+            eprintln!(
+                "lint: run took {} ms, over the {} ms budget",
+                stats.wall_ms, budget
+            );
+            return ExitCode::from(2);
         }
     }
     if diags.is_empty() {

@@ -1,0 +1,439 @@
+//! A lightweight item/expression parser over the token stream.
+//!
+//! The analyzer does not need full Rust — it needs just enough structure
+//! for flow-sensitive reasoning: where functions begin and end, which
+//! `impl` block a method lives in, where `#[cfg(test)]` regions are,
+//! statement boundaries inside a body, and the receiver chain of a
+//! method call (`self.shared.cache[i].lock()` → `self.shared.cache[]`).
+//! Everything here works on the flat token stream produced by
+//! [`crate::lexer`] and returns token *indices*, so the rule passes in
+//! [`crate::dataflow`], [`crate::lockorder`], and [`crate::hygiene`] can
+//! slice the same stream without re-lexing.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's bare name (`decode`, not `Type::decode`).
+    pub name: String,
+    /// Name qualified by the enclosing `impl` type, when there is one
+    /// (`SimNet::rpc`); equals `name` for free functions.
+    pub qual_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}` (exclusive bound is
+    /// `body_close`, i.e. body tokens are `body_open + 1 .. body_close`).
+    pub body_close: usize,
+    /// Whether the function sits inside a `#[cfg(test)]` / `#[test]`
+    /// region (rule passes skip these).
+    pub in_test: bool,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Every `fn` with a body, in source order (nested fns included).
+    pub functions: Vec<Function>,
+    /// Per-token flag: true when the token is inside a test region.
+    pub test_mask: Vec<bool>,
+}
+
+/// Parses the token stream into functions and test regions.
+pub fn parse(toks: &[Token]) -> Parsed {
+    let mut test_mask = vec![false; toks.len()];
+    for (lo, hi) in test_regions(toks) {
+        for slot in test_mask.iter_mut().take(hi.min(toks.len())).skip(lo) {
+            *slot = true;
+        }
+    }
+
+    let impls = impl_spans(toks);
+    let mut functions = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let Some(open) = find_body_open(toks, i + 2) else {
+            continue; // trait method signature without a body
+        };
+        let close = match_open(toks, open).unwrap_or(toks.len().saturating_sub(1));
+        let impl_type = impls
+            .iter()
+            .find(|(_, lo, hi)| i > *lo && i < *hi)
+            .map(|(ty, _, _)| ty.clone());
+        let qual_name = match &impl_type {
+            Some(ty) => format!("{ty}::{}", name_tok.text),
+            None => name_tok.text.clone(),
+        };
+        functions.push(Function {
+            name: name_tok.text.clone(),
+            qual_name,
+            line: toks[i].line,
+            body_open: open,
+            body_close: close,
+            in_test: test_mask.get(i).copied().unwrap_or(false),
+        });
+    }
+    Parsed {
+        functions,
+        test_mask,
+    }
+}
+
+/// `impl` blocks as `(type_name, body_open, body_close)`.
+///
+/// For `impl Trait for Type` the *type* name is used; generics are
+/// skipped. Nested impls (rare) resolve to the innermost enclosing one
+/// because later spans are pushed after earlier ones and `parse` takes
+/// the first match in push order only when spans do not nest — good
+/// enough for this workspace, which has no nested impls.
+fn impl_spans(toks: &[Token]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = find_body_open(toks, i + 1) else {
+            i += 1;
+            continue;
+        };
+        let close = match_open(toks, open).unwrap_or(toks.len().saturating_sub(1));
+        // Name: the ident after a top-level `for` if present, else the
+        // first ident after the (skipped) generic parameter list.
+        let header = &toks[i + 1..open];
+        let mut name = None;
+        if let Some(fpos) = header.iter().position(|t| t.is_ident("for")) {
+            name = header[fpos + 1..]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
+        } else {
+            let mut depth = 0i32;
+            for t in header {
+                match t.kind {
+                    TokKind::Punct if t.is_punct('<') => depth += 1,
+                    TokKind::Punct if t.is_punct('>') => depth -= 1,
+                    TokKind::Ident if depth == 0 => {
+                        name = Some(t.text.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(name) = name {
+            out.push((name, open, close));
+        }
+        i = open + 1; // descend so nested items are still scanned
+    }
+    out
+}
+
+/// Token index ranges covered by `#[cfg(test)]` / `#[test]` items.
+pub fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_punct('#') && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = match_open(toks, i + 1) else {
+            break;
+        };
+        let group = &toks[i + 2..close];
+        let is_test =
+            group.iter().any(|t| t.is_ident("test")) && !group.iter().any(|t| t.is_ident("not"));
+        if is_test {
+            // Skip any further attributes before the item.
+            let mut j = close + 1;
+            while punct_at(toks, j, '#') && punct_at(toks, j + 1, '[') {
+                match match_open(toks, j + 1) {
+                    Some(c) => j = c + 1,
+                    None => break,
+                }
+            }
+            if let Some(open) = find_body_open(toks, j) {
+                let end = match_open(toks, open).unwrap_or(toks.len());
+                out.push((i, end + 1));
+                i = end + 1;
+                continue;
+            }
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Finds the item-body `{` after a signature, skipping parens/brackets;
+/// returns `None` if a top-level `;` arrives first (no body).
+pub fn find_body_open(toks: &[Token], from: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => return Some(j),
+            ";" if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Given an opening `(`/`[`/`{` at `open`, returns its matching closer.
+pub fn match_open(toks: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match toks.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ('(', ')'),
+        Some("[") => ('[', ']'),
+        Some("{") => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Given a closing `)`/`]`/`}` at `close`, returns its matching opener.
+pub fn match_close(toks: &[Token], close: usize) -> Option<usize> {
+    let (o, c) = match toks.get(close).map(|t| t.text.as_str()) {
+        Some(")") => ('(', ')'),
+        Some("]") => ('[', ']'),
+        Some("}") => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for j in (0..=close).rev() {
+        let t = &toks[j];
+        if t.is_punct(c) {
+            depth += 1;
+        } else if t.is_punct(o) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Finds a `;` between `from` and `to` at zero relative bracket depth.
+pub fn top_level_semi(toks: &[Token], from: usize, to: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(to).skip(from) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            ";" if depth == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True if `toks[i]` is the single punctuation character `c`.
+pub fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// True if the token before `i` ends an expression (making a following
+/// `[` an index and a following `+`/`*` a binary operator).
+pub fn prev_ends_expr(toks: &[Token], i: usize) -> bool {
+    let Some(p) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
+        return false;
+    };
+    match p.kind {
+        TokKind::Num | TokKind::Str => true,
+        TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+        TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
+        TokKind::Lifetime => false,
+    }
+}
+
+/// Rust keywords (identifiers that never end an expression).
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+/// The start index of the postfix expression ending at `end` (inclusive),
+/// i.e. the receiver of an operator or method at `end + 1`. Walks back
+/// over ident/field chains, `::` paths, index/call groups, and `?`.
+pub fn postfix_expr_start(toks: &[Token], end: usize) -> usize {
+    let mut i = end;
+    loop {
+        let Some(t) = toks.get(i) else {
+            return i + 1;
+        };
+        match t.kind {
+            TokKind::Punct if matches!(t.text.as_str(), ")" | "]") => {
+                match match_close(toks, i) {
+                    Some(open) if open > 0 => i = open - 1,
+                    Some(_) => return 0,
+                    None => return i + 1,
+                }
+            }
+            TokKind::Punct if t.is_punct('?') => {
+                if i == 0 {
+                    return 0;
+                }
+                i -= 1;
+            }
+            TokKind::Ident if !KEYWORDS.contains(&t.text.as_str()) => {
+                // Continue through `.` or `::` chains.
+                if i >= 1 && punct_at(toks, i - 1, '.') {
+                    if i == 1 {
+                        return 0;
+                    }
+                    i -= 2;
+                } else if i >= 2 && punct_at(toks, i - 1, ':') && punct_at(toks, i - 2, ':') {
+                    if i == 2 {
+                        return 0;
+                    }
+                    i -= 3;
+                } else {
+                    return i;
+                }
+            }
+            TokKind::Num | TokKind::Str => return i,
+            _ => return i + 1,
+        }
+    }
+}
+
+/// The canonical receiver chain of a method call whose method-name ident
+/// sits at `method_idx` (i.e. `toks[method_idx - 1]` is `.`). Index and
+/// call groups collapse to `[]`/`()`: `self.shared.cache[i].lock` →
+/// `self.shared.cache[]`. Returns `None` when `method_idx` is not a
+/// `.`-method position.
+pub fn receiver_chain(toks: &[Token], method_idx: usize) -> Option<String> {
+    if method_idx < 2 || !punct_at(toks, method_idx - 1, '.') {
+        return None;
+    }
+    let end = method_idx - 2;
+    let start = postfix_expr_start(toks, end);
+    if start > end {
+        return None;
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = start;
+    while i <= end {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident | TokKind::Num => parts.push(t.text.clone()),
+            TokKind::Punct if t.is_punct('(') => {
+                let close = match_open(toks, i).unwrap_or(end);
+                parts.push("()".to_string());
+                i = close;
+            }
+            TokKind::Punct if t.is_punct('[') => {
+                let close = match_open(toks, i).unwrap_or(end);
+                parts.push("[]".to_string());
+                i = close;
+            }
+            TokKind::Punct if t.is_punct('.') => parts.push(".".to_string()),
+            // Both colons of `::` fold into one separator.
+            TokKind::Punct if t.is_punct(':') && parts.last().map(String::as_str) != Some("::") => {
+                parts.push("::".to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut chain = String::new();
+    for p in parts {
+        match p.as_str() {
+            "()" | "[]" => chain.push_str(&p),
+            "." | "::" => chain.push_str(&p),
+            _ => chain.push_str(&p),
+        }
+    }
+    if chain.is_empty() {
+        None
+    } else {
+        Some(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn functions_with_impl_qualification() {
+        let src = "impl SimNet { fn rpc(&self) { } }\nfn free() { }\nimpl Display for Node { fn fmt(&self) { } }";
+        let l = lex(src);
+        let p = parse(&l.tokens);
+        let names: Vec<&str> = p.functions.iter().map(|f| f.qual_name.as_str()).collect();
+        assert_eq!(names, vec!["SimNet::rpc", "free", "Node::fmt"]);
+    }
+
+    #[test]
+    fn test_regions_flag_functions() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() {} }\nfn real() {}";
+        let l = lex(src);
+        let p = parse(&l.tokens);
+        assert!(p.functions.iter().find(|f| f.name == "helper").unwrap().in_test);
+        assert!(!p.functions.iter().find(|f| f.name == "real").unwrap().in_test);
+    }
+
+    #[test]
+    fn receiver_chains_collapse_groups() {
+        let src = "fn f(&self) { self.shared.cache[i + 1].lock(); results.lock(); x().y.lock(); }";
+        let l = lex(src);
+        let locks: Vec<String> = l
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("lock"))
+            .filter_map(|(i, _)| receiver_chain(&l.tokens, i))
+            .collect();
+        assert_eq!(locks, vec!["self.shared.cache[]", "results", "x().y"]);
+    }
+
+    #[test]
+    fn postfix_walks_back_through_calls_and_try() {
+        let src = "let n = r.get_u64()? as usize;";
+        let l = lex(src);
+        let as_idx = l.tokens.iter().position(|t| t.is_ident("as")).unwrap();
+        let start = postfix_expr_start(&l.tokens, as_idx - 1);
+        assert!(l.tokens[start].is_ident("r"), "{:?}", l.tokens[start]);
+    }
+
+    #[test]
+    fn generic_impl_name_skips_generics() {
+        let src = "impl<T: Clone> Wrapper<T> { fn go(&self) {} }";
+        let l = lex(src);
+        let p = parse(&l.tokens);
+        assert_eq!(p.functions[0].qual_name, "Wrapper::go");
+    }
+}

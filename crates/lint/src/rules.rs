@@ -1,27 +1,23 @@
-//! Rule matchers over the token stream.
+//! Shared diagnostic types, the rule registry, and the token-window
+//! rules (panic-in-decode, crate hygiene).
 //!
-//! Four untrusted-input rules run over designated decode-path regions
-//! (see [`crate::config`]) plus a workspace-hygiene rule for crate
-//! roots. Every rule can be suppressed per line with a
-//! `// lint:allow(<rule>) — <reason>` comment on the same line or the
-//! line immediately above; a suppression without a reason is itself a
-//! diagnostic.
-//!
-//! The matchers are deliberately heuristic: they work on token windows
-//! (bounded by statement separators), not on a resolved AST. Splitting
-//! a cast into a named `let` binding takes the value out of the
-//! `checked-length-arithmetic` window — reviewers treat that as an
-//! explicit assertion that the arithmetic is domain-bounded.
+//! The flow-sensitive untrusted-input rules live in [`crate::dataflow`],
+//! the concurrency pack in [`crate::lockorder`], and the hygiene pack in
+//! [`crate::hygiene`]; all of them emit the [`Diagnostic`] type defined
+//! here and register their rule names in [`ALL_RULES`]. Every rule can
+//! be suppressed per line with a `// lint:allow(<rule>) — <reason>`
+//! comment on the same line or the line immediately above; suppression
+//! is applied centrally in [`crate::lint_workspace`] so the raw
+//! (pre-suppression) diagnostics can feed the stale-allow pass.
 
-use std::collections::HashSet;
-
-use crate::lexer::{lex, TokKind, Token};
+use crate::lexer::{TokKind, Token};
+use crate::parser::{match_open, parse, prev_ends_expr, punct_at};
 
 /// `unwrap`/`expect`/`panic!`/`assert!`/bare indexing in decode paths.
 pub const RULE_PANIC: &str = "no-panic-in-decode";
 /// `Vec::with_capacity`/`vec![_; n]` sized by wire-derived values.
 pub const RULE_PREALLOC: &str = "no-untrusted-prealloc";
-/// Unchecked `+`/`*` mixing in `as`-cast values.
+/// Unchecked `+`/`*` on wire-derived values.
 pub const RULE_ARITH: &str = "checked-length-arithmetic";
 /// `as usize`/`as u32` narrowing of wire-read `u64`s.
 pub const RULE_TRUNC: &str = "no-as-truncation";
@@ -29,6 +25,41 @@ pub const RULE_TRUNC: &str = "no-as-truncation";
 pub const RULE_HYGIENE: &str = "crate-hygiene";
 /// A `lint:allow` comment must state a reason.
 pub const RULE_ALLOW_REASON: &str = "allow-needs-reason";
+/// A cycle in the global lock-order graph (potential deadlock).
+pub const RULE_LOCK_CYCLE: &str = "lock-order-cycle";
+/// A blocking call (`send`/`recv`/`rpc`/`join`/...) while a lock is held.
+pub const RULE_LOCK_BLOCKING: &str = "no-lock-across-blocking";
+/// A blocking call inside a `Pool::map`/`try_map`/`map_chunks` closure.
+pub const RULE_POOL_BLOCKING: &str = "no-blocking-in-pool-worker";
+/// `let _ =` discarding the `Result` of a fallible decode/cluster call.
+pub const RULE_SWALLOWED: &str = "swallowed-result";
+/// Unbalanced or immediately-dropped telemetry spans.
+pub const RULE_SPAN_BALANCE: &str = "span-balance";
+/// A `lint:allow` that no longer suppresses anything.
+pub const RULE_STALE_ALLOW: &str = "stale-allow";
+
+/// Every rule the analyzer knows, for `--help` listings, SARIF rule
+/// metadata, and mapping cached rule names back to `&'static str`.
+pub const ALL_RULES: &[&str] = &[
+    RULE_PANIC,
+    RULE_PREALLOC,
+    RULE_ARITH,
+    RULE_TRUNC,
+    RULE_HYGIENE,
+    RULE_ALLOW_REASON,
+    RULE_LOCK_CYCLE,
+    RULE_LOCK_BLOCKING,
+    RULE_POOL_BLOCKING,
+    RULE_SWALLOWED,
+    RULE_SPAN_BALANCE,
+    RULE_STALE_ALLOW,
+];
+
+/// Maps a rule name back to its static registry entry (used when
+/// deserializing cached diagnostics).
+pub fn rule_by_name(name: &str) -> Option<&'static str> {
+    ALL_RULES.iter().find(|r| **r == name).copied()
+}
 
 /// One finding, pointing at a source line.
 #[derive(Debug, Clone)]
@@ -71,59 +102,37 @@ const PANIC_MACROS: &[&str] = &[
     "todo",
     "unimplemented",
 ];
-/// `Reader` methods that introduce wire-derived (tainted) values.
-const WIRE_SOURCES: &[&str] = &["get_u64", "get_u32", "get_usize"];
-/// Struct fields that carry wire-derived lengths/counts.
-const LEN_FIELDS: &[&str] = &["rows", "clen", "total_lines", "count", "dict_len", "raw_size"];
-/// Struct fields deserialized as `u64` from the wire.
-const U64_FIELDS: &[&str] = &["offset", "clen", "raw_size"];
-/// Calls that bound a wire-derived value, clearing taint.
-const NEUTRALIZERS: &[&str] = &["get_len", "min", "clamp", "saturating_sub", "try_from", "try_into"];
-/// Identifiers that end an expression (so a following `[`/`+`/`*` is a
-/// postfix index / binary operator) — everything except keywords.
-const KEYWORDS: &[&str] = &[
-    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
-    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
-    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
-    "while", "yield",
-];
 
-/// Runs the untrusted-input rules (1–4) over one source file.
-pub fn check_source(file: &str, src: &str, scope: ScopeSpec) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let toks = &lexed.tokens;
-    let mut diags = Vec::new();
-
-    let mut allowed: HashSet<(u32, String)> = HashSet::new();
-    for a in &lexed.allows {
-        if !a.has_reason {
-            diags.push(Diagnostic {
-                file: file.to_string(),
-                line: a.line,
-                rule: RULE_ALLOW_REASON,
-                message: "lint:allow must state a reason after the rule list".to_string(),
-            });
-        }
-        for r in &a.rules {
-            allowed.insert((a.line, r.clone()));
-            allowed.insert((a.line + 1, r.clone()));
-        }
-    }
-
-    let designated = designated_mask(toks, scope);
-    let taints = collect_taints(toks);
-
-    let mut emit = |line: u32, rule: &'static str, message: String| {
-        if !allowed.contains(&(line, rule.to_string())) {
-            diags.push(Diagnostic {
-                file: file.to_string(),
-                line,
-                rule,
-                message,
-            });
+/// Marks which tokens the untrusted-input rules inspect.
+pub fn designated_mask(toks: &[Token], scope: ScopeSpec) -> Vec<bool> {
+    let parsed = parse(toks);
+    let mut mask = match scope {
+        ScopeSpec::WholeFile => vec![true; toks.len()],
+        ScopeSpec::Functions(names) => {
+            let mut m = vec![false; toks.len()];
+            for f in &parsed.functions {
+                if names.contains(&f.name.as_str()) {
+                    for slot in m.iter_mut().take(f.body_close).skip(f.body_open + 1) {
+                        *slot = true;
+                    }
+                }
+            }
+            m
         }
     };
+    for (slot, in_test) in mask.iter_mut().zip(&parsed.test_mask) {
+        if *in_test {
+            *slot = false;
+        }
+    }
+    mask
+}
 
+/// Runs the panic rule over one file's designated regions. Returns raw
+/// (pre-suppression) diagnostics.
+pub fn check_panic(file: &str, toks: &[Token], scope: ScopeSpec) -> Vec<Diagnostic> {
+    let designated = designated_mask(toks, scope);
+    let mut diags = Vec::new();
     for i in 0..toks.len() {
         if !designated.get(i).copied().unwrap_or(false) {
             continue;
@@ -132,42 +141,27 @@ pub fn check_source(file: &str, src: &str, scope: ScopeSpec) -> Vec<Diagnostic> 
         match t.kind {
             TokKind::Ident => {
                 let name = t.text.as_str();
-                if PANIC_METHODS.contains(&name) && punct_at(toks, i.wrapping_sub(1), '.') && punct_at(toks, i + 1, '(') {
-                    emit(
-                        t.line,
-                        RULE_PANIC,
-                        format!(".{name}() can panic on corrupt input; return Error::Corrupt instead"),
-                    );
+                if PANIC_METHODS.contains(&name)
+                    && punct_at(toks, i.wrapping_sub(1), '.')
+                    && punct_at(toks, i + 1, '(')
+                {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: RULE_PANIC,
+                        message: format!(
+                            ".{name}() can panic on corrupt input; return Error::Corrupt instead"
+                        ),
+                    });
                 } else if PANIC_MACROS.contains(&name) && punct_at(toks, i + 1, '!') {
-                    emit(
-                        t.line,
-                        RULE_PANIC,
-                        format!("{name}! can panic on corrupt input; return Error::Corrupt instead"),
-                    );
-                } else if name == "with_capacity" && punct_at(toks, i + 1, '(') {
-                    if let Some(close) = match_open(toks, i + 1) {
-                        if span_is_tainted(&toks[i + 2..close], &taints, i) {
-                            emit(
-                                t.line,
-                                RULE_PREALLOC,
-                                "with_capacity sized by a wire-derived value; bound it via Reader::get_len(max) or .min(remaining)".to_string(),
-                            );
-                        }
-                    }
-                } else if name == "vec" && punct_at(toks, i + 1, '!') && punct_at(toks, i + 2, '[') {
-                    if let Some(close) = match_open(toks, i + 2) {
-                        if let Some(semi) = top_level_semi(toks, i + 3, close) {
-                            if span_is_tainted(&toks[semi + 1..close], &taints, i) {
-                                emit(
-                                    t.line,
-                                    RULE_PREALLOC,
-                                    "vec![_; n] sized by a wire-derived value; bound it via Reader::get_len(max) or .min(remaining)".to_string(),
-                                );
-                            }
-                        }
-                    }
-                } else if name == "as" {
-                    check_truncation(toks, i, &taints, &mut emit);
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: RULE_PANIC,
+                        message: format!(
+                            "{name}! can panic on corrupt input; return Error::Corrupt instead"
+                        ),
+                    });
                 }
             }
             TokKind::Punct
@@ -175,14 +169,12 @@ pub fn check_source(file: &str, src: &str, scope: ScopeSpec) -> Vec<Diagnostic> 
                     && prev_ends_expr(toks, i)
                     && !content_is_full_range(toks, i) =>
             {
-                emit(
-                    t.line,
-                    RULE_PANIC,
-                    "bare indexing can panic on corrupt input; use .get()/.get_mut() and return Error::Corrupt".to_string(),
-                );
-            }
-            TokKind::Punct if t.is_punct('+') || t.is_punct('*') => {
-                check_arith(toks, i, &mut emit);
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: RULE_PANIC,
+                    message: "bare indexing can panic on corrupt input; use .get()/.get_mut() and return Error::Corrupt".to_string(),
+                });
             }
             _ => {}
         }
@@ -212,243 +204,6 @@ pub fn check_crate_root(file: &str, src: &str, is_lib: bool) -> Vec<Diagnostic> 
     diags
 }
 
-// ---------------------------------------------------------------------------
-// Region and taint analysis
-// ---------------------------------------------------------------------------
-
-/// Marks which tokens the untrusted-input rules inspect.
-fn designated_mask(toks: &[Token], scope: ScopeSpec) -> Vec<bool> {
-    let mut mask = match scope {
-        ScopeSpec::WholeFile => vec![true; toks.len()],
-        ScopeSpec::Functions(names) => {
-            let mut m = vec![false; toks.len()];
-            for (name, lo, hi) in fn_spans(toks) {
-                if names.contains(&name.as_str()) {
-                    for slot in m.iter_mut().take(hi).skip(lo) {
-                        *slot = true;
-                    }
-                }
-            }
-            m
-        }
-    };
-    for (lo, hi) in test_regions(toks) {
-        for slot in mask.iter_mut().take(hi.min(toks.len())).skip(lo) {
-            *slot = false;
-        }
-    }
-    mask
-}
-
-/// All `fn name ... { body }` spans as (name, body_start, body_end).
-fn fn_spans(toks: &[Token]) -> Vec<(String, usize, usize)> {
-    let mut out = Vec::new();
-    for i in 0..toks.len() {
-        if !toks[i].is_ident("fn") {
-            continue;
-        }
-        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
-            continue;
-        };
-        if let Some(open) = find_body_open(toks, i + 2) {
-            let close = match_open(toks, open).unwrap_or(toks.len());
-            out.push((name.text.clone(), open + 1, close));
-        }
-    }
-    out
-}
-
-/// Token index ranges covered by `#[cfg(test)]`/`#[test]` items.
-fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < toks.len() {
-        if !(toks[i].is_punct('#') && toks[i + 1].is_punct('[')) {
-            i += 1;
-            continue;
-        }
-        let Some(close) = match_open(toks, i + 1) else {
-            break;
-        };
-        let group = &toks[i + 2..close];
-        let is_test = group.iter().any(|t| t.is_ident("test")) && !group.iter().any(|t| t.is_ident("not"));
-        if is_test {
-            // Skip any further attributes before the item.
-            let mut j = close + 1;
-            while punct_at(toks, j, '#') && punct_at(toks, j + 1, '[') {
-                match match_open(toks, j + 1) {
-                    Some(c) => j = c + 1,
-                    None => break,
-                }
-            }
-            if let Some(open) = find_body_open(toks, j) {
-                let end = match_open(toks, open).unwrap_or(toks.len());
-                out.push((i, end + 1));
-                i = end + 1;
-                continue;
-            }
-        }
-        i = close + 1;
-    }
-    out
-}
-
-/// Finds the item-body `{` after a signature, skipping parens/brackets;
-/// returns `None` if a top-level `;` arrives first (no body).
-fn find_body_open(toks: &[Token], from: usize) -> Option<usize> {
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(from) {
-        if t.kind != TokKind::Punct {
-            continue;
-        }
-        match t.text.as_str() {
-            "(" => paren += 1,
-            ")" => paren -= 1,
-            "[" => bracket += 1,
-            "]" => bracket -= 1,
-            "{" if paren == 0 && bracket == 0 => return Some(j),
-            ";" if paren == 0 && bracket == 0 => return None,
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Given an opening `(`/`[`/`{` at `open`, returns its matching closer.
-fn match_open(toks: &[Token], open: usize) -> Option<usize> {
-    let (o, c) = match toks.get(open).map(|t| t.text.as_str()) {
-        Some("(") => ('(', ')'),
-        Some("[") => ('[', ']'),
-        Some("{") => ('{', '}'),
-        _ => return None,
-    };
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct(o) {
-            depth += 1;
-        } else if t.is_punct(c) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
-}
-
-/// Finds a `;` between `from` and `to` at zero relative bracket depth.
-fn top_level_semi(toks: &[Token], from: usize, to: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().take(to).skip(from) {
-        if t.kind != TokKind::Punct {
-            continue;
-        }
-        match t.text.as_str() {
-            "(" | "[" | "{" => depth += 1,
-            ")" | "]" | "}" => depth -= 1,
-            ";" if depth == 0 => return Some(j),
-            _ => {}
-        }
-    }
-    None
-}
-
-/// A recorded taint: from token `idx` on, identifier `name` carries
-/// wire-derived data (`mask` bit 1 = any length source, bit 2 = u64).
-struct Taint {
-    idx: usize,
-    name: String,
-    mask: u8,
-}
-
-const TAINT_LEN: u8 = 1;
-const TAINT_U64: u8 = 2;
-
-/// Collects `let`-binding taints via a linear scan. Deliberately
-/// file-global (not fn-scoped): decode files are small and shadowing
-/// across functions is rare enough for this heuristic.
-fn collect_taints(toks: &[Token]) -> Vec<Taint> {
-    let mut taints: Vec<Taint> = Vec::new();
-    for i in 0..toks.len() {
-        if !toks[i].is_ident("let") {
-            continue;
-        }
-        let mut j = i + 1;
-        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
-            j += 1;
-        }
-        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
-            continue;
-        };
-        let end = top_level_semi(toks, j + 1, toks.len().min(j + 200)).unwrap_or(j + 1);
-        let span = &toks[j + 1..end];
-        if span.iter().any(|t| t.kind == TokKind::Ident && NEUTRALIZERS.contains(&t.text.as_str())) {
-            // A neutralized binding also *clears* earlier taint of the
-            // same name: `taint_at` takes the latest binding, so a
-            // mask-0 entry shadows any prior tainted one.
-            taints.push(Taint {
-                idx: end,
-                name: name.text.clone(),
-                mask: 0,
-            });
-            continue;
-        }
-        let mut mask = 0u8;
-        if span.iter().any(|t| t.kind == TokKind::Ident && WIRE_SOURCES.contains(&t.text.as_str())) {
-            mask |= TAINT_LEN;
-        }
-        if span.iter().any(|t| t.is_ident("get_u64")) {
-            mask |= TAINT_U64;
-        }
-        // One-hop propagation through already-tainted identifiers.
-        for t in span {
-            if t.kind == TokKind::Ident {
-                mask |= taint_at(&taints, &t.text, i);
-            }
-        }
-        if mask != 0 {
-            taints.push(Taint {
-                idx: end,
-                name: name.text.clone(),
-                mask,
-            });
-        }
-    }
-    taints
-}
-
-/// The taint mask of `name` at token index `idx` (last binding wins).
-fn taint_at(taints: &[Taint], name: &str, idx: usize) -> u8 {
-    taints
-        .iter()
-        .rev()
-        .find(|t| t.idx <= idx && t.name == name)
-        .map_or(0, |t| t.mask)
-}
-
-// ---------------------------------------------------------------------------
-// Per-site checks
-// ---------------------------------------------------------------------------
-
-fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
-    toks.get(i).is_some_and(|t| t.is_punct(c))
-}
-
-/// True if the token before `i` ends an expression (making a following
-/// `[` an index and a following `+`/`*` a binary operator).
-fn prev_ends_expr(toks: &[Token], i: usize) -> bool {
-    let Some(p) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
-        return false;
-    };
-    match p.kind {
-        TokKind::Num | TokKind::Str => true,
-        TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
-        TokKind::Punct => matches!(p.text.as_str(), ")" | "]" | "?"),
-        TokKind::Lifetime => false,
-    }
-}
-
 /// True if the bracket group at `open` contains exactly `..` (a full
 /// range, which cannot panic).
 fn content_is_full_range(toks: &[Token], open: usize) -> bool {
@@ -458,135 +213,24 @@ fn content_is_full_range(toks: &[Token], open: usize) -> bool {
     close == open + 3 && punct_at(toks, open + 1, '.') && punct_at(toks, open + 2, '.')
 }
 
-/// Does a pre-allocation argument span mention wire-derived data?
-fn span_is_tainted(span: &[Token], taints: &[Taint], at: usize) -> bool {
-    let neutral = span
-        .iter()
-        .any(|t| t.kind == TokKind::Ident && NEUTRALIZERS.contains(&t.text.as_str()));
-    if neutral {
-        return false;
-    }
-    for (k, t) in span.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        let name = t.text.as_str();
-        if WIRE_SOURCES.contains(&name) {
-            return true;
-        }
-        if k > 0 && span[k - 1].is_punct('.') && LEN_FIELDS.contains(&name) {
-            return true;
-        }
-        if taint_at(taints, name, at) & TAINT_LEN != 0 {
-            return true;
-        }
-    }
-    false
-}
-
-/// Rule 4: `<wire u64> as usize/u32/u16/u8`.
-fn check_truncation(
-    toks: &[Token],
-    i: usize,
-    taints: &[Taint],
-    emit: &mut impl FnMut(u32, &'static str, String),
-) {
-    let narrow = toks
-        .get(i + 1)
-        .is_some_and(|t| matches!(t.text.as_str(), "usize" | "u32" | "u16" | "u8") && t.kind == TokKind::Ident);
-    if !narrow {
-        return;
-    }
-    let line = toks[i].line;
-    let Some(prev) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
-        return;
-    };
-    if prev.kind == TokKind::Ident {
-        let field = i >= 2 && toks[i - 2].is_punct('.') && U64_FIELDS.contains(&prev.text.as_str());
-        let tainted = taint_at(taints, &prev.text, i) & TAINT_U64 != 0;
-        if field || tainted {
-            emit(
-                line,
-                RULE_TRUNC,
-                format!(
-                    "`{} as {}` silently truncates a wire-read u64; use try_from/try_into and return Error::Corrupt",
-                    prev.text,
-                    toks[i + 1].text
-                ),
-            );
-        }
-    } else if matches!(prev.text.as_str(), ")" | "?") {
-        let lo = i.saturating_sub(12);
-        let crossed = toks[lo..i]
-            .iter()
-            .rev()
-            .take_while(|t| !matches!(t.text.as_str(), ";" | "{" | "}"))
-            .any(|t| t.is_ident("get_u64"));
-        if crossed {
-            emit(
-                line,
-                RULE_TRUNC,
-                "narrowing cast of a get_u64() result; use try_from/try_into and return Error::Corrupt".to_string(),
-            );
-        }
-    }
-}
-
-/// Rule 3: binary `+`/`*` with an `as` cast in the statement window and
-/// no `checked_*`/`saturating_*` call.
-fn check_arith(toks: &[Token], i: usize, emit: &mut impl FnMut(u32, &'static str, String)) {
-    if !prev_ends_expr(toks, i) || punct_at(toks, i + 1, '=') {
-        return;
-    }
-    let is_boundary = |t: &Token| t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
-    let mut lo = i;
-    while lo > 0 && i - lo < 25 && !is_boundary(&toks[lo - 1]) {
-        lo -= 1;
-    }
-    let mut hi = i + 1;
-    while hi < toks.len() && hi - i < 25 && !is_boundary(&toks[hi]) {
-        hi += 1;
-    }
-    let win = &toks[lo..hi];
-    let has_as = win.iter().any(|t| t.is_ident("as"));
-    let guarded = win.iter().any(|t| {
-        t.kind == TokKind::Ident
-            && ["checked_", "saturating_", "wrapping_", "overflowing_"]
-                .iter()
-                .any(|p| t.text.starts_with(p))
-    });
-    if has_as && !guarded {
-        emit(
-            toks[i].line,
-            RULE_ARITH,
-            format!(
-                "`{}` on an `as`-cast value can wrap in release builds; use checked_add/checked_mul (or widen via u64::from)",
-                toks[i].text
-            ),
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
     fn whole(src: &str) -> Vec<Diagnostic> {
-        check_source("test.rs", src, ScopeSpec::WholeFile)
+        let l = lex(src);
+        check_panic("test.rs", &l.tokens, ScopeSpec::WholeFile)
     }
 
     fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
         diags.iter().map(|d| d.rule).collect()
     }
 
-    // --- rule 1: no-panic-in-decode -------------------------------------
-
     #[test]
-    fn unwrap_fires_and_allow_suppresses() {
+    fn unwrap_fires() {
         let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
         assert_eq!(rules_of(&whole(bad)), vec![RULE_PANIC]);
-        let ok = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic-in-decode) — caller guarantees Some\n    x.unwrap()\n}";
-        assert!(whole(ok).is_empty());
     }
 
     #[test]
@@ -617,96 +261,19 @@ mod tests {
     #[test]
     fn fn_scope_limits_rules() {
         let src = "fn decode(v: &[u8]) -> u8 { v[0] }\nfn encode(v: &[u8]) -> u8 { v[0] }";
-        let d = check_source("t.rs", src, ScopeSpec::Functions(&["decode"]));
+        let l = lex(src);
+        let d = check_panic("t.rs", &l.tokens, ScopeSpec::Functions(&["decode"]));
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 1);
     }
 
-    // --- rule 2: no-untrusted-prealloc ----------------------------------
-
     #[test]
-    fn tainted_with_capacity_fires() {
-        let src = "fn f(r: &mut Reader) { let n = r.get_usize()?; let v = Vec::with_capacity(n); }";
-        assert_eq!(rules_of(&whole(src)), vec![RULE_PREALLOC]);
+    fn rule_registry_round_trips() {
+        for r in ALL_RULES {
+            assert_eq!(rule_by_name(r), Some(*r));
+        }
+        assert_eq!(rule_by_name("no-such-rule"), None);
     }
-
-    #[test]
-    fn get_len_and_min_neutralize() {
-        let a = "fn f(r: &mut Reader) { let n = r.get_len(r.remaining())?; let v = Vec::with_capacity(n); }";
-        assert!(whole(a).is_empty());
-        let b = "fn f(r: &mut Reader) { let n = r.get_usize()?; let v = Vec::with_capacity(n.min(cap)); }";
-        assert!(whole(b).is_empty());
-    }
-
-    #[test]
-    fn neutralized_rebinding_clears_taint() {
-        // `n` is tainted in one function but re-bound through get_len in
-        // another; the later (shadowing) binding must win.
-        let src = "fn a(r: &mut Reader) { let n = r.get_usize()?; use_it(n); }\n\
-                   fn b(r: &mut Reader) { let n = r.get_len(r.remaining())?; let v = Vec::with_capacity(n); }";
-        assert!(whole(src).is_empty());
-    }
-
-    #[test]
-    fn vec_macro_with_wire_field_fires() {
-        let src = "fn f(&self) { let v = vec![0u8; self.meta.total_lines as usize]; }";
-        let d = whole(src);
-        assert!(rules_of(&d).contains(&RULE_PREALLOC), "{d:?}");
-    }
-
-    // --- rule 3: checked-length-arithmetic ------------------------------
-
-    #[test]
-    fn unchecked_add_of_cast_fires() {
-        let src = "fn f(start: usize, clen: u64) -> usize { start + clen as usize }";
-        assert!(rules_of(&whole(src)).contains(&RULE_ARITH));
-    }
-
-    #[test]
-    fn checked_add_passes() {
-        let src = "fn f(start: u64, clen: u64) -> Option<u64> { start.checked_add(clen) }";
-        assert!(whole(src).is_empty());
-        let widened = "fn f(w: u32, r: u32) -> u64 { u64::from(w) * u64::from(r) }";
-        assert!(whole(widened).is_empty());
-    }
-
-    // --- rule 4: no-as-truncation ---------------------------------------
-
-    #[test]
-    fn wire_field_narrowing_fires() {
-        let src = "fn f(meta: &Meta) -> usize { meta.clen as usize }";
-        let d = whole(src);
-        assert!(rules_of(&d).contains(&RULE_TRUNC), "{d:?}");
-    }
-
-    #[test]
-    fn tainted_u64_narrowing_fires_and_try_from_passes() {
-        let bad = "fn f(r: &mut Reader) { let n = r.get_u64()?; g(n as usize); }";
-        assert!(rules_of(&whole(bad)).contains(&RULE_TRUNC));
-        let ok = "fn f(r: &mut Reader) { let n = usize::try_from(r.get_u64()?).map_err(corrupt)?; g(n); }";
-        assert!(whole(ok).is_empty());
-    }
-
-    #[test]
-    fn lossless_widening_passes() {
-        assert!(whole("fn f(n: u32) -> u64 { n as u64 }").is_empty());
-    }
-
-    // --- allow bookkeeping ----------------------------------------------
-
-    #[test]
-    fn allow_without_reason_is_a_diagnostic() {
-        let src = "fn f(x: Option<u8>) {\n    // lint:allow(no-panic-in-decode)\n    x.unwrap();\n}";
-        assert_eq!(rules_of(&whole(src)), vec![RULE_ALLOW_REASON]);
-    }
-
-    #[test]
-    fn allow_for_other_rule_does_not_suppress() {
-        let src = "fn f(x: Option<u8>) {\n    // lint:allow(no-as-truncation) — wrong rule\n    x.unwrap();\n}";
-        assert_eq!(rules_of(&whole(src)), vec![RULE_PANIC]);
-    }
-
-    // --- rule 5: crate hygiene ------------------------------------------
 
     #[test]
     fn hygiene_fires_and_passes() {

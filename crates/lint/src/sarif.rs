@@ -1,0 +1,101 @@
+//! SARIF 2.1.0 export.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is what code
+//! hosts and IDE problem panes ingest; emitting it lets CI attach the
+//! lint run as a first-class artifact next to the `--json` dump. The
+//! writer covers the minimal profile most ingesters require: one run,
+//! one tool driver with a rule table, and one result per diagnostic
+//! with a physical location.
+
+use crate::rules::{Diagnostic, ALL_RULES};
+
+/// Renders diagnostics as a SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(concat!(
+        "{\n",
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+        "  \"version\": \"2.1.0\",\n",
+        "  \"runs\": [{\n",
+        "    \"tool\": {\"driver\": {\n",
+        "      \"name\": \"loggrep-lint\",\n",
+    ));
+    out.push_str(&format!(
+        "      \"version\": \"{}\",\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    out.push_str("      \"rules\": [");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"id\": \"{rule}\"}}"));
+    }
+    out.push_str("]\n    }},\n    \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "\n      {{\"ruleId\": \"{rule}\", \"level\": \"error\",",
+                " \"message\": {{\"text\": \"{msg}\"}},",
+                " \"locations\": [{{\"physicalLocation\": {{",
+                "\"artifactLocation\": {{\"uri\": \"{uri}\"}},",
+                " \"region\": {{\"startLine\": {line}}}}}}}]}}"
+            ),
+            rule = d.rule,
+            msg = crate::escape(&d.message),
+            uri = crate::escape(&d.file),
+            line = d.line.max(1),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_PANIC;
+    use telemetry::json;
+
+    #[test]
+    fn sarif_parses_and_carries_results() {
+        let diags = vec![Diagnostic {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            rule: RULE_PANIC,
+            message: "a \"quoted\" message".to_string(),
+        }];
+        let v = json::parse(&to_sarif(&diags)).expect("valid json");
+        assert_eq!(v.str("version"), Some("2.1.0"));
+        let run = &v.get("runs").unwrap().as_arr().unwrap()[0];
+        let driver = run.get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.str("name"), Some("loggrep-lint"));
+        assert_eq!(
+            driver.get("rules").unwrap().as_arr().unwrap().len(),
+            ALL_RULES.len()
+        );
+        let results = run.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].str("ruleId"), Some(RULE_PANIC));
+        let loc = &results[0].get("locations").unwrap().as_arr().unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation").unwrap().str("uri"),
+            Some("crates/x/src/lib.rs")
+        );
+        assert_eq!(phys.get("region").unwrap().num("startLine"), Some(7.0));
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        let v = json::parse(&to_sarif(&[])).expect("valid json");
+        let run = &v.get("runs").unwrap().as_arr().unwrap()[0];
+        assert!(run.get("results").unwrap().as_arr().unwrap().is_empty());
+    }
+}

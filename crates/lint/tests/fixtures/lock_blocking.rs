@@ -1,0 +1,31 @@
+// Fixture: no-lock-across-blocking — positive, negative, and allow.
+
+impl Node {
+    fn holds_lock_across_send(&self) {
+        let g = self.state.lock();
+        self.tx.send(1); // expect: no-lock-across-blocking
+        drop(g);
+    }
+
+    fn drops_before_send(&self) {
+        let g = self.state.lock();
+        touch(&g);
+        drop(g);
+        self.tx.send(1);
+    }
+
+    fn scoped_before_send(&self) {
+        {
+            let g = self.state.lock();
+            touch(&g);
+        }
+        self.tx.send(1);
+    }
+
+    fn hatched(&self) {
+        let g = self.state.lock();
+        // lint:allow(no-lock-across-blocking) — fixture: bounded channel drained by a dedicated thread
+        self.tx.send(1);
+        drop(g);
+    }
+}

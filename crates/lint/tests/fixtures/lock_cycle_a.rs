@@ -1,0 +1,10 @@
+// Fixture: lock-order-cycle, file A — acquires items before stats.
+
+impl Queue {
+    fn push(&self, v: u64) {
+        let g = self.items.lock();
+        let h = self.stats.lock();
+        g.push(v);
+        h.pushed += 1;
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: lock-order-cycle, allow-hatch variant of file A. The hatch
+// sits on the acquisition edge the cycle diagnostic anchors to.
+
+impl Queue {
+    fn push(&self, v: u64) {
+        let g = self.items.lock();
+        // lint:allow(lock-order-cycle) — fixture: report() only runs at shutdown, after workers quiesce
+        let h = self.stats.lock();
+        g.push(v);
+        h.pushed += 1;
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: lock-order-cycle, file B — acquires stats before items,
+// closing the cycle against file A.
+
+impl Queue {
+    fn report(&self) -> Report {
+        let h = self.stats.lock();
+        let g = self.items.lock();
+        Report::new(h.pushed, g.len())
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: no-blocking-in-pool-worker — positive, negative, and allow.
+
+fn blocking_worker(pool: &Pool, items: &[u64]) -> Vec<u64> {
+    pool.map(items, |_, x| { sleep(tick()); x + 1 }) // expect: no-blocking-in-pool-worker
+}
+
+fn iterator_map_is_fine(items: &[u64]) -> Vec<u64> {
+    items.iter().map(|x| { sleep(tick()); x + 1 }).collect()
+}
+
+fn pure_worker(pool: &Pool, items: &[u64]) -> Vec<u64> {
+    pool.map(items, |_, x| x + 1)
+}
+
+fn hatched(pool: &Pool, items: &[u64]) -> Vec<u64> {
+    // lint:allow(no-blocking-in-pool-worker) — fixture: simulated latency in a load generator
+    pool.map(items, |_, x| { sleep(tick()); x })
+}

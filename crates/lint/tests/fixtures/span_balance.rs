@@ -1,0 +1,28 @@
+// Fixture: span-balance — positive, negative, and the RAII exemption.
+
+fn leaky(j: &Journal) { // expect: span-balance
+    j.record_span_begin(1, t0());
+    j.record_span_begin(2, t0());
+    work();
+    j.record_span_end(1, t1());
+}
+
+fn discarded_guard(ctx: &Ctx) {
+    let _ = ctx.span("query"); // expect: span-balance
+    work();
+}
+
+fn balanced(j: &Journal) {
+    j.record_span_begin(1, t0());
+    work();
+    j.record_span_end(1, t1());
+}
+
+fn bound_guard(ctx: &Ctx) {
+    let _span = ctx.span("query");
+    work();
+}
+
+fn raii_begin_half(&self, id: u64) {
+    self.j.record_span_begin(id, now());
+}

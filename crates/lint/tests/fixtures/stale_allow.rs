@@ -1,0 +1,12 @@
+// Fixture: stale-allow — a hatch whose violation was fixed must be
+// reported; a hatch still covering a live violation must not.
+
+fn fixed_long_ago(x: Option<u8>) -> u8 {
+    // lint:allow(no-panic-in-decode) — the unwrap this covered was removed // expect: stale-allow
+    x.unwrap_or(0)
+}
+
+fn still_live(x: Option<u8>) -> u8 {
+    // lint:allow(no-panic-in-decode) — fixture: caller checked is_some
+    x.unwrap()
+}

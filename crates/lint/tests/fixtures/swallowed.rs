@@ -1,0 +1,23 @@
+// Fixture: swallowed-result — positive, negative, and allow.
+
+impl Net {
+    fn fire_and_forget(&self) {
+        let _ = self.rpc(self.peer, msg()); // expect: swallowed-result
+    }
+
+    fn handled(&self) {
+        if let Err(e) = self.rpc(self.peer, msg()) {
+            self.log(e);
+        }
+        let _ack = self.rpc(self.peer, msg());
+    }
+
+    fn infallible_discard(&self, v: &Vec<u8>) {
+        let _ = v.len();
+    }
+
+    fn hatched(&self) {
+        // lint:allow(swallowed-result) — fixture: best-effort notification, peer death handled elsewhere
+        let _ = self.rpc(self.peer, msg());
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: taint rules, reasoned allow hatch. The hatch must suppress
+// the violation on the next line and must itself count as live.
+
+fn read_vec(r: &mut Reader) -> Result<Vec<u8>> {
+    let n = r.get_usize()?;
+    // lint:allow(no-untrusted-prealloc) — fixture: n is bounded by the framing layer above
+    let out = Vec::with_capacity(n);
+    Ok(out)
+}

@@ -1,0 +1,27 @@
+// Fixture: taint rules, negative cases. Same designated scope as the
+// positive fixture; none of these may produce a diagnostic.
+
+fn read_vec_clamped(r: &mut Reader) -> Result<Vec<u8>> {
+    let n = r.get_len(MAX_VEC)?;
+    let out = Vec::with_capacity(n);
+    Ok(out)
+}
+
+fn read_count_checked(r: &mut Reader) -> Result<usize> {
+    let n = usize::try_from(r.get_u64()?).map_err(|_| corrupt())?;
+    Ok(n)
+}
+
+fn widened_extent(meta: &Meta) -> u64 {
+    u64::from(meta.rows) * u64::from(meta.width)
+}
+
+fn bounded_prealloc(r: &mut Reader) -> Result<Vec<u8>> {
+    let n = r.get_usize()?;
+    let out = Vec::with_capacity(n.min(MAX_VEC));
+    Ok(out)
+}
+
+fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

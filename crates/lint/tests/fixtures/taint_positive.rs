@@ -1,0 +1,22 @@
+// Fixture: taint rules, positive cases. Analyzed as a designated
+// decode-path file; every marked line must produce exactly that rule.
+
+fn read_vec(r: &mut Reader) -> Result<Vec<u8>> {
+    let n = r.get_usize()?;
+    let hop = n;
+    let out = Vec::with_capacity(hop); // expect: no-untrusted-prealloc
+    Ok(out)
+}
+
+fn read_count(r: &mut Reader) -> Result<usize> {
+    let n = r.get_u64()?;
+    Ok(n as usize) // expect: no-as-truncation
+}
+
+fn extent(meta: &Meta) -> u64 {
+    meta.raw_size + HEADER_BYTES // expect: checked-length-arithmetic
+}
+
+fn first(v: &[u8]) -> u8 {
+    v[0] // expect: no-panic-in-decode
+}

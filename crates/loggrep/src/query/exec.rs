@@ -747,7 +747,9 @@ impl<'a> ExecCtx<'a> {
                     needle,
                     mode,
                     region.first_index,
-                    region.first_index + region.count,
+                    // Validated at region construction not to overflow;
+                    // saturate rather than trust the archive.
+                    region.first_index.saturating_add(region.count),
                 )
             };
             matched.extend(hits);

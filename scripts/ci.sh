@@ -9,10 +9,19 @@ cd "$(dirname "$0")/.."
 cargo build --release
 
 # Hard gate: the in-tree static analyzer (crates/lint) must report zero
-# diagnostics. It enforces the untrusted-input rules described in
-# DESIGN.md §"Static analysis & untrusted-input hardening"; suppressions
-# require a `// lint:allow(<rule>) — <reason>` comment.
-cargo run -q --release -p lint
+# diagnostics. It enforces the untrusted-input taint rules, the
+# concurrency pack (lock-order cycles, blocking under locks/in pool
+# workers), and the hygiene pack described in DESIGN.md §"Static
+# analysis v2"; suppressions require a live
+# `// lint:allow(<rule>) — <reason>` comment (stale hatches are
+# themselves diagnostics). The gating run is cold (--no-cache) and
+# budgeted: >10 s wall fails CI. BENCH_lint.json records wall time,
+# files analyzed, and the cache hit rate; lint.json / lint.sarif are the
+# machine-readable artifacts (empty when the tree is clean).
+cargo run -q --release -p lint -- --json > lint.json || true
+cargo run -q --release -p lint -- --sarif > lint.sarif || true
+cargo run -q --release -p lint -- --no-cache --max-ms 10000 \
+    --bench-out BENCH_lint.json
 
 # The whole suite must pass with the pool forced serial and forced wide:
 # parallel code paths are required to be behaviorally identical to serial
@@ -20,8 +29,9 @@ cargo run -q --release -p lint
 LOGGREP_THREADS=1 cargo test -q
 LOGGREP_THREADS=4 cargo test -q
 
-# Workspace-wide (root clippy silently skips crates the root package does
-# not depend on, e.g. lint and difftest).
+# Workspace-wide (the root package's `cargo test`/`cargo clippy` silently
+# skip crates it does not depend on, e.g. lint and difftest).
+cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Differential fuzzing smoke: a bounded seeded run of the whole engine
