@@ -11,7 +11,10 @@
 //! * a selective query and a full-scan query (median of 5 cold-cache
 //!   samples, interleaved in ABBA order, seconds);
 //! * the wall-time overhead of the sampling profiler at its default rate
-//!   while the selective query loops (percent — the `<5%` design bound).
+//!   while the selective query loops (percent — the `<5%` design bound);
+//! * the aggregate arm: a pushed-down `count-by-template` (metadata only)
+//!   vs the naive reconstruct-every-line-then-tally pipeline (median of 5
+//!   cold ABBA pairs each) — the pushdown's headline speedup.
 //!
 //! The result is appended as one record to the `--out` trajectory file
 //! (created if missing) so the committed file accumulates the perf history.
@@ -147,6 +150,59 @@ fn measure(args: &Args, raw: &[u8], selective_query: &str, scan_query: &str) -> 
     let selective_secs = median(&mut sel_samples);
     let scan_secs = median(&mut scan_samples);
 
+    // Aggregate arm: pushed-down `count-by-template` (metadata only) vs
+    // the naive pipeline — reconstruct every line, then tally lines per
+    // template. The naive arm matches all lines with the block's shared
+    // leading token (the timestamp date for the catalog logs), which
+    // exercises exactly the reconstruction a pre-pushdown engine would
+    // pay. Same estimator as the query arms: 5 cold ABBA pairs, median.
+    let spec = loggrep::AggSpec::CountByTemplate;
+    let all_token: String = raw
+        .split(|&b| b == b' ' || b == b'\n')
+        .next()
+        .map(|t| String::from_utf8_lossy(t).into_owned())
+        .unwrap_or_else(|| "e".to_string());
+    let time_pushdown = || {
+        archive.clear_caches();
+        let t = Instant::now();
+        let r = archive.query_agg(None, &spec).unwrap();
+        std::hint::black_box(&r.agg);
+        t.elapsed().as_secs_f64()
+    };
+    let time_reconstruct = || {
+        archive.clear_caches();
+        let t = Instant::now();
+        let r = archive.query(&all_token).unwrap();
+        let groups = &archive.capsule_box().groups;
+        let mut line_group = vec![u32::MAX; archive.total_lines() as usize];
+        for (gi, g) in groups.iter().enumerate() {
+            for &l in &g.line_numbers {
+                line_group[l as usize] = gi as u32;
+            }
+        }
+        let mut counts = vec![0u64; groups.len()];
+        for &l in &r.line_numbers {
+            counts[line_group[l as usize] as usize] += 1;
+        }
+        std::hint::black_box(&counts);
+        t.elapsed().as_secs_f64()
+    };
+    time_pushdown(); // untimed warm-up, as above
+    time_reconstruct();
+    let mut pushdown_samples = Vec::new();
+    let mut reconstruct_samples = Vec::new();
+    for pair in 0..5 {
+        if pair % 2 == 0 {
+            pushdown_samples.push(time_pushdown());
+            reconstruct_samples.push(time_reconstruct());
+        } else {
+            reconstruct_samples.push(time_reconstruct());
+            pushdown_samples.push(time_pushdown());
+        }
+    }
+    let agg_pushdown_secs = median(&mut pushdown_samples);
+    let agg_reconstruct_secs = median(&mut reconstruct_samples);
+
     // Sampler overhead: the same selective-query loop with and without the
     // profiler attached. Span publication must be live in both arms (the
     // sampler reads published span stacks), so telemetry is enabled for
@@ -219,6 +275,8 @@ fn measure(args: &Args, raw: &[u8], selective_query: &str, scan_query: &str) -> 
         selective_secs,
         scan_secs,
         sampler_overhead_pct,
+        agg_pushdown_secs,
+        agg_reconstruct_secs,
         baseline: false,
     }
 }
@@ -232,6 +290,8 @@ fn merge_best(a: Record, b: Record) -> Record {
         selective_secs: a.selective_secs.min(b.selective_secs),
         scan_secs: a.scan_secs.min(b.scan_secs),
         sampler_overhead_pct: a.sampler_overhead_pct.min(b.sampler_overhead_pct),
+        agg_pushdown_secs: a.agg_pushdown_secs.min(b.agg_pushdown_secs),
+        agg_reconstruct_secs: a.agg_reconstruct_secs.min(b.agg_reconstruct_secs),
         ..a
     }
 }
@@ -245,6 +305,8 @@ fn merge_worst(a: Record, b: Record) -> Record {
         compress_mb_s: a.compress_mb_s.min(b.compress_mb_s),
         selective_secs: a.selective_secs.max(b.selective_secs),
         scan_secs: a.scan_secs.max(b.scan_secs),
+        agg_pushdown_secs: a.agg_pushdown_secs.max(b.agg_pushdown_secs),
+        agg_reconstruct_secs: a.agg_reconstruct_secs.max(b.agg_reconstruct_secs),
         // Not a ratchet field: the overhead bound is one-sided and its
         // designed estimator is the minimum over rounds (noise only ever
         // inflates it), so the conservative merge keeps the min here.
@@ -256,11 +318,13 @@ fn merge_worst(a: Record, b: Record) -> Record {
 fn report(log: &str, record: &Record) {
     eprintln!(
         "{log}: compress {:.1} MB/s, selective {:.1} µs, scan {:.2} ms, \
-         sampler overhead {:.2}%",
+         sampler overhead {:.2}%, agg pushdown {:.1} µs vs reconstruct {:.2} ms",
         record.compress_mb_s,
         record.selective_secs * 1e6,
         record.scan_secs * 1e3,
         record.sampler_overhead_pct,
+        record.agg_pushdown_secs * 1e6,
+        record.agg_reconstruct_secs * 1e3,
     );
 }
 

@@ -54,6 +54,12 @@ pub struct Record {
     /// Wall-time overhead of running the sampling profiler during the
     /// selective-query loop, in percent (0 when it was not measured).
     pub sampler_overhead_pct: f64,
+    /// Median latency of a pushed-down `count-by-template` aggregate,
+    /// seconds (0 in trajectories recorded before the aggregate arm).
+    pub agg_pushdown_secs: f64,
+    /// Median latency of the same aggregate answered naively — reconstruct
+    /// every line, then tally per template — seconds (0 when unmeasured).
+    pub agg_reconstruct_secs: f64,
     /// Ratchet marker: this run recorded a confirmed improvement, and
     /// [`check`] windows never reach past it. Absent (false) in
     /// pre-ratchet trajectories.
@@ -68,9 +74,10 @@ impl Record {
         format!(
             "{{\"label\": {label}, \"unix_secs\": {}, \"compress_mb_s\": {:.3}, \
              \"selective_secs\": {:.9}, \"scan_secs\": {:.9}, \
-             \"sampler_overhead_pct\": {:.3}{baseline}}}",
+             \"sampler_overhead_pct\": {:.3}, \"agg_pushdown_secs\": {:.9}, \
+             \"agg_reconstruct_secs\": {:.9}{baseline}}}",
             self.unix_secs, self.compress_mb_s, self.selective_secs, self.scan_secs,
-            self.sampler_overhead_pct,
+            self.sampler_overhead_pct, self.agg_pushdown_secs, self.agg_reconstruct_secs,
         )
     }
 
@@ -83,6 +90,10 @@ impl Record {
             selective_secs: need("selective_secs")?,
             scan_secs: need("scan_secs")?,
             sampler_overhead_pct: v.num("sampler_overhead_pct").unwrap_or(0.0),
+            // The aggregate arm postdates early trajectories: absent keys
+            // parse as 0.0 ("unmeasured") and are excluded from windows.
+            agg_pushdown_secs: v.num("agg_pushdown_secs").unwrap_or(0.0),
+            agg_reconstruct_secs: v.num("agg_reconstruct_secs").unwrap_or(0.0),
             baseline: matches!(v.get("baseline"), Some(Value::Bool(true))),
         })
     }
@@ -193,6 +204,49 @@ pub fn check(history: &[Record]) -> Vec<String> {
             RELATIVE_THRESHOLD * 100.0,
         ));
     }
+
+    // Aggregate arms: 0.0 means "unmeasured" (a trajectory recorded
+    // before the arm existed), so zero runs are excluded from the window
+    // and an unmeasured latest run skips the check entirely.
+    let mut base: Vec<f64> = window
+        .iter()
+        .map(|r| r.agg_pushdown_secs)
+        .filter(|&v| v > 0.0)
+        .collect();
+    if latest.agg_pushdown_secs > 0.0 && !base.is_empty() {
+        let base_pushdown = median(&mut base);
+        if latest.agg_pushdown_secs > base_pushdown * (1.0 + RELATIVE_THRESHOLD)
+            && latest.agg_pushdown_secs > SELECTIVE_FLOOR_SECS
+        {
+            failures.push(format!(
+                "aggregate pushdown regressed: {:.1} µs vs baseline median {:.1} µs \
+                 (> {:.0}% slower)",
+                latest.agg_pushdown_secs * 1e6,
+                base_pushdown * 1e6,
+                RELATIVE_THRESHOLD * 100.0,
+            ));
+        }
+    }
+
+    let mut base: Vec<f64> = window
+        .iter()
+        .map(|r| r.agg_reconstruct_secs)
+        .filter(|&v| v > 0.0)
+        .collect();
+    if latest.agg_reconstruct_secs > 0.0 && !base.is_empty() {
+        let base_reconstruct = median(&mut base);
+        if latest.agg_reconstruct_secs > base_reconstruct * (1.0 + RELATIVE_THRESHOLD)
+            && latest.agg_reconstruct_secs > SCAN_FLOOR_SECS
+        {
+            failures.push(format!(
+                "aggregate reconstruct-then-count regressed: {:.2} ms vs baseline median \
+                 {:.2} ms (> {:.0}% slower)",
+                latest.agg_reconstruct_secs * 1e3,
+                base_reconstruct * 1e3,
+                RELATIVE_THRESHOLD * 100.0,
+            ));
+        }
+    }
     failures
 }
 
@@ -244,6 +298,43 @@ pub fn improvements(history: &[Record]) -> Vec<String> {
             base_scan * 1e3,
         ));
     }
+
+    // Aggregate arms mirror `check`: unmeasured (0.0) runs never count.
+    let mut base: Vec<f64> = window
+        .iter()
+        .map(|r| r.agg_pushdown_secs)
+        .filter(|&v| v > 0.0)
+        .collect();
+    if latest.agg_pushdown_secs > 0.0 && !base.is_empty() {
+        let base_pushdown = median(&mut base);
+        if latest.agg_pushdown_secs < base_pushdown * (1.0 - RELATIVE_THRESHOLD)
+            && base_pushdown > SELECTIVE_FLOOR_SECS
+        {
+            wins.push(format!(
+                "aggregate pushdown improved: {:.1} µs vs baseline median {:.1} µs",
+                latest.agg_pushdown_secs * 1e6,
+                base_pushdown * 1e6,
+            ));
+        }
+    }
+
+    let mut base: Vec<f64> = window
+        .iter()
+        .map(|r| r.agg_reconstruct_secs)
+        .filter(|&v| v > 0.0)
+        .collect();
+    if latest.agg_reconstruct_secs > 0.0 && !base.is_empty() {
+        let base_reconstruct = median(&mut base);
+        if latest.agg_reconstruct_secs < base_reconstruct * (1.0 - RELATIVE_THRESHOLD)
+            && base_reconstruct > SCAN_FLOOR_SECS
+        {
+            wins.push(format!(
+                "aggregate reconstruct-then-count improved: {:.2} ms vs baseline median {:.2} ms",
+                latest.agg_reconstruct_secs * 1e3,
+                base_reconstruct * 1e3,
+            ));
+        }
+    }
     wins
 }
 
@@ -259,7 +350,17 @@ mod tests {
             selective_secs: selective,
             scan_secs: scan,
             sampler_overhead_pct: 1.0,
+            agg_pushdown_secs: 0.0,
+            agg_reconstruct_secs: 0.0,
             baseline: false,
+        }
+    }
+
+    fn rec_agg(pushdown: f64, reconstruct: f64) -> Record {
+        Record {
+            agg_pushdown_secs: pushdown,
+            agg_reconstruct_secs: reconstruct,
+            ..rec(100.0, 1e-3, 0.5)
         }
     }
 
@@ -368,6 +469,54 @@ mod tests {
         assert_eq!(failures.len(), 2, "{failures:?}");
         assert!(failures[0].contains("selective"), "{failures:?}");
         assert!(failures[1].contains("scan"), "{failures:?}");
+    }
+
+    #[test]
+    fn aggregate_arms_skip_unmeasured_runs() {
+        // A legacy window (all zeros) never gates a measured latest run,
+        // and an unmeasured latest run is never compared.
+        let mut history: Vec<Record> = (0..5).map(|_| rec(100.0, 1e-3, 0.5)).collect();
+        history.push(rec_agg(2e-4, 80e-3));
+        assert!(check(&history).is_empty(), "{:?}", check(&history));
+        let mut history = vec![rec_agg(1e-4, 40e-3); 5];
+        history.push(rec(100.0, 1e-3, 0.5));
+        assert!(check(&history).is_empty(), "{:?}", check(&history));
+        // Legacy trajectories without the keys parse as unmeasured.
+        let legacy = parse_history(
+            "{\"runs\": [{\"unix_secs\": 1, \"compress_mb_s\": 1.0, \
+             \"selective_secs\": 0.001, \"scan_secs\": 0.5}]}",
+        )
+        .unwrap();
+        assert_eq!(legacy[0].agg_pushdown_secs, 0.0);
+        assert_eq!(legacy[0].agg_reconstruct_secs, 0.0);
+    }
+
+    #[test]
+    fn aggregate_regressions_and_improvements_are_caught() {
+        let mut history = vec![rec_agg(1e-4, 40e-3); 5];
+        history.push(rec_agg(3e-4, 120e-3));
+        let failures = check(&history);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("aggregate pushdown"), "{failures:?}");
+        assert!(failures[1].contains("reconstruct-then-count"), "{failures:?}");
+
+        let mut history = vec![rec_agg(3e-4, 120e-3); 5];
+        history.push(rec_agg(1e-4, 40e-3));
+        let wins = improvements(&history);
+        assert_eq!(wins.len(), 2, "{wins:?}");
+
+        // Both sides under the floors: jitter, not a signal.
+        let mut history = vec![rec_agg(10e-6, 1e-3); 5];
+        history.push(rec_agg(40e-6, 4e-3));
+        assert!(check(&history).is_empty(), "{:?}", check(&history));
+    }
+
+    #[test]
+    fn aggregate_fields_roundtrip() {
+        let records = vec![rec_agg(1.5e-4, 42e-3)];
+        let parsed = parse_history(&render_history(&records)).unwrap();
+        assert!((parsed[0].agg_pushdown_secs - 1.5e-4).abs() < 1e-12);
+        assert!((parsed[0].agg_reconstruct_secs - 42e-3).abs() < 1e-12);
     }
 
     #[test]

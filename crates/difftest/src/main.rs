@@ -4,13 +4,19 @@
 //! ```text
 //! difftest --seed N --cases M [--threads 1,4] [--no-baselines]
 //!          [--corpus-dir DIR] [--bench-out FILE] [--budget-secs S]
-//!          [--replay FILE] [--cluster-faults]
+//!          [--replay FILE] [--cluster-faults] [--aggregates]
 //! ```
 //!
 //! `--cluster-faults` switches to the cluster-under-faults mode: each case
 //! ingests a generated log into a replicated cluster over a seeded fault
 //! schedule and checks the partial-results contract against the oracle
 //! (see [`difftest::cluster_faults`]).
+//!
+//! `--aggregates` switches to the aggregate mode: each case runs one
+//! aggregate verb (optionally under a filter) through every engine config
+//! at every thread count and compares the merged result against a naive
+//! raw-line oracle, plus the zero-decompression pushdown and cache
+//! contracts (see [`difftest::aggregates`]).
 //!
 //! Stdout is deterministic for a given seed and case count (timings go
 //! only to the `--bench-out` JSON), so two runs with the same arguments
@@ -39,6 +45,7 @@ struct Args {
     budget_secs: Option<u64>,
     replay: Option<String>,
     cluster_faults: bool,
+    aggregates: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +59,7 @@ fn parse_args() -> Args {
         budget_secs: None,
         replay: None,
         cluster_faults: false,
+        aggregates: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -102,6 +110,10 @@ fn parse_args() -> Args {
             }
             "--cluster-faults" => {
                 args.cluster_faults = true;
+                i += 1;
+            }
+            "--aggregates" => {
+                args.aggregates = true;
                 i += 1;
             }
             other => {
@@ -172,10 +184,82 @@ fn run_cluster_faults(args: &Args) -> ! {
     std::process::exit(if summary.disagreements.is_empty() { 0 } else { 1 });
 }
 
+/// The `--aggregates` mode: aggregate verbs over generated logs, every
+/// engine config at every thread count, against the naive raw-line oracle
+/// (see [`difftest::aggregates`]). Stdout is deterministic for a given
+/// seed and case count.
+fn run_aggregates(args: &Args) -> ! {
+    let start = Instant::now();
+    let mut summary = difftest::aggregates::Summary::default();
+    let mut truncated = false;
+    for case in 0..args.cases {
+        if let Some(budget) = args.budget_secs {
+            if start.elapsed().as_secs() >= budget {
+                truncated = true;
+                break;
+            }
+        }
+        let outcome = difftest::aggregates::run_case(args.seed, case, &args.threads);
+        if let Some(d) = &outcome.disagreement {
+            println!("case {case}: FAIL {d}");
+        }
+        summary.absorb(case, &outcome);
+    }
+    if truncated {
+        println!(
+            "difftest: stopped at the wall-clock budget after {} of {} cases",
+            summary.cases, args.cases
+        );
+    }
+    let join = |m: &std::collections::BTreeMap<&str, u64>| {
+        m.iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    println!(
+        "difftest aggregates: seed={} cases={} engines={} threads={:?} filtered={} verbs[{}] layers[{}] decompression_checks={} disagreements={}",
+        args.seed,
+        summary.cases,
+        difftest::harness::engine_matrix().len(),
+        args.threads,
+        summary.filtered,
+        join(&summary.verbs),
+        join(&summary.layers),
+        summary.decompression_checks,
+        summary.disagreements.len(),
+    );
+    if let Some(out) = &args.bench_out {
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut json = String::new();
+        let _ = write!(
+            json,
+            "{{\n  \"bench\": \"aggregates\",\n  \"seed\": {},\n  \"cases\": {},\n  \"filtered\": {},\n  \"decompression_checks\": {},\n  \"disagreements\": {},\n  \"elapsed_secs\": {elapsed:.3},\n  \"cases_per_sec\": {:.2}\n}}\n",
+            args.seed,
+            summary.cases,
+            summary.filtered,
+            summary.decompression_checks,
+            summary.disagreements.len(),
+            if elapsed > 0.0 {
+                summary.cases as f64 / elapsed
+            } else {
+                0.0
+            },
+        );
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+        }
+    }
+    std::process::exit(if summary.disagreements.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
     if args.cluster_faults {
         run_cluster_faults(&args);
+    }
+    if args.aggregates {
+        run_aggregates(&args);
     }
     let harness = Harness {
         threads: args.threads.clone(),

@@ -13,7 +13,9 @@ use logparse::{Piece, Template};
 const MAGIC: &[u8; 4] = b"LGRB";
 /// Current format version. Version 2 added the CRC-32 integrity
 /// trailer and requires the metadata stream to be fully consumed.
-const VERSION: u8 = 2;
+/// Version 3 added per-value occurrence counts to nominal vector
+/// metadata (aggregate pushdown reads them instead of the Capsules).
+const VERSION: u8 = 3;
 
 /// Metadata of one group (all entries of one static pattern).
 #[derive(Debug, Clone)]
@@ -257,7 +259,10 @@ impl CapsuleBox {
                         }
                     }
                     VectorMeta::Nominal {
-                        patterns, dict_len, ..
+                        patterns,
+                        dict_len,
+                        value_counts,
+                        ..
                     } => {
                         // Region arithmetic must not overflow, and the
                         // per-pattern counts must sum to the dictionary
@@ -267,6 +272,17 @@ impl CapsuleBox {
                             patterns.iter().map(|p| u64::from(p.count)).sum();
                         if counted != u64::from(*dict_len) {
                             return Err(Error::Corrupt("dictionary count mismatch".into()));
+                        }
+                        // Each row stores exactly one dictionary index, so
+                        // the per-value occurrence counts must sum to the
+                        // group's row count; aggregate pushdown trusts them
+                        // instead of reading the index Capsule.
+                        let occurrences: u64 =
+                            value_counts.iter().map(|&c| u64::from(c)).sum();
+                        if occurrences != u64::from(rows) {
+                            return Err(Error::Corrupt(
+                                "dictionary value counts do not sum to rows".into(),
+                            ));
                         }
                     }
                     VectorMeta::Plain { .. } => {}

@@ -452,12 +452,23 @@ impl LogGrep {
                 };
                 let index_cap = packer.push(payload, layout, stamp, ex.index.len() as u32);
 
+                // Per-value occurrence counts: a histogram over the index
+                // vector, kept in metadata so aggregates can rank values
+                // without decompressing either Capsule.
+                let mut value_counts = vec![0u32; ex.dict_values.len()];
+                for &i in &ex.index {
+                    if let Some(c) = value_counts.get_mut(i as usize) {
+                        *c += 1;
+                    }
+                }
+
                 VectorMeta::Nominal {
                     patterns: ex.patterns,
                     dict_cap,
                     index_cap,
                     idx_len: ex.idx_len,
                     dict_len: ex.dict_values.len() as u32,
+                    value_counts,
                 }
             }
             Extraction::Plain => {

@@ -53,10 +53,10 @@ pub use boxfile::{Archive, CapsuleBox};
 pub use config::LogGrepConfig;
 pub use engine::LogGrep;
 pub use error::{Error, Result};
-pub use query::explain::{Explanation, GroupDecision, PlanDrift};
-pub use query::lang::Query;
-pub use query::QueryResult;
-pub use stats::{ArchiveStats, QueryStats};
+pub use query::explain::{AggDrift, Explanation, GroupDecision, PlanDrift};
+pub use query::lang::{AggSpec, Query};
+pub use query::{AggQueryResult, AggResult, QueryResult};
+pub use stats::{AggLayer, ArchiveStats, QueryStats};
 pub use typemask::TypeMask;
 
 /// The pad byte used for fixed-width Capsule storage. NUL never occurs in

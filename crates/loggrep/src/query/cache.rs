@@ -2,12 +2,18 @@
 //! so repeated queries — common in the *refining mode* where an engineer
 //! builds a command up gradually — skip the matching phase entirely.
 //!
+//! Line queries and aggregate queries share the cache (and its LRU bound)
+//! but live in **disjoint key spaces**: a cached line result can never be
+//! returned for an aggregate over the same filter, or vice versa, no
+//! matter how the raw key strings collide.
+//!
 //! The cache is **bounded**: once it holds `capacity` entries, storing a
 //! new result evicts the least-recently-used one (refining sessions touch a
 //! handful of commands; an unbounded map would grow with every distinct
 //! query ever run against a long-lived archive). Evictions are counted
 //! locally and on the `query.cache.evictions` telemetry counter.
 
+use crate::query::agg::AggResult;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -22,16 +28,35 @@ fn entries_gauge() -> &'static telemetry::Gauge {
     G.get_or_init(|| telemetry::gauge("query.cache.entries"))
 }
 
+/// A typed cache key: the enum discriminant separates the line-query and
+/// aggregate key spaces structurally, so no string convention can make
+/// them collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    /// A line query, keyed by its raw command text.
+    Lines(String),
+    /// An aggregate query, keyed by `offset|spec|filter` (see
+    /// `agg_cache_key`).
+    Agg(String),
+}
+
+/// A cached result, matching its [`Key`]'s variant.
+#[derive(Debug, Clone)]
+enum Cached {
+    Lines(Vec<u32>),
+    Agg(AggResult),
+}
+
 #[derive(Debug)]
 struct Entry {
-    lines: Vec<u32>,
+    value: Cached,
     /// Logical timestamp of the last get/put touching this entry.
     last_used: u64,
 }
 
 #[derive(Debug)]
 struct Inner {
-    map: HashMap<String, Entry>,
+    map: HashMap<Key, Entry>,
     /// Monotonic logical clock driving LRU order.
     tick: u64,
     /// Maximum entries before eviction; 0 = unbounded.
@@ -84,17 +109,47 @@ impl QueryCache {
         }
     }
 
-    /// Looks up a prior result (cloned line-number list).
+    /// Looks up a prior line-query result (cloned line-number list).
     pub fn get(&self, query: &str) -> Option<Vec<u32>> {
+        match self.get_value(&Key::Lines(query.to_string()))? {
+            Cached::Lines(lines) => Some(lines),
+            // Unreachable: a `Key::Lines` entry always stores
+            // `Cached::Lines`. Fail as a miss rather than panic.
+            Cached::Agg(_) => None,
+        }
+    }
+
+    /// Stores a line-query result, evicting the least-recently-used entry
+    /// if full.
+    pub fn put(&self, query: &str, lines: Vec<u32>) {
+        self.put_value(Key::Lines(query.to_string()), Cached::Lines(lines));
+    }
+
+    /// Looks up a prior aggregate result.
+    pub fn get_agg(&self, key: &str) -> Option<AggResult> {
+        match self.get_value(&Key::Agg(key.to_string()))? {
+            Cached::Agg(agg) => Some(agg),
+            // Unreachable: see [`QueryCache::get`].
+            Cached::Lines(_) => None,
+        }
+    }
+
+    /// Stores an aggregate result, evicting the least-recently-used entry
+    /// if full.
+    pub fn put_agg(&self, key: &str, agg: AggResult) {
+        self.put_value(Key::Agg(key.to_string()), Cached::Agg(agg));
+    }
+
+    fn get_value(&self, key: &Key) -> Option<Cached> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(query) {
+        match inner.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = tick;
-                let lines = entry.lines.clone();
+                let value = entry.value.clone();
                 inner.hits += 1;
-                Some(lines)
+                Some(value)
             }
             None => {
                 inner.misses += 1;
@@ -103,13 +158,12 @@ impl QueryCache {
         }
     }
 
-    /// Stores a result, evicting the least-recently-used entry if full.
-    pub fn put(&self, query: &str, lines: Vec<u32>) {
+    fn put_value(&self, key: Key, value: Cached) {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(entry) = inner.map.get_mut(query) {
-            entry.lines = lines;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.value = value;
             entry.last_used = tick;
             return;
         }
@@ -117,9 +171,9 @@ impl QueryCache {
             evict_lru(&mut inner);
         }
         inner.map.insert(
-            query.to_string(),
+            key,
             Entry {
-                lines,
+                value,
                 last_used: tick,
             },
         );
@@ -242,6 +296,17 @@ mod tests {
         for i in 5..8 {
             assert_eq!(c.get(&format!("q{i}")), Some(vec![i]), "q{i}");
         }
+    }
+
+    #[test]
+    fn line_and_agg_key_spaces_never_cross() {
+        let c = QueryCache::new();
+        c.put("k", vec![1, 2]);
+        assert_eq!(c.get_agg("k"), None, "line entry must not answer an aggregate");
+        c.put_agg("k", AggResult::Count(7));
+        assert_eq!(c.get("k"), Some(vec![1, 2]));
+        assert_eq!(c.get_agg("k"), Some(AggResult::Count(7)));
+        assert_eq!(c.len(), 2, "same string, two distinct entries");
     }
 
     #[test]

@@ -125,6 +125,20 @@ impl Archive {
     }
 }
 
+/// The filter stage's output: which rows of each group the rest of the
+/// pipeline (reconstruction or an aggregate sink) operates on.
+///
+/// `All` is not just shorthand for "every row of every group": it lets
+/// metadata-only aggregates answer without enumerating rows at all.
+#[derive(Debug, Clone)]
+pub(crate) enum Selection {
+    /// No filter: every stored line is selected.
+    All,
+    /// Matching rows per group (vector-local row numbers), one entry per
+    /// group in group order.
+    Rows(Vec<RowSet>),
+}
+
 /// Per-query state shared by every worker: the archive handle, the worker
 /// pool, and the sharded decompressed-payload caches.
 ///
@@ -133,7 +147,7 @@ impl Archive {
 /// shard is locked**: a concurrent worker asking for the same Capsule
 /// blocks and reuses the result, so each Capsule is decompressed exactly
 /// once per query and `capsules_decompressed` matches the serial count.
-struct ExecShared<'a> {
+pub(crate) struct ExecShared<'a> {
     archive: &'a Archive,
     pool: Pool,
     payloads: Vec<Mutex<HashMap<u32, Arc<Vec<u8>>>>>,
@@ -144,7 +158,7 @@ struct ExecShared<'a> {
 type CacheShard<T> = Mutex<HashMap<u32, Arc<T>>>;
 
 impl<'a> ExecShared<'a> {
-    fn new(archive: &'a Archive) -> Self {
+    pub(crate) fn new(archive: &'a Archive) -> Self {
         Self {
             archive,
             pool: Pool::new(archive.threads),
@@ -174,14 +188,14 @@ impl Drop for ExecShared<'_> {
 /// Per-worker execution context: a handle on the shared state plus this
 /// worker's own statistics, merged by the coordinator when the worker is
 /// done. The coordinating (caller-side) context is just worker zero.
-struct ExecCtx<'a> {
+pub(crate) struct ExecCtx<'a> {
     shared: &'a ExecShared<'a>,
-    archive: &'a Archive,
-    stats: QueryStats,
+    pub(crate) archive: &'a Archive,
+    pub(crate) stats: QueryStats,
 }
 
 impl<'a> ExecCtx<'a> {
-    fn new(shared: &'a ExecShared<'a>) -> Self {
+    pub(crate) fn new(shared: &'a ExecShared<'a>) -> Self {
         Self {
             shared,
             archive: shared.archive,
@@ -189,7 +203,7 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
-    fn meta(&self, id: u32) -> Result<&'a CapsuleMeta> {
+    pub(crate) fn meta(&self, id: u32) -> Result<&'a CapsuleMeta> {
         self.archive
             .boxed
             .capsules
@@ -197,7 +211,7 @@ impl<'a> ExecCtx<'a> {
             .ok_or_else(|| Error::Corrupt(format!("capsule id {id} out of range")))
     }
 
-    fn group(&self, gid: usize) -> Result<&'a crate::boxfile::GroupMeta> {
+    pub(crate) fn group(&self, gid: usize) -> Result<&'a crate::boxfile::GroupMeta> {
         self.archive
             .boxed
             .groups
@@ -206,7 +220,7 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// Decompresses (and caches) one Capsule payload.
-    fn payload(&mut self, id: u32) -> Result<Arc<Vec<u8>>> {
+    pub(crate) fn payload(&mut self, id: u32) -> Result<Arc<Vec<u8>>> {
         // lint:allow(no-panic-in-decode) — index is reduced modulo the shard-vector length
         let shard = &self.shared.payloads[id as usize % CACHE_SHARDS];
         let mut shard = shard.lock();
@@ -352,8 +366,32 @@ impl<'a> ExecCtx<'a> {
     /// left side still has candidate rows.
     fn eval_expr(&mut self, expr: &Expr) -> Result<RowSet> {
         let _span = telemetry::span("eval");
-        let ngroups = self.archive.boxed.groups.len();
-        let per_group = self.eval_expr_groups(expr, &vec![false; ngroups])?;
+        let selection = self.filter_selection(Some(expr))?;
+        self.selection_lines(&selection)
+    }
+
+    /// The filter stage of the pipeline: evaluates an optional filter
+    /// expression into a [`Selection`]. `None` selects everything without
+    /// touching any Capsule.
+    pub(crate) fn filter_selection(&mut self, expr: Option<&Expr>) -> Result<Selection> {
+        match expr {
+            None => Ok(Selection::All),
+            Some(expr) => {
+                let ngroups = self.archive.boxed.groups.len();
+                Ok(Selection::Rows(
+                    self.eval_expr_groups(expr, &vec![false; ngroups])?,
+                ))
+            }
+        }
+    }
+
+    /// Maps a [`Selection`] to global line numbers (the line-set sink of
+    /// the pipeline).
+    fn selection_lines(&self, selection: &Selection) -> Result<RowSet> {
+        let per_group = match selection {
+            Selection::All => return Ok(RowSet::all(self.archive.boxed.total_lines)),
+            Selection::Rows(per_group) => per_group,
+        };
         let mut global = Vec::new();
         for (rows, group) in per_group.iter().zip(&self.archive.boxed.groups) {
             for r in rows.iter() {
@@ -619,6 +657,7 @@ impl<'a> ExecCtx<'a> {
                 index_cap,
                 idx_len,
                 dict_len,
+                ..
             } => self.eval_nominal(
                 patterns, *dict_cap, *index_cap, *idx_len, *dict_len, needle, mode, nrows,
             ),
@@ -856,7 +895,7 @@ impl<'a> ExecCtx<'a> {
     /// The value of slot `slot` on group row `row`, rendered into `out`
     /// (cleared first). `subs` is the caller's reusable sub-variable
     /// scratch for pattern-decomposed vectors.
-    fn slot_value_into(
+    pub(crate) fn slot_value_into(
         &mut self,
         gid: usize,
         slot: usize,
@@ -899,7 +938,7 @@ impl<'a> ExecCtx<'a> {
 
     /// The dictionary value with global index `idx`, rendered into `out`
     /// (cleared first).
-    fn dict_value_into(
+    pub(crate) fn dict_value_into(
         &mut self,
         patterns: &[DictPattern],
         dict_cap: u32,

@@ -8,9 +8,9 @@
 use crate::boxfile::Archive;
 use crate::error::Result;
 use crate::pattern::Segment;
-use crate::query::lang::Query;
-use crate::query::plan::{plan, Mode, Plan, SegRef};
-use crate::stats::QueryStats;
+use crate::query::lang::{AggSpec, Query};
+use crate::query::plan::{plan, plan_agg, AggTargetKind, Mode, Plan, SegRef};
+use crate::stats::{AggLayer, QueryStats};
 use crate::vector::VectorMeta;
 use logparse::Piece;
 use std::fmt;
@@ -207,6 +207,88 @@ impl fmt::Display for PlanDrift {
     }
 }
 
+/// Predicted-vs-actual agreement for one aggregate query: the pushdown
+/// planner's layer prediction against the layer the sink actually used.
+///
+/// The executor may legitimately answer *below* the prediction (an empty
+/// selection short-circuits a predicted Capsule scan to a metadata-only
+/// empty result), so the honest bound is `actual ≤ predicted`, with hard
+/// decompression bounds where the prediction promises them.
+#[derive(Debug, Clone)]
+pub struct AggDrift {
+    /// The layer [`Archive::explain_agg`] predicted.
+    pub predicted: AggLayer,
+    /// The most expensive layer the sink actually used (`None` until an
+    /// execution's stats are folded in).
+    pub actual: Option<AggLayer>,
+    /// Whether the result came from the query cache (nothing executed).
+    pub cache_hit: bool,
+    /// Whether a filter restricted the selection.
+    pub filtered: bool,
+    /// Capsules the execution decompressed.
+    pub capsules_decompressed: usize,
+}
+
+impl AggDrift {
+    /// Pairs a prediction with the stats of an actual execution of the
+    /// same aggregate on the same archive.
+    pub fn new(predicted: AggLayer, filtered: bool, stats: &QueryStats) -> Self {
+        Self {
+            predicted,
+            actual: stats.agg_layer,
+            cache_hit: stats.cache_hit,
+            filtered,
+            capsules_decompressed: stats.capsules_decompressed,
+        }
+    }
+
+    /// True when the execution stayed within the prediction: the actual
+    /// layer never exceeds the predicted one, and unfiltered
+    /// metadata/dictionary predictions hold their decompression promises
+    /// (zero Capsules, and at most one, respectively). Vacuously true for
+    /// cache hits.
+    pub fn consistent(&self) -> bool {
+        if self.cache_hit {
+            return true;
+        }
+        if self.actual.is_some_and(|actual| actual > self.predicted) {
+            return false;
+        }
+        if !self.filtered {
+            match self.predicted {
+                AggLayer::Metadata => return self.capsules_decompressed == 0,
+                AggLayer::Dictionary => return self.capsules_decompressed <= 1,
+                AggLayer::CapsuleScan | AggLayer::Reconstruct => {}
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for AggDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let actual = match (self.cache_hit, self.actual) {
+            (true, _) => "cache-hit".to_string(),
+            (false, Some(l)) => l.to_string(),
+            (false, None) => "none".to_string(),
+        };
+        writeln!(
+            f,
+            "aggregate layer: predicted {} actual {} ({} capsule(s) decompressed)",
+            self.predicted, actual, self.capsules_decompressed
+        )?;
+        writeln!(
+            f,
+            "  consistent: {}",
+            if self.consistent() {
+                "yes"
+            } else {
+                "NO — sink exceeded the planned layer"
+            }
+        )
+    }
+}
+
 impl fmt::Display for Explanation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "explain: {}", self.query)?;
@@ -318,6 +400,24 @@ impl Archive {
             group_rows,
             searches,
         })
+    }
+
+    /// Predicts which storage layer will answer an aggregate query,
+    /// without decompressing any Capsule (the pushdown decision of
+    /// [`plan_agg`] applied to this archive's vector metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::BadQuery`] if the filter does not parse.
+    pub fn explain_agg(&self, filter: Option<&str>, spec: &AggSpec) -> Result<AggLayer> {
+        if let Some(f) = filter {
+            Query::parse(f)?;
+        }
+        let target = match spec {
+            AggSpec::TopK { template, slot, .. } => self.agg_target_kind(*template, *slot),
+            _ => AggTargetKind::Missing,
+        };
+        Ok(plan_agg(spec, target, filter.is_some()))
     }
 
     /// Accounts the Capsules one slot-requirement would touch.
@@ -511,6 +611,49 @@ mod tests {
         let text = drift.to_string();
         assert!(text.contains("plan vs execution"));
         assert!(text.contains("wildcard"));
+    }
+
+    #[test]
+    fn agg_drift_bounds_hold_for_every_verb() {
+        let a = archive();
+        let mut specs = vec![
+            AggSpec::Count,
+            AggSpec::CountByTemplate,
+            AggSpec::Histogram { bucket: 50 },
+        ];
+        for (t, group) in a.boxed.groups.iter().enumerate() {
+            for v in 0..group.vectors.len() {
+                specs.push(AggSpec::TopK { k: 3, template: t, slot: v });
+            }
+        }
+        // A missing target must predict (and execute as) pure metadata.
+        specs.push(AggSpec::TopK { k: 3, template: 99, slot: 0 });
+        for spec in &specs {
+            for filter in [None, Some("crash")] {
+                let predicted = a.explain_agg(filter, spec).unwrap();
+                a.clear_caches();
+                let r = a.query_agg(filter, spec).unwrap();
+                let drift = AggDrift::new(predicted, filter.is_some(), &r.stats);
+                assert!(!drift.cache_hit);
+                assert!(drift.consistent(), "{spec} filter {filter:?}: {drift}");
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_verbs_decompress_nothing() {
+        let a = archive();
+        let specs = [
+            AggSpec::Count,
+            AggSpec::CountByTemplate,
+            AggSpec::Histogram { bucket: 25 },
+        ];
+        for spec in specs {
+            a.clear_caches();
+            let r = a.query_agg(None, &spec).unwrap();
+            assert_eq!(r.stats.capsules_decompressed, 0, "{spec}");
+            assert_eq!(r.stats.agg_layer, Some(AggLayer::Metadata), "{spec}");
+        }
     }
 
     #[test]

@@ -245,6 +245,108 @@ impl Query {
     }
 }
 
+/// An aggregate verb: what to compute over the (optionally filtered) lines.
+///
+/// Rendered/parsed syntax (the `--agg` argument and the cache-key form):
+///
+/// * `count` — number of matching lines;
+/// * `count-by-template` — matching lines per static pattern;
+/// * `top-K tT.vS` — value frequencies of slot `S` of template `T`
+///   (e.g. `top-3 t0.v2`), reported as the `K` most frequent values;
+/// * `histogram B` — matching lines per bucket of `B` consecutive line
+///   numbers (a time histogram once timestamps index the lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggSpec {
+    /// Count matching lines.
+    Count,
+    /// Count matching lines per template (static pattern).
+    CountByTemplate,
+    /// The `k` most frequent values of one template slot.
+    TopK {
+        /// How many values to report.
+        k: usize,
+        /// Template (group) index.
+        template: usize,
+        /// Variable slot index within the template.
+        slot: usize,
+    },
+    /// Matching lines per bucket of `bucket` consecutive line numbers.
+    Histogram {
+        /// Bucket width in lines (> 0).
+        bucket: u64,
+    },
+}
+
+impl AggSpec {
+    /// Parses an aggregate verb (see the type docs for the syntax).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadQuery`] on unknown verbs, malformed `tT.vS`
+    /// targets, zero `K`/bucket widths, or trailing words.
+    pub fn parse(text: &str) -> Result<Self> {
+        let bad = |what: &str| Error::BadQuery(format!("bad aggregate `{text}`: {what}"));
+        let mut words = text.split_whitespace();
+        let head = words
+            .next()
+            .ok_or_else(|| Error::BadQuery("empty aggregate".into()))?
+            .to_ascii_lowercase();
+        let spec = match head.as_str() {
+            "count" => AggSpec::Count,
+            "count-by-template" => AggSpec::CountByTemplate,
+            "histogram" => {
+                let bucket: u64 = words
+                    .next()
+                    .ok_or_else(|| bad("histogram needs a bucket width"))?
+                    .parse()
+                    .map_err(|_| bad("bucket width must be a number"))?;
+                if bucket == 0 {
+                    return Err(bad("bucket width must be > 0"));
+                }
+                AggSpec::Histogram { bucket }
+            }
+            _ if head.starts_with("top-") => {
+                let k: usize = head[4..]
+                    .parse()
+                    .map_err(|_| bad("top-K needs a numeric K"))?;
+                if k == 0 {
+                    return Err(bad("K must be > 0"));
+                }
+                let target = words.next().ok_or_else(|| bad("top-K needs a tT.vS target"))?;
+                let (t, v) = target
+                    .split_once('.')
+                    .filter(|(t, v)| t.starts_with('t') && v.starts_with('v'))
+                    .ok_or_else(|| bad("target must look like t0.v2"))?;
+                let template = t[1..].parse().map_err(|_| bad("bad template index"))?;
+                let slot = v[1..].parse().map_err(|_| bad("bad slot index"))?;
+                AggSpec::TopK { k, template, slot }
+            }
+            _ => return Err(bad("unknown verb")),
+        };
+        if words.next().is_some() {
+            return Err(bad("trailing words"));
+        }
+        Ok(spec)
+    }
+
+    /// The canonical textual form (parses back to the same spec; used as
+    /// the aggregate cache-key component).
+    pub fn render(&self) -> String {
+        match self {
+            AggSpec::Count => "count".to_string(),
+            AggSpec::CountByTemplate => "count-by-template".to_string(),
+            AggSpec::TopK { k, template, slot } => format!("top-{k} t{template}.v{slot}"),
+            AggSpec::Histogram { bucket } => format!("histogram {bucket}"),
+        }
+    }
+}
+
+impl std::fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +426,52 @@ mod tests {
     fn case_insensitive_operators() {
         let q = Query::parse("alpha AND beta Or gamma NOT delta").unwrap();
         assert_eq!(q.expr.search_strings().len(), 4);
+    }
+
+    #[test]
+    fn agg_spec_parse_and_render_roundtrip() {
+        let cases = [
+            ("count", AggSpec::Count),
+            ("count-by-template", AggSpec::CountByTemplate),
+            ("top-3 t0.v2", AggSpec::TopK { k: 3, template: 0, slot: 2 }),
+            ("top-10 t12.v0", AggSpec::TopK { k: 10, template: 12, slot: 0 }),
+            ("histogram 50", AggSpec::Histogram { bucket: 50 }),
+        ];
+        for (text, want) in cases {
+            let got = AggSpec::parse(text).unwrap();
+            assert_eq!(got, want, "{text}");
+            assert_eq!(AggSpec::parse(&got.render()).unwrap(), want, "{text}");
+        }
+        // Whitespace and verb case are normalized; targets are not.
+        assert_eq!(
+            AggSpec::parse("  COUNT ").unwrap(),
+            AggSpec::Count,
+        );
+        assert_eq!(
+            AggSpec::parse("Top-2  t1.v1").unwrap(),
+            AggSpec::TopK { k: 2, template: 1, slot: 1 },
+        );
+    }
+
+    #[test]
+    fn bad_agg_specs_rejected() {
+        for text in [
+            "",
+            "sum",
+            "count extra",
+            "top-0 t0.v0",
+            "top-x t0.v0",
+            "top-3",
+            "top-3 v0.t0",
+            "top-3 t0v0",
+            "top-3 t.v0",
+            "histogram",
+            "histogram 0",
+            "histogram x",
+            "histogram 5 5",
+        ] {
+            assert!(AggSpec::parse(text).is_err(), "{text:?} should fail");
+        }
     }
 
     #[test]

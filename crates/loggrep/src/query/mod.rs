@@ -1,5 +1,6 @@
 //! Query planning and execution (§5).
 
+pub mod agg;
 pub mod cache;
 pub mod exec;
 pub mod explain;
@@ -7,4 +8,5 @@ pub mod lang;
 pub mod plan;
 pub mod session;
 
+pub use agg::{AggQueryResult, AggResult};
 pub use exec::QueryResult;

@@ -318,6 +318,56 @@ fn sub_m(ctx: &mut Ctx<'_>) -> Vec<Conj> {
     out
 }
 
+/// What the aggregate planner knows about a `top-K` target vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggTargetKind {
+    /// The (template, slot) target does not exist in this archive.
+    Missing,
+    /// A plain vector (values only in its Capsule).
+    Plain,
+    /// A real vector (values reconstructed from pattern + sub-Capsules).
+    Real,
+    /// A nominal vector whose dictionary patterns are all constant-only:
+    /// every value is renderable from metadata.
+    NominalConst,
+    /// A nominal vector with at least one variable-bearing pattern: values
+    /// live in the dictionary Capsule.
+    NominalMixed,
+}
+
+/// Predicts the cheapest storage layer that can answer `spec` (the
+/// aggregate pushdown rule). Deterministic in its inputs, so
+/// [`crate::stats::QueryStats::agg_layer`] can be drift-checked against
+/// it: execution must never need a *more* expensive layer than planned.
+///
+/// `target` only matters for `top-K`; `filtered` is whether a line filter
+/// restricts the aggregated rows (the filter's own Capsule touches are
+/// accounted separately by the regular query stats).
+pub fn plan_agg(
+    spec: &crate::query::lang::AggSpec,
+    target: AggTargetKind,
+    filtered: bool,
+) -> crate::stats::AggLayer {
+    use crate::query::lang::AggSpec;
+    use crate::stats::AggLayer;
+    match spec {
+        // Counts and line-number histograms come from group metadata
+        // (row sets + line numbers) at any selectivity.
+        AggSpec::Count | AggSpec::CountByTemplate | AggSpec::Histogram { .. } => {
+            AggLayer::Metadata
+        }
+        AggSpec::TopK { .. } => match (target, filtered) {
+            (AggTargetKind::Missing, _) => AggLayer::Metadata,
+            (AggTargetKind::NominalConst, false) => AggLayer::Metadata,
+            (AggTargetKind::NominalMixed, false) => AggLayer::Dictionary,
+            (AggTargetKind::NominalConst | AggTargetKind::NominalMixed, true) => {
+                AggLayer::CapsuleScan
+            }
+            (AggTargetKind::Plain | AggTargetKind::Real, _) => AggLayer::Reconstruct,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +546,49 @@ mod tests {
         for kw in [&b"aaaa"[..], b"aaa", b"aaaaa", b"aaaaaa", b"a"] {
             check(&spec, choices, kw);
         }
+    }
+
+    #[test]
+    fn agg_pushdown_picks_the_cheapest_layer() {
+        use crate::query::lang::AggSpec;
+        use crate::stats::AggLayer;
+        let topk = AggSpec::TopK { k: 3, template: 0, slot: 0 };
+        for filtered in [false, true] {
+            for spec in [
+                AggSpec::Count,
+                AggSpec::CountByTemplate,
+                AggSpec::Histogram { bucket: 10 },
+            ] {
+                assert_eq!(
+                    plan_agg(&spec, AggTargetKind::Missing, filtered),
+                    AggLayer::Metadata
+                );
+            }
+        }
+        assert_eq!(
+            plan_agg(&topk, AggTargetKind::NominalConst, false),
+            AggLayer::Metadata
+        );
+        assert_eq!(
+            plan_agg(&topk, AggTargetKind::NominalMixed, false),
+            AggLayer::Dictionary
+        );
+        assert_eq!(
+            plan_agg(&topk, AggTargetKind::NominalConst, true),
+            AggLayer::CapsuleScan
+        );
+        assert_eq!(
+            plan_agg(&topk, AggTargetKind::Plain, false),
+            AggLayer::Reconstruct
+        );
+        assert_eq!(
+            plan_agg(&topk, AggTargetKind::Real, true),
+            AggLayer::Reconstruct
+        );
+        assert_eq!(
+            plan_agg(&topk, AggTargetKind::Missing, true),
+            AggLayer::Metadata
+        );
     }
 
     #[test]

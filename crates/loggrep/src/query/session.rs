@@ -102,6 +102,14 @@ impl<'a> RefiningSession<'a> {
     pub fn rerun(&self) -> Result<QueryResult> {
         self.archive.query(&self.command)
     }
+
+    /// Runs an aggregate over the lines the current command selects (the
+    /// whole archive when the session is empty) — "how many, of what
+    /// shape" checks mid-refinement, without reconstructing any line.
+    pub fn agg(&self, spec: &crate::query::lang::AggSpec) -> Result<crate::query::agg::AggQueryResult> {
+        let filter = (!self.command.is_empty()).then_some(self.command.as_str());
+        self.archive.query_agg(filter, spec)
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +163,19 @@ mod tests {
         // Extending an empty session seeds it.
         assert_eq!(s.and("WARN").unwrap().lines.len(), 1);
         assert_eq!(s.command(), "WARN");
+    }
+
+    #[test]
+    fn agg_follows_the_refined_command() {
+        use crate::query::agg::AggResult;
+        use crate::query::lang::AggSpec;
+        let archive = archive();
+        let mut s = RefiningSession::new(&archive);
+        // Empty session: the aggregate covers the whole archive.
+        assert_eq!(s.agg(&AggSpec::Count).unwrap().agg, AggResult::Count(5));
+        s.seed("ERROR").unwrap();
+        s.and("disk").unwrap();
+        assert_eq!(s.agg(&AggSpec::Count).unwrap().agg, AggResult::Count(2));
     }
 
     #[test]

@@ -74,6 +74,43 @@ impl ArchiveStats {
     }
 }
 
+/// The cheapest storage layer that answered an aggregate query, ordered
+/// from cheapest to most expensive. Recorded in
+/// [`QueryStats::agg_layer`] so the pushdown claims ("a
+/// `count-by-template` never decompresses a Capsule") stay checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AggLayer {
+    /// Answered from group metadata alone (templates, line numbers,
+    /// per-value counts): zero Capsules decompressed.
+    Metadata,
+    /// Answered from a nominal vector's dictionary Capsule (at most one
+    /// decompression); the index Capsule stays untouched.
+    Dictionary,
+    /// Scanned a vector's own Capsules (e.g. a filtered top-K reading
+    /// the index Capsule) without full line reconstruction.
+    CapsuleScan,
+    /// Fell back to lazy per-row value reconstruction.
+    Reconstruct,
+}
+
+impl AggLayer {
+    /// Short lowercase name (telemetry label / JSON value).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggLayer::Metadata => "metadata",
+            AggLayer::Dictionary => "dictionary",
+            AggLayer::CapsuleScan => "capsule-scan",
+            AggLayer::Reconstruct => "reconstruct",
+        }
+    }
+}
+
+impl std::fmt::Display for AggLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Statistics of one query execution.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
@@ -98,6 +135,10 @@ pub struct QueryStats {
     pub rows_verified: usize,
     /// Whether the result came from the query cache.
     pub cache_hit: bool,
+    /// For aggregate queries: the most expensive storage layer that
+    /// contributed to the answer (`None` for line queries and for
+    /// cache-served aggregates, which touch no layer at all).
+    pub agg_layer: Option<AggLayer>,
 }
 
 impl QueryStats {
@@ -113,6 +154,13 @@ impl QueryStats {
         self.groups_skipped += other.groups_skipped;
         self.rows_verified += other.rows_verified;
         self.cache_hit |= other.cache_hit;
+        self.agg_layer = self.agg_layer.max(other.agg_layer);
+    }
+
+    /// Records that `layer` contributed to an aggregate answer; the stats
+    /// keep the most expensive layer seen.
+    pub fn note_agg_layer(&mut self, layer: AggLayer) {
+        self.agg_layer = Some(self.agg_layer.map_or(layer, |l| l.max(layer)));
     }
 
     /// The non-planning part of `elapsed` (saturating).
@@ -151,6 +199,14 @@ impl QueryStats {
             groups_skipped: snap.counter("query.groups_skipped") as usize,
             rows_verified: snap.counter("query.rows_verified") as usize,
             cache_hit: snap.counter("query.cache.hits") > 0,
+            agg_layer: [
+                AggLayer::Reconstruct,
+                AggLayer::CapsuleScan,
+                AggLayer::Dictionary,
+                AggLayer::Metadata,
+            ]
+            .into_iter()
+            .find(|l| snap.counter(&format!("query.agg.layer.{}", l.name())) > 0),
         }
     }
 }
@@ -215,6 +271,27 @@ mod tests {
         // Whole-query fields untouched.
         assert_eq!(main.elapsed, Duration::from_micros(500));
         assert_eq!(main.capsules_total, 10);
+    }
+
+    #[test]
+    fn agg_layer_orders_and_merges_to_the_most_expensive() {
+        assert!(AggLayer::Metadata < AggLayer::Dictionary);
+        assert!(AggLayer::Dictionary < AggLayer::CapsuleScan);
+        assert!(AggLayer::CapsuleScan < AggLayer::Reconstruct);
+        let mut s = QueryStats::default();
+        assert_eq!(s.agg_layer, None);
+        s.note_agg_layer(AggLayer::Metadata);
+        assert_eq!(s.agg_layer, Some(AggLayer::Metadata));
+        s.note_agg_layer(AggLayer::Reconstruct);
+        s.note_agg_layer(AggLayer::Dictionary);
+        assert_eq!(s.agg_layer, Some(AggLayer::Reconstruct));
+        // merge() keeps the max across workers, including None sides.
+        let mut main = QueryStats::default();
+        main.merge(&s);
+        assert_eq!(main.agg_layer, Some(AggLayer::Reconstruct));
+        let mut quiet = QueryStats::default();
+        quiet.merge(&QueryStats::default());
+        assert_eq!(quiet.agg_layer, None);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub enum VectorMeta {
         idx_len: u32,
         /// Total number of dictionary values.
         dict_len: u32,
+        /// Occurrences of each dictionary value in the index vector,
+        /// indexed by dictionary index. Sums to the group's row count, so
+        /// aggregate verbs can count values without touching either
+        /// Capsule.
+        value_counts: Vec<u32>,
     },
 }
 
@@ -139,6 +144,7 @@ impl VectorMeta {
                 index_cap,
                 idx_len,
                 dict_len,
+                value_counts,
             } => {
                 w.put_u8(2);
                 w.put_usize(patterns.len());
@@ -151,6 +157,9 @@ impl VectorMeta {
                 w.put_u32(*index_cap);
                 w.put_u32(*idx_len);
                 w.put_u32(*dict_len);
+                for c in value_counts {
+                    w.put_u32(*c);
+                }
             }
         }
     }
@@ -193,12 +202,27 @@ impl VectorMeta {
                         max_len,
                     });
                 }
+                let dict_cap = r.get_u32()?;
+                let index_cap = r.get_u32()?;
+                let idx_len = r.get_u32()?;
+                let dict_len = r.get_u32()?;
+                // One count varint per dictionary value follows; each
+                // occupies at least one byte, so `remaining` bounds the
+                // loop before anything is read.
+                if dict_len as usize > r.remaining() {
+                    return Err(Error::Corrupt("dictionary value-count truncated".into()));
+                }
+                let mut value_counts = Vec::new();
+                for _ in 0..dict_len {
+                    value_counts.push(r.get_u32()?);
+                }
                 Ok(VectorMeta::Nominal {
                     patterns,
-                    dict_cap: r.get_u32()?,
-                    index_cap: r.get_u32()?,
-                    idx_len: r.get_u32()?,
-                    dict_len: r.get_u32()?,
+                    dict_cap,
+                    index_cap,
+                    idx_len,
+                    dict_len,
+                    value_counts,
                 })
             }
             t => Err(Error::Corrupt(format!("bad vector tag {t}"))),
@@ -262,6 +286,7 @@ mod tests {
                 index_cap: 8,
                 idx_len: 2,
                 dict_len: 1,
+                value_counts: vec![3],
             },
         ];
         for meta in metas {

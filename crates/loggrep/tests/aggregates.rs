@@ -1,0 +1,257 @@
+//! Aggregates on compressed Capsules: layer-pushdown guarantees (metadata
+//! verbs never decompress anything; dictionary-backed top-K touches at
+//! most the dictionary Capsule), raw-text oracle cross-checks, and
+//! thread-count / cache invariance over the full workloads catalog.
+
+use loggrep::query::lang::AggSpec;
+use loggrep::vector::VectorMeta;
+use loggrep::{AggLayer, AggResult, Archive, LogGrep, LogGrepConfig, Query};
+use std::collections::HashMap;
+
+/// Per-log raw size for the catalog sweeps (same tradeoff as the
+/// parallel-determinism sweeps: several groups and thousands of rows).
+const LOG_BYTES: usize = 32 * 1024;
+
+fn engine(threads: usize) -> LogGrep {
+    LogGrep::new(LogGrepConfig {
+        threads,
+        ..LogGrepConfig::default()
+    })
+}
+
+/// Every `(template, slot)` stored as a nominal vector.
+fn nominal_slots(archive: &Archive) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (t, group) in archive.capsule_box().groups.iter().enumerate() {
+        for (v, meta) in group.vectors.iter().enumerate() {
+            if matches!(meta, VectorMeta::Nominal { .. }) {
+                out.push((t, v));
+            }
+        }
+    }
+    out
+}
+
+fn result_sum(agg: &AggResult) -> u64 {
+    match agg {
+        AggResult::Count(n) => *n,
+        AggResult::CountByTemplate(groups) => groups.iter().map(|(_, c)| *c).sum(),
+        AggResult::TopK { values, .. } => values.iter().map(|(_, c)| *c).sum(),
+        AggResult::Histogram { buckets, .. } => buckets.iter().map(|(_, c)| *c).sum(),
+    }
+}
+
+#[test]
+fn metadata_verbs_never_decompress_across_the_catalog() {
+    let engine = engine(1);
+    for spec in workloads::all_logs() {
+        let raw = spec.generate(17, LOG_BYTES);
+        let archive = engine.open(engine.compress(&raw).unwrap());
+        let total = u64::from(archive.total_lines());
+        let specs = [
+            AggSpec::Count,
+            AggSpec::CountByTemplate,
+            AggSpec::Histogram { bucket: 64 },
+        ];
+        for agg in specs {
+            archive.clear_caches();
+            let r = archive.query_agg(None, &agg).unwrap();
+            assert_eq!(
+                r.stats.capsules_decompressed, 0,
+                "{}: `{agg}` decompressed a Capsule",
+                spec.name
+            );
+            assert_eq!(
+                r.stats.agg_layer,
+                Some(AggLayer::Metadata),
+                "{}: `{agg}` left the metadata layer",
+                spec.name
+            );
+            assert_eq!(
+                result_sum(&r.agg),
+                total,
+                "{}: `{agg}` does not account for every line",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn nominal_top_k_reads_at_most_the_dictionary() {
+    let engine = engine(1);
+    for spec in workloads::all_logs() {
+        let raw = spec.generate(29, LOG_BYTES);
+        let archive = engine.open(engine.compress(&raw).unwrap());
+        for (t, v) in nominal_slots(&archive) {
+            let agg = AggSpec::TopK {
+                k: 3,
+                template: t,
+                slot: v,
+            };
+            let predicted = archive.explain_agg(None, &agg).unwrap();
+            assert!(
+                predicted <= AggLayer::Dictionary,
+                "{}: t{t}.v{v} predicted {predicted}",
+                spec.name
+            );
+            archive.clear_caches();
+            let r = archive.query_agg(None, &agg).unwrap();
+            let bound = match predicted {
+                AggLayer::Metadata => 0,
+                _ => 1, // the dictionary Capsule; never the index Capsule
+            };
+            assert!(
+                r.stats.capsules_decompressed <= bound,
+                "{}: t{t}.v{v} decompressed {} (predicted {predicted})",
+                spec.name,
+                r.stats.capsules_decompressed
+            );
+            let rows = u64::from(archive.capsule_box().groups[t].rows());
+            assert_eq!(
+                result_sum(&r.agg),
+                rows,
+                "{}: t{t}.v{v} distribution does not cover every row",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn constant_dictionary_top_k_is_pure_metadata() {
+    // Values with pairwise-distinct non-alphanumeric sketches: each forms
+    // its own single-value dictionary pattern, which is therefore
+    // constant-only, so the whole distribution — values included — comes
+    // from vector metadata with zero Capsules decompressed.
+    let vals = ["up1", "down-2", "mid_3", "x.9"];
+    let weights = [0usize, 0, 0, 1, 1, 2, 3];
+    let mut raw = Vec::new();
+    for i in 0..400 {
+        raw.extend_from_slice(format!("evt {} done\n", vals[weights[i % weights.len()]]).as_bytes());
+    }
+    let engine = engine(1);
+    let archive = engine.open(engine.compress(&raw).unwrap());
+    let slots = nominal_slots(&archive);
+    assert!(
+        !slots.is_empty(),
+        "expected the value column to be stored as a nominal vector"
+    );
+    let (t, v) = slots[0];
+    let agg = AggSpec::TopK {
+        k: 4,
+        template: t,
+        slot: v,
+    };
+    assert_eq!(archive.explain_agg(None, &agg).unwrap(), AggLayer::Metadata);
+    let r = archive.query_agg(None, &agg).unwrap();
+    assert_eq!(r.stats.capsules_decompressed, 0);
+    assert_eq!(r.stats.agg_layer, Some(AggLayer::Metadata));
+
+    // Oracle: tally the raw text.
+    let mut oracle: HashMap<&str, u64> = HashMap::new();
+    for i in 0..400 {
+        *oracle.entry(vals[weights[i % weights.len()]]).or_insert(0) += 1;
+    }
+    let AggResult::TopK { values, .. } = &r.agg else {
+        panic!("wrong result kind");
+    };
+    assert_eq!(values.len(), oracle.len());
+    for (value, count) in values {
+        let value = std::str::from_utf8(value).unwrap();
+        assert_eq!(oracle[value], *count, "{value}");
+    }
+    assert!(
+        values.windows(2).all(|w| w[0].1 >= w[1].1),
+        "distribution must be count-descending"
+    );
+
+    // A filter that selects every line must route through the filtered
+    // (Capsule-scan) path and still produce the identical distribution.
+    let filtered = archive.query_agg(Some("evt"), &agg).unwrap();
+    assert_eq!(filtered.agg, r.agg);
+}
+
+#[test]
+fn filtered_count_matches_the_line_oracle() {
+    let engine = engine(1);
+    for spec in workloads::all_logs().into_iter().take(12) {
+        let raw = spec.generate(31, LOG_BYTES);
+        let archive = engine.open(engine.compress(&raw).unwrap());
+        for command in &spec.queries {
+            let q = Query::parse(command).unwrap();
+            let oracle = raw[..raw.len() - 1]
+                .split(|&b| b == b'\n')
+                .filter(|l| q.expr.matches_line(l, logparse::DEFAULT_DELIMS))
+                .count() as u64;
+            let r = archive.query_agg(Some(command), &AggSpec::Count).unwrap();
+            assert_eq!(
+                r.agg,
+                AggResult::Count(oracle),
+                "{}: `{command}`",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregate_results_are_identical_across_threads_and_cache() {
+    for spec in workloads::all_logs() {
+        let raw = spec.generate(43, LOG_BYTES);
+        let base_engine = engine(1);
+        let base = base_engine.open(base_engine.compress(&raw).unwrap());
+        let mut aggs = vec![
+            AggSpec::Count,
+            AggSpec::CountByTemplate,
+            AggSpec::Histogram { bucket: 32 },
+            // Whatever storage form t0.v0 has (including missing).
+            AggSpec::TopK {
+                k: 5,
+                template: 0,
+                slot: 0,
+            },
+        ];
+        aggs.extend(nominal_slots(&base).into_iter().take(2).map(|(t, v)| {
+            AggSpec::TopK {
+                k: 5,
+                template: t,
+                slot: v,
+            }
+        }));
+        let filter = spec.queries[0].as_str();
+        let mut reference = Vec::new();
+        for agg in &aggs {
+            for f in [None, Some(filter)] {
+                reference.push((agg.clone(), f, base.query_agg(f, agg).unwrap().agg));
+            }
+        }
+        let variants: Vec<(&str, Archive)> = vec![
+            ("4 threads", {
+                let e = engine(4);
+                e.open(e.compress(&raw).unwrap())
+            }),
+            ("cache off", {
+                let e = LogGrep::new(LogGrepConfig {
+                    threads: 1,
+                    ..LogGrepConfig::without_cache()
+                });
+                e.open(e.compress(&raw).unwrap())
+            }),
+        ];
+        for (label, archive) in &variants {
+            for (agg, f, expected) in &reference {
+                // Twice: the second run exercises the cache-hit path where
+                // the cache is on.
+                for round in 0..2 {
+                    let got = archive.query_agg(*f, agg).unwrap();
+                    assert_eq!(
+                        &got.agg, expected,
+                        "{}: `{agg}` filter {f:?} under {label}, round {round}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -43,6 +43,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 ./target/release/difftest --seed 5 --cases 200 --budget-secs 120 \
     --bench-out BENCH_difftest.json
 
+# Aggregate-oracle smoke: each case runs one aggregate verb (count,
+# count-by-template, top-K, histogram; ~half under a filter) through the
+# same engine matrix at 1 and 4 threads and compares the merged
+# multi-block result against a naive raw-line oracle. Also enforces the
+# pushdown contract (unfiltered metadata verbs decompress zero Capsules;
+# dictionary top-K at most one) and the aggregate cache contract.
+# BENCH_aggregates.json records cases and decompression checks.
+./target/release/difftest --aggregates --seed 5 --cases 60 \
+    --budget-secs 120 --bench-out BENCH_aggregates.json
+
 # Cluster fault-tolerance suites: the root `cargo test` above only covers
 # the root package, so run the cluster crate's own tests (SimNet
 # determinism, ingest rollback, replica read-fallback, fault schedules)
